@@ -1,0 +1,72 @@
+// Ablation: distributional quality of the two approximations behind
+// §3.3 — total-variation and Kolmogorov distance between the exact
+// Poisson-binomial support distribution and its Normal / Poisson
+// surrogates, as the number of trials N and the probability regime
+// vary. This quantifies *why* Tables 8/9 look the way they do: Normal
+// error vanishes with N (CLT); Poisson error stalls unless unit
+// probabilities are small (Le Cam).
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "prob/distance.h"
+#include "prob/poisson_binomial.h"
+
+namespace ufim::bench {
+namespace {
+
+void QualityCase(benchmark::State& state, std::size_t n, double lo, double hi,
+                 const char* /*regime*/) {
+  Rng rng(1234);
+  std::vector<double> probs(n);
+  for (double& p : probs) p = rng.Uniform(lo, hi);
+  SupportMoments m = ComputeSupportMoments(probs);
+  const std::size_t len = n + 1;
+  for (auto _ : state) {
+    auto exact = PoissonBinomialCappedPmfDP(probs, n);
+    exact.resize(len, 0.0);
+    auto normal = DiscretizedNormalPmf(m.mean, m.variance, len);
+    auto poisson = PoissonPmf(m.mean, len);
+    state.counters["tv_normal"] = TotalVariationDistance(exact, normal);
+    state.counters["tv_poisson"] = TotalVariationDistance(exact, poisson);
+    state.counters["ks_normal"] = KolmogorovDistance(exact, normal);
+    state.counters["ks_poisson"] = KolmogorovDistance(exact, poisson);
+  }
+}
+
+void RegisterAll() {
+  struct Regime {
+    const char* name;
+    double lo, hi;
+  };
+  static const Regime kRegimes[] = {
+      {"high_probs", 0.5, 1.0},   // Connect/Gazelle-style assignments
+      {"mid_probs", 0.2, 0.8},    // Accident/Kosarak-style
+      {"small_probs", 0.0, 0.05}, // Le Cam regime where Poisson shines
+  };
+  for (const Regime& regime : kRegimes) {
+    for (std::size_t n : {100u, 400u, 1600u, 6400u}) {
+      std::string name = std::string("approx_quality/") + regime.name +
+                         "/n=" + std::to_string(n);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [n, regime](benchmark::State& state) {
+            QualityCase(state, n, regime.lo, regime.hi, regime.name);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ufim::bench
+
+int main(int argc, char** argv) {
+  ufim::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation: the two pruning techniques the paper's implementations use.
+//  (1) UApriori's decremental pruning [17, 18] on/off across densities;
+//  (2) DC's FFT threshold — where does switching the conquer step from
+//      schoolbook to FFT convolution pay off at mining granularity?
+// DESIGN.md lists both as explicit design choices.
+#include <benchmark/benchmark.h>
+
+#include "algo/exact_dc.h"
+#include "algo/uapriori.h"
+#include "bench_datasets.h"
+#include "eval/experiment.h"
+
+namespace ufim::bench {
+namespace {
+
+void DecrementalCase(benchmark::State& state, const UncertainDatabase& db,
+                     bool decremental, double min_esup) {
+  UApriori miner(decremental);
+  ExpectedSupportParams params;
+  params.min_esup = min_esup;
+  for (auto _ : state) {
+    auto m = RunExpectedExperiment(miner, db, params);
+    if (!m.ok()) {
+      state.SkipWithError(m.status().ToString().c_str());
+      return;
+    }
+    state.counters["frequent"] = static_cast<double>(m->num_frequent);
+  }
+}
+
+void FftThresholdCase(benchmark::State& state, const UncertainDatabase& db,
+                      std::size_t fft_threshold, double min_sup) {
+  ExactDC miner(/*use_chernoff_pruning=*/false, fft_threshold);
+  ProbabilisticParams params;
+  params.min_sup = min_sup;
+  params.pft = 0.9;
+  for (auto _ : state) {
+    auto m = RunProbabilisticExperiment(miner, db, params);
+    if (!m.ok()) {
+      state.SkipWithError(m.status().ToString().c_str());
+      return;
+    }
+    state.counters["frequent"] = static_cast<double>(m->num_frequent);
+  }
+}
+
+void RegisterAll() {
+  struct DecrementalSweep {
+    const char* dataset;
+    const UncertainDatabase& (*db)(std::size_t);
+    std::size_t n;
+    double min_esup;
+  };
+  static const DecrementalSweep kDecremental[] = {
+      {"Connect", &ConnectDb, 2000, 0.5},
+      {"Accident", &AccidentDb, 3000, 0.2},
+      {"Kosarak", &KosarakDb, 10000, 0.0025},
+  };
+  for (const DecrementalSweep& sweep : kDecremental) {
+    const UncertainDatabase& db = sweep.db(sweep.n);
+    for (bool on : {false, true}) {
+      std::string name = std::string("ablation_decremental/") + sweep.dataset +
+                         (on ? "/on" : "/off");
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [&db, on, min_esup = sweep.min_esup](benchmark::State& state) {
+            DecrementalCase(state, db, on, min_esup);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+
+  static const UncertainDatabase& accident = AccidentDb(3000);
+  for (std::size_t threshold : {16u, 64u, 256u, 1024u, 1u << 30}) {
+    std::string name = "ablation_fft_threshold/Accident/threshold=" +
+                       (threshold == (1u << 30) ? std::string("never")
+                                                : std::to_string(threshold));
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [threshold](benchmark::State& state) {
+          FftThresholdCase(state, accident, threshold, 0.25);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace ufim::bench
+
+int main(int argc, char** argv) {
+  ufim::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "bench_datasets.h"
+
+#include "gen/benchmark_datasets.h"
+#include "gen/probability.h"
+
+namespace ufim::bench {
+
+namespace {
+constexpr std::uint64_t kSeed = 20120827;  // VLDB'12 conference date
+}  // namespace
+
+const UncertainDatabase& ConnectDb(std::size_t n) {
+  static const UncertainDatabase& db = *new UncertainDatabase(
+      AssignGaussianProbabilities(MakeConnectLike(n, kSeed), 0.95, 0.05, kSeed + 1));
+  return db;
+}
+
+const UncertainDatabase& AccidentDb(std::size_t n) {
+  static const UncertainDatabase& db = *new UncertainDatabase(
+      AssignGaussianProbabilities(MakeAccidentLike(n, kSeed), 0.5, 0.5, kSeed + 2));
+  return db;
+}
+
+const UncertainDatabase& KosarakDb(std::size_t n) {
+  static const UncertainDatabase& db = *new UncertainDatabase(
+      AssignGaussianProbabilities(MakeKosarakLike(n, kSeed), 0.5, 0.5, kSeed + 3));
+  return db;
+}
+
+const UncertainDatabase& GazelleDb(std::size_t n) {
+  static const UncertainDatabase& db = *new UncertainDatabase(
+      AssignGaussianProbabilities(MakeGazelleLike(n, kSeed), 0.95, 0.05, kSeed + 4));
+  return db;
+}
+
+UncertainDatabase QuestDb(std::size_t n) {
+  auto det = MakeQuestT25I15(n, kSeed);
+  // The fixed configuration is valid by construction; an error here is a
+  // programming bug, so fail loudly via empty database + stderr.
+  if (!det.ok()) {
+    std::fprintf(stderr, "QuestDb: %s\n", det.status().ToString().c_str());
+    return UncertainDatabase();
+  }
+  return AssignGaussianProbabilities(*det, 0.9, 0.1, kSeed + 5);
+}
+
+UncertainDatabase ZipfDenseDb(double skew, std::size_t n) {
+  return AssignZipfProbabilities(MakeConnectLike(n, kSeed), skew, kSeed + 6);
+}
+
+}  // namespace ufim::bench

@@ -1,0 +1,38 @@
+#ifndef UFIM_BENCH_BENCH_DATASETS_H_
+#define UFIM_BENCH_BENCH_DATASETS_H_
+
+#include <cstddef>
+
+#include "core/uncertain_database.h"
+
+namespace ufim::bench {
+
+/// Scaled instances of the paper's five benchmark datasets (Table 6) with
+/// the Table 7 probability parameters. Transaction counts are reduced to
+/// single-core laptop scale; EXPERIMENTS.md records the scaling. Each
+/// function memoizes its default-size instance so that bench binaries pay
+/// generation cost once.
+
+/// Connect: dense, Gaussian(0.95, 0.05).
+const UncertainDatabase& ConnectDb(std::size_t n = 2000);
+
+/// Accident: dense-ish, Gaussian(0.5, 0.5).
+const UncertainDatabase& AccidentDb(std::size_t n = 3000);
+
+/// Kosarak: sparse, Gaussian(0.5, 0.5).
+const UncertainDatabase& KosarakDb(std::size_t n = 10000);
+
+/// Gazelle: very sparse, Gaussian(0.95, 0.05).
+const UncertainDatabase& GazelleDb(std::size_t n = 5000);
+
+/// T25I15D{n}: the Quest scalability family, Gaussian(0.9, 0.1).
+/// Not memoized (callers sweep n); build once per size and reuse.
+UncertainDatabase QuestDb(std::size_t n);
+
+/// Dense dataset with Zipf-assigned probabilities at the given skew
+/// (the Figure 4/5/6 (k),(l) workload).
+UncertainDatabase ZipfDenseDb(double skew, std::size_t n = 1500);
+
+}  // namespace ufim::bench
+
+#endif  // UFIM_BENCH_BENCH_DATASETS_H_

@@ -1,0 +1,61 @@
+#ifndef UFIM_BENCH_BENCH_UTIL_H_
+#define UFIM_BENCH_BENCH_UTIL_H_
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "core/miner_factory.h"
+#include "eval/experiment.h"
+
+namespace ufim::bench {
+
+/// Runs one expected-support mining configuration under google-benchmark,
+/// reporting the figures' three series as counters: wall time (the bench
+/// metric itself), peak heap bytes, and the number of frequent itemsets.
+inline void RunExpectedCase(benchmark::State& state, const UncertainDatabase& db,
+                            ExpectedAlgorithm algo, double min_esup) {
+  auto miner = CreateExpectedSupportMiner(algo);
+  ExpectedSupportParams params;
+  params.min_esup = min_esup;
+  for (auto _ : state) {
+    auto m = RunExpectedExperiment(*miner, db, params);
+    if (!m.ok()) {
+      state.SkipWithError(m.status().ToString().c_str());
+      return;
+    }
+    state.counters["frequent"] = static_cast<double>(m->num_frequent);
+    state.counters["peak_MB"] = static_cast<double>(m->peak_bytes) / 1e6;
+    state.counters["candidates"] =
+        static_cast<double>(m->counters.candidates_generated);
+  }
+}
+
+/// Probabilistic-miner counterpart; additionally reports the Chernoff
+/// pruning and exact-evaluation counters (Figure 5 commentary).
+inline void RunProbabilisticCase(benchmark::State& state,
+                                 const UncertainDatabase& db,
+                                 ProbabilisticAlgorithm algo, double min_sup,
+                                 double pft) {
+  auto miner = CreateProbabilisticMiner(algo);
+  ProbabilisticParams params;
+  params.min_sup = min_sup;
+  params.pft = pft;
+  for (auto _ : state) {
+    auto m = RunProbabilisticExperiment(*miner, db, params);
+    if (!m.ok()) {
+      state.SkipWithError(m.status().ToString().c_str());
+      return;
+    }
+    state.counters["frequent"] = static_cast<double>(m->num_frequent);
+    state.counters["peak_MB"] = static_cast<double>(m->peak_bytes) / 1e6;
+    state.counters["chernoff_pruned"] =
+        static_cast<double>(m->counters.candidates_pruned_chernoff);
+    state.counters["exact_evals"] =
+        static_cast<double>(m->counters.exact_probability_evaluations);
+  }
+}
+
+}  // namespace ufim::bench
+
+#endif  // UFIM_BENCH_BENCH_UTIL_H_

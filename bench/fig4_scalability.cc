@@ -1,0 +1,43 @@
+// Figure 4(i)-(j): scalability of the expected-support miners on the
+// Quest T25I15D{n} family, n from 2k to 32k (paper: 20k to 320k),
+// min_esup = 0.1. Expected shape: linear time and memory in n, with
+// UApriori's memory the flattest (no auxiliary structure).
+#include <benchmark/benchmark.h>
+
+#include "bench_datasets.h"
+#include "bench_util.h"
+
+namespace ufim::bench {
+namespace {
+
+constexpr std::size_t kSizes[] = {2000, 4000, 8000, 16000, 32000};
+constexpr double kMinEsup = 0.02;
+
+void RegisterAll() {
+  for (std::size_t n : kSizes) {
+    // Build each size once, share across the three algorithms.
+    auto* db = new UncertainDatabase(QuestDb(n));
+    for (ExpectedAlgorithm algo : AllExpectedAlgorithms()) {
+      std::string name = std::string("fig4_scalability/") +
+                         std::string(ToString(algo)) + "/n=" + std::to_string(n);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [db, algo](benchmark::State& state) {
+            RunExpectedCase(state, *db, algo, kMinEsup);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ufim::bench
+
+int main(int argc, char** argv) {
+  ufim::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

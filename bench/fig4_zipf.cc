@@ -1,0 +1,43 @@
+// Figure 4(k)-(l): expected-support miners on a dense dataset whose
+// probabilities follow a Zipf level distribution, sweeping the skew from
+// 0.8 to 2.0 at min_esup = 0.1. Expected shape: time and memory fall as
+// the skew rises (more zero-probability units, fewer frequent itemsets),
+// with UH-Mine gradually overtaking UApriori.
+#include <benchmark/benchmark.h>
+
+#include "bench_datasets.h"
+#include "bench_util.h"
+
+namespace ufim::bench {
+namespace {
+
+constexpr double kSkews[] = {0.8, 1.2, 1.6, 2.0};
+constexpr double kMinEsup = 0.1;
+
+void RegisterAll() {
+  for (double skew : kSkews) {
+    auto* db = new UncertainDatabase(ZipfDenseDb(skew));
+    for (ExpectedAlgorithm algo : AllExpectedAlgorithms()) {
+      std::string name = std::string("fig4_zipf/") + std::string(ToString(algo)) +
+                         "/skew=" + std::to_string(skew);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [db, algo](benchmark::State& state) {
+            RunExpectedCase(state, *db, algo, kMinEsup);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ufim::bench
+
+int main(int argc, char** argv) {
+  ufim::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 5(e)-(h): the exact probabilistic miners vs pft on Accident-like
+// and Kosarak-like at a fixed min_sup. Expected shape (paper §4.3): pft
+// has little impact on time or memory (most frequent probabilities
+// saturate near 1), DCB remains fastest, DPNB slowest.
+#include <benchmark/benchmark.h>
+
+#include "bench_datasets.h"
+#include "bench_util.h"
+
+namespace ufim::bench {
+namespace {
+
+constexpr double kPfts[] = {0.1, 0.3, 0.5, 0.7, 0.9};
+
+struct Sweep {
+  const char* dataset;
+  const UncertainDatabase& (*db)(std::size_t);
+  std::size_t n;
+  double min_sup;
+};
+
+void RegisterAll() {
+  static const Sweep kSweeps[] = {
+      {"Accident", &AccidentDb, 4000, 0.25},
+      {"Kosarak", &KosarakDb, 6000, 0.1},
+  };
+  for (const Sweep& sweep : kSweeps) {
+    const UncertainDatabase& db = sweep.db(sweep.n);
+    for (ProbabilisticAlgorithm algo : AllExactProbabilisticAlgorithms()) {
+      for (double pft : kPfts) {
+        std::string name = std::string("fig5_pft/") + sweep.dataset + "/" +
+                           std::string(ToString(algo)) +
+                           "/pft=" + std::to_string(pft);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [&db, algo, min_sup = sweep.min_sup, pft](benchmark::State& state) {
+              RunProbabilisticCase(state, db, algo, min_sup, pft);
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ufim::bench
+
+int main(int argc, char** argv) {
+  ufim::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

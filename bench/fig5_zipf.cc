@@ -1,0 +1,43 @@
+// Figure 5(k)-(l): exact probabilistic miners under Zipf-distributed
+// probabilities, skew 0.8 to 2.0, min_sup = 0.1, pft = 0.9. Expected
+// shape: time and memory decrease mildly with skew; the skew is not a
+// dominant factor (paper §4.3).
+#include <benchmark/benchmark.h>
+
+#include "bench_datasets.h"
+#include "bench_util.h"
+
+namespace ufim::bench {
+namespace {
+
+constexpr double kSkews[] = {0.8, 1.2, 1.6, 2.0};
+constexpr double kMinSup = 0.1;
+constexpr double kPft = 0.9;
+
+void RegisterAll() {
+  for (double skew : kSkews) {
+    auto* db = new UncertainDatabase(ZipfDenseDb(skew, 800));
+    for (ProbabilisticAlgorithm algo : AllExactProbabilisticAlgorithms()) {
+      std::string name = std::string("fig5_zipf/") + std::string(ToString(algo)) +
+                         "/skew=" + std::to_string(skew);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [db, algo](benchmark::State& state) {
+            RunProbabilisticCase(state, *db, algo, kMinSup, kPft);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ufim::bench
+
+int main(int argc, char** argv) {
+  ufim::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

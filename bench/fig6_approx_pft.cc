@@ -1,0 +1,58 @@
+// Figure 6(e)-(h): approximate probabilistic miners + DCB vs pft.
+// Expected shape: pft has almost no effect on time or memory; the
+// dataset's density decides the ranking (paper §4.4).
+#include <benchmark/benchmark.h>
+
+#include "bench_datasets.h"
+#include "bench_util.h"
+
+namespace ufim::bench {
+namespace {
+
+constexpr double kPfts[] = {0.1, 0.3, 0.5, 0.7, 0.9};
+
+struct Sweep {
+  const char* dataset;
+  const UncertainDatabase& (*db)(std::size_t);
+  std::size_t n;
+  double min_sup;
+};
+
+void RegisterAll() {
+  static const Sweep kSweeps[] = {
+      {"Accident", &AccidentDb, 1500, 0.2},
+      {"Kosarak", &KosarakDb, 5000, 0.01},
+  };
+  for (const Sweep& sweep : kSweeps) {
+    const UncertainDatabase& db = sweep.db(sweep.n);
+    std::vector<ProbabilisticAlgorithm> algos = {ProbabilisticAlgorithm::kDCB};
+    for (ProbabilisticAlgorithm a : AllApproximateProbabilisticAlgorithms()) {
+      algos.push_back(a);
+    }
+    for (ProbabilisticAlgorithm algo : algos) {
+      for (double pft : kPfts) {
+        std::string name = std::string("fig6_pft/") + sweep.dataset + "/" +
+                           std::string(ToString(algo)) +
+                           "/pft=" + std::to_string(pft);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [&db, algo, min_sup = sweep.min_sup, pft](benchmark::State& state) {
+              RunProbabilisticCase(state, db, algo, min_sup, pft);
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ufim::bench
+
+int main(int argc, char** argv) {
+  ufim::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 6(i)-(j): scalability of the approximate probabilistic miners on
+// the Quest T25I15D{n} family, min_sup = 0.1, pft = 0.9. Expected shape:
+// linear time/memory; all three stay far below the exact miners at the
+// same sizes (compare fig5_scalability), with NDUH-Mine best overall.
+#include <benchmark/benchmark.h>
+
+#include "bench_datasets.h"
+#include "bench_util.h"
+
+namespace ufim::bench {
+namespace {
+
+constexpr std::size_t kSizes[] = {2000, 4000, 8000, 16000, 32000};
+constexpr double kMinSup = 0.02;
+constexpr double kPft = 0.9;
+
+void RegisterAll() {
+  for (std::size_t n : kSizes) {
+    auto* db = new UncertainDatabase(QuestDb(n));
+    for (ProbabilisticAlgorithm algo : AllApproximateProbabilisticAlgorithms()) {
+      std::string name = std::string("fig6_scalability/") +
+                         std::string(ToString(algo)) + "/n=" + std::to_string(n);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [db, algo](benchmark::State& state) {
+            RunProbabilisticCase(state, *db, algo, kMinSup, kPft);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ufim::bench
+
+int main(int argc, char** argv) {
+  ufim::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Sensor-network monitoring — the motivating application of the paper's
+// introduction. Each transaction is one reading epoch; each item is an
+// "event" reported by a sensor, with a probability reflecting the
+// sensor's confidence (inherent sensor noise). The example mines which
+// event combinations co-occur reliably, comparing an exact probabilistic
+// miner against the cheap Normal approximation, and saves/loads the
+// dataset via the text format.
+//
+//   $ ./sensor_network
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/miner_factory.h"
+#include "eval/metrics.h"
+#include "io/dataset_io.h"
+
+namespace {
+
+// Simulates a deployment: `num_epochs` reading rounds over
+// `num_event_types` event types. A hidden set of correlated event
+// clusters (e.g. "temperature spike" + "humidity drop" during ventilation
+// failure) fires together; sensors detect events with noisy confidence.
+ufim::UncertainDatabase SimulateDeployment(std::size_t num_epochs,
+                                           std::size_t num_event_types,
+                                           std::uint64_t seed) {
+  ufim::Rng rng(seed);
+  // Three hidden clusters of co-occurring events.
+  const std::vector<std::vector<ufim::ItemId>> clusters = {
+      {0, 1, 2}, {3, 4}, {5, 6, 7}};
+  std::vector<ufim::Transaction> epochs;
+  for (std::size_t e = 0; e < num_epochs; ++e) {
+    std::vector<ufim::ProbItem> units;
+    for (const auto& cluster : clusters) {
+      if (!rng.Bernoulli(0.6)) continue;  // cluster active this epoch?
+      for (ufim::ItemId event : cluster) {
+        if (rng.Bernoulli(0.9)) {  // sensor saw it
+          // Detection confidence: high but noisy.
+          units.push_back(ufim::ProbItem{event, rng.Uniform(0.7, 1.0)});
+        }
+      }
+    }
+    // Background noise events with low confidence.
+    for (ufim::ItemId event = 0; event < num_event_types; ++event) {
+      if (rng.Bernoulli(0.05)) {
+        units.push_back(ufim::ProbItem{event, rng.Uniform(0.05, 0.4)});
+      }
+    }
+    epochs.emplace_back(std::move(units));
+  }
+  return ufim::UncertainDatabase(std::move(epochs));
+}
+
+}  // namespace
+
+int main() {
+  using namespace ufim;
+  UncertainDatabase db = SimulateDeployment(5000, 24, 7);
+  DatabaseStats stats = db.ComputeStats();
+  std::printf("Simulated %zu epochs, %zu event types, avg %.2f events/epoch\n",
+              stats.num_transactions, stats.num_items, stats.avg_length);
+
+  // Persist and reload through the text format (round-trip check).
+  const std::string path = "/tmp/sensor_events.udb";
+  if (Status s = WriteDataset(db, path); !s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto reloaded = ReadDataset(path);
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 reloaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Round-tripped dataset through %s (%zu transactions)\n",
+              path.c_str(), reloaded->size());
+
+  ProbabilisticParams params;
+  params.min_sup = 0.3;  // events co-occurring in >= 30%% of epochs
+  params.pft = 0.9;
+
+  auto exact = CreateProbabilisticMiner(ProbabilisticAlgorithm::kDCB)
+                   ->Mine(*reloaded, params);
+  auto approx = CreateProbabilisticMiner(ProbabilisticAlgorithm::kNDUHMine)
+                    ->Mine(*reloaded, params);
+  if (!exact.ok() || !approx.ok()) {
+    std::fprintf(stderr, "mining failed\n");
+    return 1;
+  }
+
+  std::printf("\nReliable event combinations (exact DCB):\n");
+  for (const FrequentItemset& fi : exact->itemsets()) {
+    if (fi.itemset.size() < 2) continue;  // pairs and larger are the insight
+    std::printf("  events %-12s esup = %7.1f  Pr = %.4f\n",
+                fi.itemset.ToString().c_str(), fi.expected_support,
+                *fi.frequent_probability);
+  }
+
+  PrecisionRecall pr = ComputePrecisionRecall(*approx, *exact);
+  std::printf(
+      "\nNDUH-Mine vs exact: %zu vs %zu itemsets, precision %.3f recall %.3f\n",
+      pr.approx_size, pr.exact_size, pr.precision, pr.recall);
+  std::printf("(the paper's point: on %zu epochs the cheap Normal "
+              "approximation is essentially exact)\n",
+              db.size());
+  return 0;
+}

@@ -1,0 +1,248 @@
+#include "algo/apriori_framework.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/math_util.h"
+#include "prob/chernoff.h"
+
+namespace ufim {
+
+std::vector<ItemStats> CollectItemStats(const UncertainDatabase& db) {
+  const std::size_t n_items = db.num_items();
+  std::vector<double> esup(n_items, 0.0), sq(n_items, 0.0);
+  for (const Transaction& t : db) {
+    for (const ProbItem& u : t) {
+      esup[u.item] += u.prob;
+      sq[u.item] += u.prob * u.prob;
+    }
+  }
+  std::vector<ItemStats> out;
+  out.reserve(n_items);
+  for (std::size_t i = 0; i < n_items; ++i) {
+    if (esup[i] > 0.0) {
+      out.push_back(ItemStats{static_cast<ItemId>(i), esup[i], sq[i]});
+    }
+  }
+  return out;
+}
+
+std::vector<Itemset> GenerateCandidates(const std::vector<Itemset>& frequent_k,
+                                        std::uint64_t* pruned) {
+  std::vector<Itemset> candidates;
+  if (frequent_k.empty()) return candidates;
+  // Membership set for the subset-pruning step.
+  std::unordered_set<Itemset, ItemsetHash> frequent(frequent_k.begin(),
+                                                    frequent_k.end());
+  for (std::size_t i = 0; i < frequent_k.size(); ++i) {
+    // frequent_k is sorted, so all joins of i share a contiguous range of
+    // prefix-compatible partners directly after i.
+    for (std::size_t j = i + 1; j < frequent_k.size(); ++j) {
+      if (!Itemset::SharesPrefix(frequent_k[i], frequent_k[j])) break;
+      Itemset joined = frequent_k[i].Union(frequent_k[j].items().back());
+      // Downward closure: every k-subset must be frequent. The two join
+      // parents are subsets by construction; check the remaining k-1.
+      bool ok = true;
+      for (std::size_t drop = 0; drop + 2 < joined.size() && ok; ++drop) {
+        if (frequent.find(joined.WithoutIndex(drop)) == frequent.end()) {
+          ok = false;
+        }
+      }
+      if (ok) {
+        candidates.push_back(std::move(joined));
+      } else if (pruned != nullptr) {
+        ++*pruned;
+      }
+    }
+  }
+  return candidates;
+}
+
+std::vector<CandidateStats> EvaluateCandidates(const UncertainDatabase& db,
+                                               const std::vector<Itemset>& candidates,
+                                               bool collect_probs,
+                                               double decremental_threshold) {
+  const std::size_t n_items = db.num_items();
+  const std::size_t n_cands = candidates.size();
+  std::vector<CandidateStats> stats(n_cands);
+  if (n_cands == 0) return stats;
+
+  // Bucket candidates by first item: a candidate is only probed against
+  // transactions containing that item.
+  std::vector<std::vector<std::uint32_t>> buckets(n_items);
+  for (std::size_t c = 0; c < n_cands; ++c) {
+    buckets[candidates[c].items().front()].push_back(
+        static_cast<std::uint32_t>(c));
+  }
+
+  std::vector<KahanSum> esup(n_cands);
+  std::vector<char> active(n_cands, 1);
+  const bool decremental = decremental_threshold >= 0.0;
+  constexpr std::size_t kSweepPeriod = 512;
+
+  // Dense per-transaction probability probe, reset via a touched list.
+  std::vector<double> probe(n_items, 0.0);
+  std::vector<ItemId> touched;
+  touched.reserve(256);
+
+  const std::size_t n_txn = db.size();
+  for (std::size_t ti = 0; ti < n_txn; ++ti) {
+    const Transaction& t = db[ti];
+    touched.clear();
+    for (const ProbItem& u : t) {
+      probe[u.item] = u.prob;
+      touched.push_back(u.item);
+    }
+    for (const ProbItem& u : t) {
+      for (std::uint32_t c : buckets[u.item]) {
+        if (!active[c]) continue;
+        double prod = u.prob;
+        const std::vector<ItemId>& items = candidates[c].items();
+        for (std::size_t k = 1; k < items.size(); ++k) {
+          const double p = probe[items[k]];
+          if (p == 0.0) {
+            prod = 0.0;
+            break;
+          }
+          prod *= p;
+        }
+        if (prod > 0.0) {
+          esup[c].Add(prod);
+          stats[c].sq_sum += prod * prod;
+          if (collect_probs) stats[c].probs.push_back(prod);
+        }
+      }
+    }
+    for (ItemId id : touched) probe[id] = 0.0;
+
+    if (decremental && (ti + 1) % kSweepPeriod == 0) {
+      const double remaining = static_cast<double>(n_txn - ti - 1);
+      for (std::size_t c = 0; c < n_cands; ++c) {
+        if (active[c] && esup[c].value() + remaining < decremental_threshold) {
+          active[c] = 0;
+        }
+      }
+    }
+  }
+  for (std::size_t c = 0; c < n_cands; ++c) stats[c].esup = esup[c].value();
+  return stats;
+}
+
+namespace {
+
+/// Shared level-wise loop. `judge` decides frequency and produces the
+/// result annotation for one candidate given its scan statistics;
+/// returning nullopt marks the candidate infrequent.
+std::vector<FrequentItemset> LevelWiseLoop(
+    const UncertainDatabase& db,
+    const std::function<std::optional<FrequentItemset>(const Itemset&, CandidateStats&)>& judge,
+    bool collect_probs, double decremental_threshold, MiningCounters* counters) {
+  std::vector<FrequentItemset> results;
+
+  // Level 1: items.
+  std::vector<ItemStats> item_stats = CollectItemStats(db);
+  if (counters != nullptr) {
+    ++counters->database_scans;
+    counters->candidates_generated += item_stats.size();
+  }
+  // When the judge needs per-transaction probabilities, gather them for
+  // every item in one database pass.
+  std::vector<std::vector<double>> item_probs;
+  if (collect_probs) {
+    item_probs.resize(db.num_items());
+    for (const Transaction& t : db) {
+      for (const ProbItem& u : t) item_probs[u.item].push_back(u.prob);
+    }
+  }
+  std::vector<Itemset> level;
+  for (const ItemStats& is : item_stats) {
+    Itemset single{is.item};
+    CandidateStats cs;
+    cs.esup = is.esup;
+    cs.sq_sum = is.sq_sum;
+    if (collect_probs) {
+      cs.probs = std::move(item_probs[is.item]);
+    }
+    std::optional<FrequentItemset> fi = judge(single, cs);
+    if (fi.has_value()) {
+      level.push_back(single);
+      results.push_back(std::move(*fi));
+    }
+  }
+  std::sort(level.begin(), level.end());
+
+  // Levels k >= 2.
+  while (!level.empty()) {
+    std::uint64_t pruned = 0;
+    std::vector<Itemset> candidates = GenerateCandidates(level, &pruned);
+    if (counters != nullptr) {
+      counters->candidates_pruned_apriori += pruned;
+    }
+    if (candidates.empty()) break;
+    if (counters != nullptr) {
+      ++counters->database_scans;
+      counters->candidates_generated += candidates.size();
+    }
+    std::vector<CandidateStats> stats =
+        EvaluateCandidates(db, candidates, collect_probs, decremental_threshold);
+    std::vector<Itemset> next;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      std::optional<FrequentItemset> fi = judge(candidates[c], stats[c]);
+      if (fi.has_value()) {
+        next.push_back(candidates[c]);
+        results.push_back(std::move(*fi));
+      }
+    }
+    std::sort(next.begin(), next.end());
+    level = std::move(next);
+  }
+  return results;
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MineAprioriGeneric(const UncertainDatabase& db,
+                                                const AprioriCallbacks& callbacks,
+                                                double decremental_threshold,
+                                                MiningCounters* counters) {
+  auto judge = [&callbacks](const Itemset& itemset,
+                            CandidateStats& cs) -> std::optional<FrequentItemset> {
+    if (!callbacks.is_frequent(cs.esup, cs.sq_sum)) return std::nullopt;
+    FrequentItemset fi;
+    fi.itemset = itemset;
+    fi.expected_support = cs.esup;
+    fi.variance = cs.esup - cs.sq_sum;
+    if (callbacks.frequent_probability) {
+      fi.frequent_probability = callbacks.frequent_probability(cs.esup, cs.sq_sum);
+    }
+    return fi;
+  };
+  return LevelWiseLoop(db, judge, /*collect_probs=*/false, decremental_threshold,
+                       counters);
+}
+
+std::vector<FrequentItemset> MineProbabilisticApriori(
+    const UncertainDatabase& db, std::size_t msc, double pft,
+    const std::function<double(const std::vector<double>&, std::size_t)>& tail_fn,
+    bool use_chernoff, MiningCounters* counters) {
+  auto judge = [&](const Itemset& itemset,
+                   CandidateStats& cs) -> std::optional<FrequentItemset> {
+    if (use_chernoff && ChernoffCertifiesInfrequent(cs.esup, msc, pft)) {
+      if (counters != nullptr) ++counters->candidates_pruned_chernoff;
+      return std::nullopt;
+    }
+    if (counters != nullptr) ++counters->exact_probability_evaluations;
+    const double tail = tail_fn(cs.probs, msc);
+    if (!(tail > pft)) return std::nullopt;
+    FrequentItemset fi;
+    fi.itemset = itemset;
+    fi.expected_support = cs.esup;
+    fi.variance = cs.esup - cs.sq_sum;
+    fi.frequent_probability = tail;
+    return fi;
+  };
+  return LevelWiseLoop(db, judge, /*collect_probs=*/true,
+                       /*decremental_threshold=*/-1.0, counters);
+}
+
+}  // namespace ufim

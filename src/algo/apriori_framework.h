@@ -1,0 +1,94 @@
+#ifndef UFIM_ALGO_APRIORI_FRAMEWORK_H_
+#define UFIM_ALGO_APRIORI_FRAMEWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/mining_result.h"
+#include "core/uncertain_database.h"
+
+namespace ufim {
+
+/// Shared machinery of every generate-and-test (breadth-first) miner in
+/// the paper: UApriori, PDUApriori, NDUApriori and the exact DP/DC
+/// algorithms all instantiate this framework with different frequency
+/// predicates. Keeping one audited implementation of candidate
+/// generation and support counting is exactly the "common subroutines"
+/// uniformity the paper's experimental methodology demands (§4.1).
+
+/// Accumulated statistics for one candidate after a database scan.
+struct CandidateStats {
+  double esup = 0.0;    ///< Σ_t Pr(X ⊆ T_t)       — expected support
+  double sq_sum = 0.0;  ///< Σ_t Pr(X ⊆ T_t)²      — gives Var = esup - sq_sum
+  std::vector<double> probs;  ///< nonzero containment probs (optional)
+};
+
+/// Per-item statistics from the initial scan.
+struct ItemStats {
+  ItemId item = 0;
+  double esup = 0.0;
+  double sq_sum = 0.0;
+};
+
+/// One pass over the database accumulating esup and Σp² per item.
+std::vector<ItemStats> CollectItemStats(const UncertainDatabase& db);
+
+/// Classic Apriori candidate generation: joins lexicographically sorted
+/// frequent k-itemsets sharing a (k-1)-prefix and prunes joins that have
+/// an infrequent k-subset (downward closure). `pruned` (optional) counts
+/// the subset-pruned candidates.
+std::vector<Itemset> GenerateCandidates(const std::vector<Itemset>& frequent_k,
+                                        std::uint64_t* pruned);
+
+/// Evaluates all `candidates` (any mixture of sizes >= 2) in one database
+/// scan. Candidates are bucketed by their first item and probed against a
+/// dense per-transaction probability array, so each candidate is touched
+/// only for transactions containing its first item.
+///
+/// `collect_probs` stores the nonzero per-transaction probabilities
+/// (needed by the exact probabilistic algorithms).
+///
+/// `decremental_threshold`, when >= 0, enables UApriori's decremental
+/// pruning: periodically during the scan, a candidate whose optimistic
+/// bound esup_so_far + (transactions remaining) can no longer reach the
+/// threshold is deactivated. Deactivated candidates report whatever they
+/// accumulated; they are guaranteed infrequent.
+std::vector<CandidateStats> EvaluateCandidates(const UncertainDatabase& db,
+                                               const std::vector<Itemset>& candidates,
+                                               bool collect_probs,
+                                               double decremental_threshold = -1.0);
+
+/// Hooks instantiating the framework for a concrete algorithm.
+struct AprioriCallbacks {
+  /// Frequency predicate over the accumulated (esup, Σp²). Must be
+  /// anti-monotone in the itemset for the Apriori pruning to be exact
+  /// (true for every instantiation in the paper).
+  std::function<bool(double esup, double sq_sum)> is_frequent;
+
+  /// Optional annotation: the frequent probability to record on results
+  /// (approximate algorithms), or nullopt (expected-support algorithms).
+  std::function<std::optional<double>(double esup, double sq_sum)> frequent_probability;
+};
+
+/// Runs the level-wise mining loop with the given hooks. Results carry
+/// esup/variance (+ optional frequent probability) and are canonically
+/// sorted by the caller if needed. `decremental_threshold` as above
+/// (only meaningful when the predicate is an esup threshold).
+std::vector<FrequentItemset> MineAprioriGeneric(const UncertainDatabase& db,
+                                                const AprioriCallbacks& callbacks,
+                                                double decremental_threshold,
+                                                MiningCounters* counters);
+
+/// The exact probabilistic variant: per candidate, first the O(1)
+/// Chernoff test on esup (when `use_chernoff`), then the exact tail
+/// Pr(sup >= msc) via `tail_fn` (DP or DC). Frequent iff tail > pft.
+std::vector<FrequentItemset> MineProbabilisticApriori(
+    const UncertainDatabase& db, std::size_t msc, double pft,
+    const std::function<double(const std::vector<double>&, std::size_t)>& tail_fn,
+    bool use_chernoff, MiningCounters* counters);
+
+}  // namespace ufim
+
+#endif  // UFIM_ALGO_APRIORI_FRAMEWORK_H_

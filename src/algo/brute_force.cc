@@ -1,0 +1,155 @@
+#include "algo/brute_force.h"
+
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace ufim {
+
+namespace {
+
+/// Sparse containment of a prefix itemset: the transactions where it has
+/// nonzero probability, with those probabilities.
+struct Containment {
+  std::vector<TransactionId> tids;
+  std::vector<double> probs;
+
+  double Esup() const {
+    KahanSum s;
+    for (double p : probs) s.Add(p);
+    return s.value();
+  }
+
+  double SqSum() const {
+    KahanSum s;
+    for (double p : probs) s.Add(p * p);
+    return s.value();
+  }
+};
+
+/// Extends `base` with `item`: keeps transactions where `item` also
+/// occurs, multiplying probabilities.
+Containment Extend(const UncertainDatabase& db, const Containment& base,
+                   ItemId item) {
+  Containment out;
+  for (std::size_t i = 0; i < base.tids.size(); ++i) {
+    const double p = db[base.tids[i]].ProbabilityOf(item);
+    if (p > 0.0) {
+      out.tids.push_back(base.tids[i]);
+      out.probs.push_back(base.probs[i] * p);
+    }
+  }
+  return out;
+}
+
+Containment SingleItem(const UncertainDatabase& db, ItemId item) {
+  Containment out;
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    const double p = db[t].ProbabilityOf(item);
+    if (p > 0.0) {
+      out.tids.push_back(static_cast<TransactionId>(t));
+      out.probs.push_back(p);
+    }
+  }
+  return out;
+}
+
+/// Full support pmf by sequential Bernoulli convolution — O(n²), written
+/// independently of the prob/ module so brute force is a real oracle.
+std::vector<double> FullPmf(const std::vector<double>& probs) {
+  std::vector<double> pmf{1.0};
+  for (double p : probs) {
+    std::vector<double> next(pmf.size() + 1, 0.0);
+    for (std::size_t j = 0; j < pmf.size(); ++j) {
+      next[j] += pmf[j] * (1.0 - p);
+      next[j + 1] += pmf[j] * p;
+    }
+    pmf = std::move(next);
+  }
+  return pmf;
+}
+
+double TailFromPmf(const std::vector<double>& pmf, std::size_t k) {
+  double tail = 0.0;
+  for (std::size_t j = pmf.size(); j-- > k;) tail += pmf[j];
+  return k == 0 ? 1.0 : tail;
+}
+
+}  // namespace
+
+Result<MiningResult> BruteForceExpected::Mine(
+    const UncertainDatabase& db, const ExpectedSupportParams& params) const {
+  UFIM_RETURN_IF_ERROR(params.Validate());
+  const double threshold = params.min_esup * static_cast<double>(db.size());
+  const std::size_t n_items = db.num_items();
+  MiningResult result;
+
+  // DFS over itemsets in lexicographic order; expected support is
+  // anti-monotone so pruning is exact.
+  struct Frame {
+    Itemset itemset;
+    Containment cont;
+  };
+  auto dfs = [&](auto&& self, const Frame& frame) -> void {
+    for (ItemId next = frame.itemset.empty() ? 0 : frame.itemset.items().back() + 1;
+         next < n_items; ++next) {
+      result.counters().candidates_generated++;
+      Containment ext = frame.itemset.empty() ? SingleItem(db, next)
+                                              : Extend(db, frame.cont, next);
+      const double esup = ext.Esup();
+      if (esup < threshold) continue;
+      Frame child{frame.itemset.empty() ? Itemset{next}
+                                        : frame.itemset.Union(next),
+                  std::move(ext)};
+      FrequentItemset fi;
+      fi.itemset = child.itemset;
+      fi.expected_support = esup;
+      fi.variance = esup - child.cont.SqSum();
+      result.Add(std::move(fi));
+      self(self, child);
+    }
+  };
+  dfs(dfs, Frame{});
+  result.SortCanonical();
+  return result;
+}
+
+Result<MiningResult> BruteForceProbabilistic::Mine(
+    const UncertainDatabase& db, const ProbabilisticParams& params) const {
+  UFIM_RETURN_IF_ERROR(params.Validate());
+  const std::size_t msc = params.MinSupportCount(db.size());
+  const std::size_t n_items = db.num_items();
+  MiningResult result;
+
+  struct Frame {
+    Itemset itemset;
+    Containment cont;
+  };
+  auto dfs = [&](auto&& self, const Frame& frame) -> void {
+    for (ItemId next = frame.itemset.empty() ? 0 : frame.itemset.items().back() + 1;
+         next < n_items; ++next) {
+      result.counters().candidates_generated++;
+      Containment ext = frame.itemset.empty() ? SingleItem(db, next)
+                                              : Extend(db, frame.cont, next);
+      if (ext.probs.size() < msc) continue;  // support can never reach msc
+      result.counters().exact_probability_evaluations++;
+      const double tail = TailFromPmf(FullPmf(ext.probs), msc);
+      if (!(tail > params.pft)) continue;
+      Frame child{frame.itemset.empty() ? Itemset{next}
+                                        : frame.itemset.Union(next),
+                  std::move(ext)};
+      FrequentItemset fi;
+      fi.itemset = child.itemset;
+      fi.expected_support = child.cont.Esup();
+      fi.variance = fi.expected_support - child.cont.SqSum();
+      fi.frequent_probability = tail;
+      result.Add(std::move(fi));
+      self(self, child);
+    }
+  };
+  dfs(dfs, Frame{});
+  result.SortCanonical();
+  return result;
+}
+
+}  // namespace ufim

@@ -1,0 +1,25 @@
+#include "algo/exact_dc.h"
+
+#include "algo/apriori_framework.h"
+#include "prob/poisson_binomial.h"
+
+namespace ufim {
+
+Result<MiningResult> ExactDC::Mine(const UncertainDatabase& db,
+                                   const ProbabilisticParams& params) const {
+  UFIM_RETURN_IF_ERROR(params.Validate());
+  const std::size_t msc = params.MinSupportCount(db.size());
+  const std::size_t fft_threshold = fft_threshold_;
+  MiningResult result;
+  std::vector<FrequentItemset> found = MineProbabilisticApriori(
+      db, msc, params.pft,
+      [fft_threshold](const std::vector<double>& probs, std::size_t k) {
+        return PoissonBinomialTailDC(probs, k, fft_threshold);
+      },
+      use_chernoff_, &result.counters());
+  for (FrequentItemset& fi : found) result.Add(std::move(fi));
+  result.SortCanonical();
+  return result;
+}
+
+}  // namespace ufim

@@ -1,0 +1,24 @@
+#include "algo/exact_dp.h"
+
+#include "algo/apriori_framework.h"
+#include "prob/poisson_binomial.h"
+
+namespace ufim {
+
+Result<MiningResult> ExactDP::Mine(const UncertainDatabase& db,
+                                   const ProbabilisticParams& params) const {
+  UFIM_RETURN_IF_ERROR(params.Validate());
+  const std::size_t msc = params.MinSupportCount(db.size());
+  MiningResult result;
+  std::vector<FrequentItemset> found = MineProbabilisticApriori(
+      db, msc, params.pft,
+      [](const std::vector<double>& probs, std::size_t k) {
+        return PoissonBinomialTailDP(probs, k);
+      },
+      use_chernoff_, &result.counters());
+  for (FrequentItemset& fi : found) result.Add(std::move(fi));
+  result.SortCanonical();
+  return result;
+}
+
+}  // namespace ufim

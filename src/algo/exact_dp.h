@@ -1,0 +1,32 @@
+#ifndef UFIM_ALGO_EXACT_DP_H_
+#define UFIM_ALGO_EXACT_DP_H_
+
+#include "core/miner.h"
+
+namespace ufim {
+
+/// DP — dynamic-programming exact probabilistic miner (Bernecker et al.,
+/// KDD'09; paper §3.2.1). Apriori framework; per candidate the exact
+/// frequent probability Pr(sup >= msc) is computed by the O(N * msc)
+/// support-probability dynamic program.
+///
+/// `use_chernoff_pruning` selects between the paper's DPB (with the
+/// Chernoff-bound filter of Lemma 1) and DPNB (without).
+class ExactDP final : public ProbabilisticMiner {
+ public:
+  explicit ExactDP(bool use_chernoff_pruning)
+      : use_chernoff_(use_chernoff_pruning) {}
+
+  std::string_view name() const override { return use_chernoff_ ? "DPB" : "DPNB"; }
+  bool is_exact() const override { return true; }
+
+  Result<MiningResult> Mine(const UncertainDatabase& db,
+                            const ProbabilisticParams& params) const override;
+
+ private:
+  bool use_chernoff_;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_ALGO_EXACT_DP_H_

@@ -1,0 +1,49 @@
+#include "algo/mc_sampling.h"
+
+#include "algo/apriori_framework.h"
+#include "common/rng.h"
+
+namespace ufim {
+
+Result<MiningResult> MCSampling::Mine(const UncertainDatabase& db,
+                                      const ProbabilisticParams& params) const {
+  UFIM_RETURN_IF_ERROR(params.Validate());
+  if (num_samples_ == 0) {
+    return Status::InvalidArgument("MCSampling requires num_samples > 0");
+  }
+  const std::size_t msc = params.MinSupportCount(db.size());
+  const std::size_t samples = num_samples_;
+
+  MiningResult result;
+  Rng rng(seed_);
+  auto tail_estimator = [samples, &rng](const std::vector<double>& probs,
+                                        std::size_t k) {
+    if (k == 0) return 1.0;
+    if (probs.size() < k) return 0.0;
+    std::size_t hits = 0;
+    for (std::size_t s = 0; s < samples; ++s) {
+      // Sample one possible world of this itemset's containments; stop
+      // counting as soon as the threshold is reached, and abort when it
+      // has become unreachable.
+      std::size_t count = 0;
+      std::size_t remaining = probs.size();
+      for (double p : probs) {
+        if (count + remaining < k) break;
+        if (rng.Bernoulli(p)) {
+          if (++count >= k) break;
+        }
+        --remaining;
+      }
+      if (count >= k) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(samples);
+  };
+  std::vector<FrequentItemset> found =
+      MineProbabilisticApriori(db, msc, params.pft, tail_estimator,
+                               /*use_chernoff=*/true, &result.counters());
+  for (FrequentItemset& fi : found) result.Add(std::move(fi));
+  result.SortCanonical();
+  return result;
+}
+
+}  // namespace ufim

@@ -1,0 +1,39 @@
+#ifndef UFIM_ALGO_MC_SAMPLING_H_
+#define UFIM_ALGO_MC_SAMPLING_H_
+
+#include <cstdint>
+
+#include "core/miner.h"
+
+namespace ufim {
+
+/// Monte-Carlo sampling miner (Calders, Garboni & Goethals, PAKDD'10 —
+/// the paper's reference [11]): estimates the frequent probability of
+/// each candidate by sampling possible worlds of its containment-
+/// probability vector. An unbiased estimator with standard error
+/// <= 1/(2*sqrt(num_samples)); with the default 1024 samples the
+/// estimate is within ~±0.03 at 95% confidence.
+///
+/// Included as the fourth approximate method the paper's taxonomy
+/// mentions but does not benchmark; `bench/ablation_sampling`
+/// contrasts it with the moment-based approximations.
+class MCSampling final : public ProbabilisticMiner {
+ public:
+  explicit MCSampling(std::size_t num_samples = 1024,
+                      std::uint64_t seed = 0xC0FFEE)
+      : num_samples_(num_samples), seed_(seed) {}
+
+  std::string_view name() const override { return "MCSampling"; }
+  bool is_exact() const override { return false; }
+
+  Result<MiningResult> Mine(const UncertainDatabase& db,
+                            const ProbabilisticParams& params) const override;
+
+ private:
+  std::size_t num_samples_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_ALGO_MC_SAMPLING_H_

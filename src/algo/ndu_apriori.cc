@@ -1,0 +1,30 @@
+#include "algo/ndu_apriori.h"
+
+#include "algo/apriori_framework.h"
+#include "prob/normal.h"
+
+namespace ufim {
+
+Result<MiningResult> NDUApriori::Mine(const UncertainDatabase& db,
+                                      const ProbabilisticParams& params) const {
+  UFIM_RETURN_IF_ERROR(params.Validate());
+  const std::size_t msc = params.MinSupportCount(db.size());
+  const double pft = params.pft;
+
+  MiningResult result;
+  AprioriCallbacks callbacks;
+  callbacks.is_frequent = [msc, pft](double esup, double sq_sum) {
+    return NormalApproxFrequentProbability(esup, esup - sq_sum, msc) > pft;
+  };
+  callbacks.frequent_probability = [msc](double esup,
+                                         double sq_sum) -> std::optional<double> {
+    return NormalApproxFrequentProbability(esup, esup - sq_sum, msc);
+  };
+  std::vector<FrequentItemset> found = MineAprioriGeneric(
+      db, callbacks, /*decremental_threshold=*/-1.0, &result.counters());
+  for (FrequentItemset& fi : found) result.Add(std::move(fi));
+  result.SortCanonical();
+  return result;
+}
+
+}  // namespace ufim

@@ -1,0 +1,29 @@
+#include "algo/nduh_mine.h"
+
+#include "algo/uh_struct.h"
+#include "prob/normal.h"
+
+namespace ufim {
+
+Result<MiningResult> NDUHMine::Mine(const UncertainDatabase& db,
+                                    const ProbabilisticParams& params) const {
+  UFIM_RETURN_IF_ERROR(params.Validate());
+  const std::size_t msc = params.MinSupportCount(db.size());
+  const double pft = params.pft;
+  UHStructEngine::Hooks hooks;
+  hooks.is_frequent = [msc, pft](double esup, double sq_sum) {
+    return NormalApproxFrequentProbability(esup, esup - sq_sum, msc) > pft;
+  };
+  hooks.frequent_probability = [msc](double esup,
+                                     double sq_sum) -> std::optional<double> {
+    return NormalApproxFrequentProbability(esup, esup - sq_sum, msc);
+  };
+  UHStructEngine engine(db, std::move(hooks));
+  MiningResult result;
+  std::vector<FrequentItemset> found = engine.Mine(&result.counters());
+  for (FrequentItemset& fi : found) result.Add(std::move(fi));
+  result.SortCanonical();
+  return result;
+}
+
+}  // namespace ufim

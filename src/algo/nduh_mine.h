@@ -1,0 +1,28 @@
+#ifndef UFIM_ALGO_NDUH_MINE_H_
+#define UFIM_ALGO_NDUH_MINE_H_
+
+#include "core/miner.h"
+
+namespace ufim {
+
+/// NDUH-Mine — the algorithm proposed by the paper itself (§3.3.3):
+/// UH-Mine's depth-first framework with the Normal-distribution
+/// approximation of the frequent probability. The UH-Struct already
+/// yields Σp per prefix; accumulating Σp² alongside is free, and the two
+/// moments feed the continuity-corrected Φ test. Designed to win on
+/// large sparse uncertain databases, where the Apriori-framework
+/// approximations (PDUApriori/NDUApriori) degrade.
+class NDUHMine final : public ProbabilisticMiner {
+ public:
+  NDUHMine() = default;
+
+  std::string_view name() const override { return "NDUH-Mine"; }
+  bool is_exact() const override { return false; }
+
+  Result<MiningResult> Mine(const UncertainDatabase& db,
+                            const ProbabilisticParams& params) const override;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_ALGO_NDUH_MINE_H_

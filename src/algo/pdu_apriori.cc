@@ -1,0 +1,26 @@
+#include "algo/pdu_apriori.h"
+
+#include "algo/apriori_framework.h"
+#include "prob/poisson.h"
+
+namespace ufim {
+
+Result<MiningResult> PDUApriori::Mine(const UncertainDatabase& db,
+                                      const ProbabilisticParams& params) const {
+  UFIM_RETURN_IF_ERROR(params.Validate());
+  const std::size_t msc = params.MinSupportCount(db.size());
+  const double lambda_star = PoissonLambdaForTail(msc, params.pft);
+
+  MiningResult result;
+  AprioriCallbacks callbacks;
+  callbacks.is_frequent = [lambda_star](double esup, double) {
+    return esup >= lambda_star;
+  };
+  std::vector<FrequentItemset> found = MineAprioriGeneric(
+      db, callbacks, /*decremental_threshold=*/lambda_star, &result.counters());
+  for (FrequentItemset& fi : found) result.Add(std::move(fi));
+  result.SortCanonical();
+  return result;
+}
+
+}  // namespace ufim

@@ -1,0 +1,145 @@
+#include "algo/top_k.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "algo/apriori_framework.h"
+#include "common/math_util.h"
+
+namespace ufim {
+
+namespace {
+
+/// Sparse containment of the current prefix (transaction ids implicit:
+/// tids[i] holds probs[i]).
+struct Containment {
+  std::vector<TransactionId> tids;
+  std::vector<double> probs;
+};
+
+struct HeapEntry {
+  double esup;
+  double sq_sum;
+  Itemset itemset;
+  // Min-heap on esup so top() is the current k-th best.
+  friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+    return a.esup > b.esup;
+  }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+struct SearchContext {
+  const UncertainDatabase* db = nullptr;
+  std::size_t k = 0;
+  /// Items in descending expected-support order (exploration order).
+  std::vector<ItemId> order;
+  /// position of item in `order` — extensions use order positions so the
+  /// strongest items are tried first.
+  std::vector<std::uint32_t> pos_of;
+  MinHeap heap;
+  MiningCounters counters;
+};
+
+void Offer(SearchContext& ctx, Itemset itemset, double esup, double sq_sum) {
+  if (ctx.heap.size() < ctx.k) {
+    ctx.heap.push(HeapEntry{esup, sq_sum, std::move(itemset)});
+  } else if (esup > ctx.heap.top().esup) {
+    ctx.heap.pop();
+    ctx.heap.push(HeapEntry{esup, sq_sum, std::move(itemset)});
+  }
+}
+
+double Bound(const SearchContext& ctx) {
+  return ctx.heap.size() < ctx.k ? -1.0 : ctx.heap.top().esup;
+}
+
+/// Extends `prefix` (whose containment is given) with every item at an
+/// order-position greater than `last_pos`.
+void Dfs(SearchContext& ctx, const Itemset& prefix, const Containment& cont,
+         std::uint32_t last_pos) {
+  const UncertainDatabase& db = *ctx.db;
+  for (std::uint32_t p = last_pos + 1; p < ctx.order.size(); ++p) {
+    const ItemId item = ctx.order[p];
+    ++ctx.counters.candidates_generated;
+    Containment ext;
+    KahanSum esup;
+    double sq_sum = 0.0;
+    for (std::size_t i = 0; i < cont.tids.size(); ++i) {
+      const double ip = db[cont.tids[i]].ProbabilityOf(item);
+      if (ip > 0.0) {
+        const double joint = cont.probs[i] * ip;
+        ext.tids.push_back(cont.tids[i]);
+        ext.probs.push_back(joint);
+        esup.Add(joint);
+        sq_sum += joint * joint;
+      }
+    }
+    // Itemsets that never co-occur are not results.
+    if (ext.tids.empty()) continue;
+    // Anti-monotonicity: nothing below this node can beat the bound.
+    if (esup.value() <= Bound(ctx)) continue;
+    Itemset extended = prefix.Union(item);
+    Offer(ctx, extended, esup.value(), sq_sum);
+    Dfs(ctx, extended, ext, p);
+  }
+}
+
+}  // namespace
+
+Result<MiningResult> MineTopKExpected(const UncertainDatabase& db,
+                                      std::size_t k) {
+  if (k == 0) return Status::InvalidArgument("top-k mining requires k > 0");
+  SearchContext ctx;
+  ctx.db = &db;
+  ctx.k = k;
+
+  std::vector<ItemStats> stats = CollectItemStats(db);
+  std::sort(stats.begin(), stats.end(), [](const ItemStats& a, const ItemStats& b) {
+    if (a.esup != b.esup) return a.esup > b.esup;
+    return a.item < b.item;
+  });
+  ctx.order.reserve(stats.size());
+  for (const ItemStats& is : stats) ctx.order.push_back(is.item);
+
+  // Seed the heap with the items themselves (tightens the bound before
+  // any pair is evaluated), then run the guided DFS per starting item.
+  for (const ItemStats& is : stats) {
+    ++ctx.counters.candidates_generated;
+    Offer(ctx, Itemset{is.item}, is.esup, is.sq_sum);
+  }
+  for (std::uint32_t p = 0; p < ctx.order.size(); ++p) {
+    const ItemId item = ctx.order[p];
+    if (stats[p].esup <= Bound(ctx)) continue;  // no extension can qualify
+    Containment cont;
+    for (std::size_t t = 0; t < db.size(); ++t) {
+      const double ip = db[t].ProbabilityOf(item);
+      if (ip > 0.0) {
+        cont.tids.push_back(static_cast<TransactionId>(t));
+        cont.probs.push_back(ip);
+      }
+    }
+    Dfs(ctx, Itemset{item}, cont, p);
+  }
+
+  // Drain the heap into descending order.
+  std::vector<HeapEntry> ranked;
+  while (!ctx.heap.empty()) {
+    ranked.push_back(ctx.heap.top());
+    ctx.heap.pop();
+  }
+  std::reverse(ranked.begin(), ranked.end());
+  MiningResult result;
+  result.counters() = ctx.counters;
+  for (HeapEntry& e : ranked) {
+    FrequentItemset fi;
+    fi.itemset = std::move(e.itemset);
+    fi.expected_support = e.esup;
+    fi.variance = e.esup - e.sq_sum;
+    result.Add(std::move(fi));
+  }
+  return result;
+}
+
+}  // namespace ufim

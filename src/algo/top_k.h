@@ -1,0 +1,28 @@
+#ifndef UFIM_ALGO_TOP_K_H_
+#define UFIM_ALGO_TOP_K_H_
+
+#include <cstddef>
+
+#include "core/miner.h"
+
+namespace ufim {
+
+/// Threshold-free mining: the k itemsets with the highest expected
+/// support. Practitioners rarely know a good min_esup up front (the
+/// paper's sweeps exist precisely because results are threshold-
+/// sensitive); top-k inverts the contract.
+///
+/// Depth-first search with a dynamic bound: the k-th best expected
+/// support seen so far prunes subtrees, which is exact because expected
+/// support is anti-monotone. Items are explored in descending expected-
+/// support order so the bound tightens early.
+///
+/// Returns fewer than k itemsets only when fewer exist. Results carry
+/// (esup, variance) like every other miner and are sorted by descending
+/// expected support.
+Result<MiningResult> MineTopKExpected(const UncertainDatabase& db,
+                                      std::size_t k);
+
+}  // namespace ufim
+
+#endif  // UFIM_ALGO_TOP_K_H_

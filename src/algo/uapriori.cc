@@ -1,0 +1,25 @@
+#include "algo/uapriori.h"
+
+#include "algo/apriori_framework.h"
+
+namespace ufim {
+
+Result<MiningResult> UApriori::Mine(const UncertainDatabase& db,
+                                    const ExpectedSupportParams& params) const {
+  UFIM_RETURN_IF_ERROR(params.Validate());
+  const double threshold = params.min_esup * static_cast<double>(db.size());
+  MiningResult result;
+  AprioriCallbacks callbacks;
+  callbacks.is_frequent = [threshold](double esup, double) {
+    return esup >= threshold;
+  };
+  std::vector<FrequentItemset> found =
+      MineAprioriGeneric(db, callbacks,
+                         decremental_pruning_ ? threshold : -1.0,
+                         &result.counters());
+  for (FrequentItemset& fi : found) result.Add(std::move(fi));
+  result.SortCanonical();
+  return result;
+}
+
+}  // namespace ufim

@@ -1,0 +1,35 @@
+#ifndef UFIM_ALGO_UAPRIORI_H_
+#define UFIM_ALGO_UAPRIORI_H_
+
+#include "core/miner.h"
+
+namespace ufim {
+
+/// UApriori (Chui, Kao & Hung, PAKDD'07/'08; paper §3.1.1): the uncertain
+/// extension of Apriori. Breadth-first generate-and-test with downward-
+/// closure pruning; optionally the decremental pruning of [17, 18]
+/// (mid-scan deactivation of candidates whose optimistic expected-support
+/// bound falls below the threshold).
+///
+/// The paper's finding: despite Apriori being outclassed in deterministic
+/// mining, UApriori is usually the fastest expected-support miner on
+/// dense data with high min_esup.
+class UApriori final : public ExpectedSupportMiner {
+ public:
+  /// `decremental_pruning` mirrors the optimized implementation used in
+  /// the paper's study; disable it for ablation.
+  explicit UApriori(bool decremental_pruning = true)
+      : decremental_pruning_(decremental_pruning) {}
+
+  std::string_view name() const override { return "UApriori"; }
+
+  Result<MiningResult> Mine(const UncertainDatabase& db,
+                            const ExpectedSupportParams& params) const override;
+
+ private:
+  bool decremental_pruning_;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_ALGO_UAPRIORI_H_

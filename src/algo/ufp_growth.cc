@@ -1,0 +1,165 @@
+#include "algo/ufp_growth.h"
+
+#include <algorithm>
+
+#include "algo/apriori_framework.h"
+#include "algo/ufp_tree.h"
+
+namespace ufim {
+
+namespace {
+
+/// Recursive mining context shared down the projection chain.
+struct MineContext {
+  double threshold = 0.0;
+  const std::vector<ItemId>* rank_to_item = nullptr;
+  std::vector<FrequentItemset>* out = nullptr;
+  MiningCounters* counters = nullptr;
+};
+
+FrequentItemset EmitResult(const MineContext& ctx,
+                           const std::vector<std::uint32_t>& prefix_ranks,
+                           double esup, double sq_sum) {
+  std::vector<ItemId> ids;
+  ids.reserve(prefix_ranks.size());
+  for (std::uint32_t r : prefix_ranks) ids.push_back((*ctx.rank_to_item)[r]);
+  FrequentItemset fi;
+  fi.itemset = Itemset(std::move(ids));
+  fi.expected_support = esup;
+  fi.variance = esup - sq_sum;
+  return fi;
+}
+
+/// Mines one (conditional) UFP-tree. `prefix_ranks` is the suffix pattern
+/// this tree is conditioned on.
+void MineTree(const UFPTree& tree, std::vector<std::uint32_t>& prefix_ranks,
+              const MineContext& ctx) {
+  // Iterate extension ranks from least to most frequent (classic
+  // FP-growth order; any order is correct).
+  for (std::uint32_t rank = static_cast<std::uint32_t>(tree.num_ranks());
+       rank-- > 0;) {
+    const std::vector<std::uint32_t>& header = tree.header(rank);
+    if (header.empty()) continue;
+    if (ctx.counters != nullptr) ++ctx.counters->candidates_generated;
+
+    double esup = 0.0, sq_sum = 0.0;
+    for (std::uint32_t n : header) {
+      const UFPTree::Node& node = tree.nodes()[n];
+      esup += node.w_sum * node.prob;
+      sq_sum += node.w2_sum * node.prob * node.prob;
+    }
+    if (esup < ctx.threshold) continue;
+
+    prefix_ranks.push_back(rank);
+    ctx.out->push_back(EmitResult(ctx, prefix_ranks, esup, sq_sum));
+
+    // Conditional pattern base of `rank`: ancestor paths with carried
+    // aggregates (w, w2) scaled by this node's probability.
+    struct BaseEntry {
+      std::vector<UFPTree::PathUnit> path;
+      double w;
+      double w2;
+    };
+    std::vector<BaseEntry> base;
+    base.reserve(header.size());
+    std::vector<double> cond_esup(tree.num_ranks(), 0.0);
+    for (std::uint32_t n : header) {
+      const UFPTree::Node& node = tree.nodes()[n];
+      BaseEntry entry;
+      entry.path = tree.AncestorPath(n);
+      if (entry.path.empty()) continue;
+      entry.w = node.w_sum * node.prob;
+      entry.w2 = node.w2_sum * node.prob * node.prob;
+      for (const UFPTree::PathUnit& u : entry.path) {
+        cond_esup[u.rank] += entry.w * u.prob;
+      }
+      base.push_back(std::move(entry));
+    }
+
+    // Keep only locally frequent ancestor ranks, then build and recurse
+    // into the conditional tree.
+    bool any_frequent = false;
+    for (std::uint32_t r = 0; r < tree.num_ranks(); ++r) {
+      if (cond_esup[r] >= ctx.threshold) {
+        any_frequent = true;
+        break;
+      }
+    }
+    if (any_frequent) {
+      UFPTree cond(tree.num_ranks());
+      std::vector<UFPTree::PathUnit> filtered;
+      for (const BaseEntry& entry : base) {
+        filtered.clear();
+        for (const UFPTree::PathUnit& u : entry.path) {
+          if (cond_esup[u.rank] >= ctx.threshold) filtered.push_back(u);
+        }
+        if (!filtered.empty()) cond.InsertPath(filtered, entry.w, entry.w2);
+      }
+      MineTree(cond, prefix_ranks, ctx);
+    }
+    prefix_ranks.pop_back();
+  }
+}
+
+}  // namespace
+
+Result<MiningResult> UFPGrowth::Mine(const UncertainDatabase& db,
+                                     const ExpectedSupportParams& params) const {
+  UFIM_RETURN_IF_ERROR(params.Validate());
+  const double threshold = params.min_esup * static_cast<double>(db.size());
+  MiningResult result;
+  ++result.counters().database_scans;
+
+  // Pass 1: frequent items, ordered by descending expected support.
+  std::vector<ItemStats> stats = CollectItemStats(db);
+  std::vector<ItemStats> kept;
+  for (const ItemStats& is : stats) {
+    ++result.counters().candidates_generated;
+    if (is.esup >= threshold) kept.push_back(is);
+  }
+  std::sort(kept.begin(), kept.end(), [](const ItemStats& a, const ItemStats& b) {
+    if (a.esup != b.esup) return a.esup > b.esup;
+    return a.item < b.item;
+  });
+  std::vector<ItemId> rank_to_item;
+  std::vector<std::uint32_t> item_to_rank(db.num_items(), UINT32_MAX);
+  for (std::size_t r = 0; r < kept.size(); ++r) {
+    rank_to_item.push_back(kept[r].item);
+    item_to_rank[kept[r].item] = static_cast<std::uint32_t>(r);
+    // 1-itemset results are emitted by MineTree from the global tree
+    // (whose per-rank moments equal the item-level moments exactly).
+  }
+
+  // Pass 2: build the global UFP-tree over the frequent items.
+  ++result.counters().database_scans;
+  UFPTree tree(rank_to_item.size());
+  std::vector<UFPTree::PathUnit> path;
+  for (const Transaction& t : db) {
+    path.clear();
+    for (const ProbItem& u : t) {
+      const std::uint32_t rank = item_to_rank[u.item];
+      if (rank != UINT32_MAX) path.push_back(UFPTree::PathUnit{rank, u.prob});
+    }
+    if (path.empty()) continue;
+    std::sort(path.begin(), path.end(),
+              [](const UFPTree::PathUnit& a, const UFPTree::PathUnit& b) {
+                return a.rank < b.rank;
+              });
+    tree.InsertPath(path, 1.0, 1.0);
+  }
+
+  // Recursive projection.
+  std::vector<FrequentItemset> grown;
+  std::vector<std::uint32_t> prefix;
+  MineContext ctx;
+  ctx.threshold = threshold;
+  ctx.rank_to_item = &rank_to_item;
+  ctx.out = &grown;
+  ctx.counters = &result.counters();
+  MineTree(tree, prefix, ctx);
+  for (FrequentItemset& fi : grown) result.Add(std::move(fi));
+  result.SortCanonical();
+  return result;
+}
+
+}  // namespace ufim

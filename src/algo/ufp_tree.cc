@@ -1,0 +1,44 @@
+#include "algo/ufp_tree.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace ufim {
+
+UFPTree::UFPTree(std::size_t num_ranks) : headers_(num_ranks) {
+  nodes_.push_back(Node{});      // root sentinel at index 0
+  children_.emplace_back();      // root's child map
+}
+
+void UFPTree::InsertPath(const std::vector<PathUnit>& path, double w, double w2) {
+  std::uint32_t cur = 0;
+  for (const PathUnit& unit : path) {
+    const ChildKey key{unit.rank, std::bit_cast<std::uint64_t>(unit.prob)};
+    auto it = children_[cur].find(key);
+    std::uint32_t next;
+    if (it == children_[cur].end()) {
+      next = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.push_back(Node{unit.rank, unit.prob, 0.0, 0.0, cur});
+      children_.emplace_back();
+      children_[cur].emplace(key, next);
+      headers_[unit.rank].push_back(next);
+    } else {
+      next = it->second;
+    }
+    nodes_[next].w_sum += w;
+    nodes_[next].w2_sum += w2;
+    cur = next;
+  }
+}
+
+std::vector<UFPTree::PathUnit> UFPTree::AncestorPath(std::uint32_t node) const {
+  std::vector<PathUnit> path;
+  for (std::uint32_t cur = nodes_[node].parent; cur != 0;
+       cur = nodes_[cur].parent) {
+    path.push_back(PathUnit{nodes_[cur].rank, nodes_[cur].prob});
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace ufim

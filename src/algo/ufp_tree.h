@@ -1,0 +1,91 @@
+#ifndef UFIM_ALGO_UFP_TREE_H_
+#define UFIM_ALGO_UFP_TREE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ufim {
+
+/// The UFP-tree of Leung et al. (PAKDD'08; paper §3.1.2).
+///
+/// Like an FP-tree, but under uncertainty two transactions may share a
+/// node only when both the item *and* its appearance probability are
+/// equal (paper, Fig. 1 discussion). With continuous probability
+/// assignments almost nothing is shared, which is precisely why the
+/// paper finds UFP-growth slow and memory-hungry — this implementation
+/// deliberately preserves that structural behaviour.
+///
+/// Nodes carry aggregated path weights rather than raw counts so that
+/// conditional trees stay *exact* (no upper-bound candidates + rescan):
+///   w_sum  = Σ over grouped transactions of Pr(prefix-so-far ⊆ T)
+///   w2_sum = Σ of the squares (for variance tracking).
+/// For the global tree, prefix-so-far is empty: w_sum = transaction
+/// count, w2_sum likewise.
+class UFPTree {
+ public:
+  struct Node {
+    std::uint32_t rank = 0;  ///< item rank in descending-esup order
+    double prob = 0.0;       ///< appearance probability at this node
+    double w_sum = 0.0;
+    double w2_sum = 0.0;
+    std::uint32_t parent = 0;  ///< node index; 0 is the root sentinel
+  };
+
+  /// One (rank, probability) step of an insertion path.
+  struct PathUnit {
+    std::uint32_t rank;
+    double prob;
+  };
+
+  /// Creates an empty tree over `num_ranks` item ranks.
+  explicit UFPTree(std::size_t num_ranks);
+
+  /// Inserts `path` (sorted by ascending rank) carrying aggregate weight
+  /// `w` and squared weight `w2`. Every node along the path accumulates
+  /// both. Empty paths are ignored.
+  void InsertPath(const std::vector<PathUnit>& path, double w, double w2);
+
+  /// Node arena; index 0 is the root sentinel.
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Header list: indices of all nodes labelled with `rank`.
+  const std::vector<std::uint32_t>& header(std::uint32_t rank) const {
+    return headers_[rank];
+  }
+
+  std::size_t num_ranks() const { return headers_.size(); }
+
+  /// Total node count excluding the root (a memory-pressure proxy used
+  /// by tests to verify the limited-sharing property).
+  std::size_t num_nodes() const { return nodes_.size() - 1; }
+
+  /// Reconstructs the ancestor path of `node` (excluding the node itself
+  /// and the root), ordered root-first, i.e. ascending rank.
+  std::vector<PathUnit> AncestorPath(std::uint32_t node) const;
+
+ private:
+  struct ChildKey {
+    std::uint32_t rank;
+    std::uint64_t prob_bits;
+    friend bool operator==(const ChildKey& a, const ChildKey& b) {
+      return a.rank == b.rank && a.prob_bits == b.prob_bits;
+    }
+  };
+  struct ChildKeyHash {
+    std::size_t operator()(const ChildKey& k) const {
+      std::uint64_t h = k.prob_bits * 0x9E3779B97F4A7C15ULL;
+      h ^= (static_cast<std::uint64_t>(k.rank) + 0x9E3779B9ULL) + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::vector<Node> nodes_;
+  /// children_[n]: map from (rank, prob) to the child node index of n.
+  std::vector<std::unordered_map<ChildKey, std::uint32_t, ChildKeyHash>> children_;
+  std::vector<std::vector<std::uint32_t>> headers_;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_ALGO_UFP_TREE_H_

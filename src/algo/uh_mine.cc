@@ -1,0 +1,23 @@
+#include "algo/uh_mine.h"
+
+#include "algo/uh_struct.h"
+
+namespace ufim {
+
+Result<MiningResult> UHMine::Mine(const UncertainDatabase& db,
+                                  const ExpectedSupportParams& params) const {
+  UFIM_RETURN_IF_ERROR(params.Validate());
+  const double threshold = params.min_esup * static_cast<double>(db.size());
+  UHStructEngine::Hooks hooks;
+  hooks.is_frequent = [threshold](double esup, double) {
+    return esup >= threshold;
+  };
+  UHStructEngine engine(db, std::move(hooks));
+  MiningResult result;
+  std::vector<FrequentItemset> found = engine.Mine(&result.counters());
+  for (FrequentItemset& fi : found) result.Add(std::move(fi));
+  result.SortCanonical();
+  return result;
+}
+
+}  // namespace ufim

@@ -1,0 +1,24 @@
+#ifndef UFIM_ALGO_UH_MINE_H_
+#define UFIM_ALGO_UH_MINE_H_
+
+#include "core/miner.h"
+
+namespace ufim {
+
+/// UH-Mine (Aggarwal et al., KDD'09; paper §3.1.3): depth-first prefix
+/// growth over the UH-Struct with recursively built head tables. The
+/// paper's finding: the best expected-support miner on sparse data or at
+/// low min_esup, with smoothly growing memory.
+class UHMine final : public ExpectedSupportMiner {
+ public:
+  UHMine() = default;
+
+  std::string_view name() const override { return "UH-Mine"; }
+
+  Result<MiningResult> Mine(const UncertainDatabase& db,
+                            const ExpectedSupportParams& params) const override;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_ALGO_UH_MINE_H_

@@ -1,0 +1,181 @@
+#include "algo/uh_struct.h"
+
+#include <algorithm>
+
+#include "algo/apriori_framework.h"
+
+namespace ufim {
+
+UHStructEngine::UHStructEngine(const UncertainDatabase& db, Hooks hooks)
+    : hooks_(std::move(hooks)) {
+  // Item-level pass: moments per item, filter by the predicate, order by
+  // descending expected support (the paper's head-table order).
+  std::vector<ItemStats> stats = CollectItemStats(db);
+  std::vector<ItemStats> kept;
+  kept.reserve(stats.size());
+  for (const ItemStats& is : stats) {
+    if (hooks_.is_frequent(is.esup, is.sq_sum)) kept.push_back(is);
+  }
+  std::sort(kept.begin(), kept.end(), [](const ItemStats& a, const ItemStats& b) {
+    if (a.esup != b.esup) return a.esup > b.esup;
+    return a.item < b.item;
+  });
+  std::vector<std::uint32_t> item_to_rank(db.num_items(), UINT32_MAX);
+  rank_to_item_.reserve(kept.size());
+  for (std::size_t r = 0; r < kept.size(); ++r) {
+    rank_to_item_.push_back(kept[r].item);
+    item_to_rank[kept[r].item] = static_cast<std::uint32_t>(r);
+  }
+
+  // Project transactions onto the kept items, re-labelled by rank and
+  // sorted by rank (so "extensions after position" enumerates each
+  // itemset exactly once).
+  txn_offsets_.push_back(0);
+  std::vector<Unit> scratch;
+  for (const Transaction& t : db) {
+    scratch.clear();
+    for (const ProbItem& u : t) {
+      const std::uint32_t rank = item_to_rank[u.item];
+      if (rank != UINT32_MAX) scratch.push_back(Unit{rank, u.prob});
+    }
+    if (scratch.empty()) continue;  // contributes to no frequent itemset
+    std::sort(scratch.begin(), scratch.end(),
+              [](const Unit& a, const Unit& b) { return a.rank < b.rank; });
+    units_.insert(units_.end(), scratch.begin(), scratch.end());
+    txn_offsets_.push_back(static_cast<std::uint32_t>(units_.size()));
+  }
+
+  esup_acc_.assign(rank_to_item_.size(), 0.0);
+  sq_acc_.assign(rank_to_item_.size(), 0.0);
+  slot_of_.assign(rank_to_item_.size(), UINT32_MAX);
+}
+
+FrequentItemset UHStructEngine::MakeResult(
+    const std::vector<std::uint32_t>& prefix_ranks, double esup,
+    double sq_sum) const {
+  std::vector<ItemId> ids;
+  ids.reserve(prefix_ranks.size());
+  for (std::uint32_t r : prefix_ranks) ids.push_back(rank_to_item_[r]);
+  FrequentItemset fi;
+  fi.itemset = Itemset(std::move(ids));
+  fi.expected_support = esup;
+  fi.variance = esup - sq_sum;
+  if (hooks_.frequent_probability) {
+    fi.frequent_probability = hooks_.frequent_probability(esup, sq_sum);
+  }
+  return fi;
+}
+
+std::vector<FrequentItemset> UHStructEngine::Mine(MiningCounters* counters) {
+  std::vector<FrequentItemset> out;
+  if (counters != nullptr) ++counters->database_scans;
+
+  // Level-1 results and the root occurrences (whole projected database).
+  const std::size_t n_ranks = rank_to_item_.size();
+  if (n_ranks == 0) return out;
+
+  // Item-level moments per rank (recomputed from the projection — cheap
+  // and keeps the engine self-contained).
+  for (std::size_t t = 0; t + 1 < txn_offsets_.size(); ++t) {
+    for (std::uint32_t u = txn_offsets_[t]; u < txn_offsets_[t + 1]; ++u) {
+      esup_acc_[units_[u].rank] += units_[u].prob;
+      sq_acc_[units_[u].rank] += units_[u].prob * units_[u].prob;
+    }
+  }
+  std::vector<std::pair<double, double>> item_moments(n_ranks);
+  for (std::size_t r = 0; r < n_ranks; ++r) {
+    item_moments[r] = {esup_acc_[r], sq_acc_[r]};
+    esup_acc_[r] = 0.0;
+    sq_acc_[r] = 0.0;
+  }
+
+  // For each frequent item (every rank, by construction), emit and grow.
+  std::vector<std::uint32_t> prefix;
+  for (std::uint32_t r = 0; r < n_ranks; ++r) {
+    if (counters != nullptr) ++counters->candidates_generated;
+    prefix.assign(1, r);
+    out.push_back(MakeResult(prefix, item_moments[r].first, item_moments[r].second));
+    // Occurrences of {r}: every transaction containing rank r.
+    std::vector<Occurrence> occurrences;
+    for (std::size_t t = 0; t + 1 < txn_offsets_.size(); ++t) {
+      for (std::uint32_t u = txn_offsets_[t]; u < txn_offsets_[t + 1]; ++u) {
+        if (units_[u].rank == r) {
+          occurrences.push_back(Occurrence{static_cast<std::uint32_t>(t), u + 1,
+                                           units_[u].prob});
+          break;
+        }
+        if (units_[u].rank > r) break;  // ranks are sorted within a txn
+      }
+    }
+    Recurse(prefix, occurrences, out, counters);
+  }
+  return out;
+}
+
+void UHStructEngine::Recurse(std::vector<std::uint32_t>& prefix_ranks,
+                             const std::vector<Occurrence>& occurrences,
+                             std::vector<FrequentItemset>& out,
+                             MiningCounters* counters) {
+  // Pass 1: head-table moments for every extension rank.
+  std::vector<std::uint32_t> touched;
+  for (const Occurrence& occ : occurrences) {
+    const std::uint32_t end = txn_offsets_[occ.txn + 1];
+    for (std::uint32_t u = occ.next_start; u < end; ++u) {
+      const std::uint32_t rank = units_[u].rank;
+      const double p = occ.prob * units_[u].prob;
+      if (esup_acc_[rank] == 0.0 && sq_acc_[rank] == 0.0) touched.push_back(rank);
+      esup_acc_[rank] += p;
+      sq_acc_[rank] += p * p;
+    }
+  }
+  // Collect frequent extensions, then reset the scratch accumulators
+  // before recursing (they are shared across levels).
+  struct Extension {
+    std::uint32_t rank;
+    double esup;
+    double sq_sum;
+    std::vector<Occurrence> occurrences;
+  };
+  std::vector<Extension> frequent;
+  for (std::uint32_t rank : touched) {
+    if (counters != nullptr) ++counters->candidates_generated;
+    if (hooks_.is_frequent(esup_acc_[rank], sq_acc_[rank])) {
+      frequent.push_back(Extension{rank, esup_acc_[rank], sq_acc_[rank], {}});
+    }
+    esup_acc_[rank] = 0.0;
+    sq_acc_[rank] = 0.0;
+  }
+  if (frequent.empty()) return;
+  std::sort(frequent.begin(), frequent.end(),
+            [](const Extension& a, const Extension& b) { return a.rank < b.rank; });
+
+  // Pass 2: one more walk builds the head-table occurrence lists for all
+  // frequent extensions simultaneously (H-Mine's head table). `slot_of_`
+  // maps rank -> index into `frequent`, UINT32_MAX elsewhere.
+  for (std::size_t i = 0; i < frequent.size(); ++i) {
+    slot_of_[frequent[i].rank] = static_cast<std::uint32_t>(i);
+  }
+  for (const Occurrence& occ : occurrences) {
+    const std::uint32_t end = txn_offsets_[occ.txn + 1];
+    for (std::uint32_t u = occ.next_start; u < end; ++u) {
+      const std::uint32_t slot = slot_of_[units_[u].rank];
+      if (slot == UINT32_MAX) continue;
+      frequent[slot].occurrences.push_back(
+          Occurrence{occ.txn, u + 1, occ.prob * units_[u].prob});
+    }
+  }
+  for (const Extension& ext : frequent) slot_of_[ext.rank] = UINT32_MAX;
+
+  for (Extension& ext : frequent) {
+    prefix_ranks.push_back(ext.rank);
+    out.push_back(MakeResult(prefix_ranks, ext.esup, ext.sq_sum));
+    Recurse(prefix_ranks, ext.occurrences, out, counters);
+    // Release this branch's head table before moving to the next sibling
+    // (H-Mine keeps memory proportional to the recursion path).
+    ext.occurrences.clear();
+    ext.occurrences.shrink_to_fit();
+    prefix_ranks.pop_back();
+  }
+}
+
+}  // namespace ufim

@@ -1,0 +1,86 @@
+#ifndef UFIM_ALGO_UH_STRUCT_H_
+#define UFIM_ALGO_UH_STRUCT_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/mining_result.h"
+#include "core/uncertain_database.h"
+
+namespace ufim {
+
+/// The UH-Struct + recursive head-table engine behind UH-Mine (Aggarwal
+/// et al., KDD'09; paper §3.1.3) — and, with a different frequency
+/// predicate, behind NDUH-Mine (§3.3.3).
+///
+/// Construction projects the database onto the items accepted by the
+/// level-1 predicate, re-labels them in descending expected-support
+/// order, and lays the projected transactions out contiguously. Mining
+/// is H-Mine's depth-first prefix growth: for a prefix X, a head table
+/// maps every extension item to the list of (transaction, position,
+/// Pr(X ⊆ T)·p) occurrences after X's last position; frequent extensions
+/// recurse.
+///
+/// The engine accumulates both Σp and Σp² per prefix, so the same code
+/// path yields expected supports (UH-Mine) and Normal-approximation
+/// moments (NDUH-Mine) — the paper's "win-win" combination.
+class UHStructEngine {
+ public:
+  /// Decides whether a prefix with the given moments is frequent and, if
+  /// so, what annotation to attach. Must be anti-monotone for the
+  /// depth-first pruning to be exact.
+  struct Hooks {
+    std::function<bool(double esup, double sq_sum)> is_frequent;
+    std::function<std::optional<double>(double esup, double sq_sum)>
+        frequent_probability;  ///< may be null
+  };
+
+  /// Builds the UH-Struct over `db`, keeping only items accepted by
+  /// `hooks.is_frequent` on their item-level moments.
+  UHStructEngine(const UncertainDatabase& db, Hooks hooks);
+
+  /// Runs the depth-first mining and returns all frequent itemsets
+  /// (unsorted; caller normalizes). `counters` may be null.
+  std::vector<FrequentItemset> Mine(MiningCounters* counters);
+
+  /// Number of items retained in the head table (for tests).
+  std::size_t num_frequent_items() const { return rank_to_item_.size(); }
+
+ private:
+  /// One projected unit: item rank (descending-esup order) + probability.
+  struct Unit {
+    std::uint32_t rank;
+    double prob;
+  };
+
+  /// One occurrence of the current prefix inside a projected transaction.
+  struct Occurrence {
+    std::uint32_t txn;         ///< projected transaction index
+    std::uint32_t next_start;  ///< first unit index eligible as extension
+    double prob;               ///< Pr(prefix ⊆ T)
+  };
+
+  void Recurse(std::vector<std::uint32_t>& prefix_ranks,
+               const std::vector<Occurrence>& occurrences,
+               std::vector<FrequentItemset>& out, MiningCounters* counters);
+
+  FrequentItemset MakeResult(const std::vector<std::uint32_t>& prefix_ranks,
+                             double esup, double sq_sum) const;
+
+  Hooks hooks_;
+  std::vector<ItemId> rank_to_item_;      ///< rank -> original item id
+  std::vector<Unit> units_;               ///< all projected transactions, flattened
+  std::vector<std::uint32_t> txn_offsets_;  ///< size = #txns + 1
+  // Scratch accumulators reused across recursion levels (indexed by rank).
+  std::vector<double> esup_acc_;
+  std::vector<double> sq_acc_;
+  // Scratch rank -> head-table slot map (UINT32_MAX = not a frequent
+  // extension of the current prefix); restored after each use.
+  std::vector<std::uint32_t> slot_of_;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_ALGO_UH_STRUCT_H_

@@ -1,0 +1,25 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+namespace ufim {
+
+double Clamp(double x, double lo, double hi) {
+  if (x < lo) return lo;
+  if (x > hi) return hi;
+  return x;
+}
+
+bool AlmostEqual(double a, double b, double tol) {
+  return std::fabs(a - b) <= tol;
+}
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+double LogFactorial(unsigned n) { return std::lgamma(static_cast<double>(n) + 1.0); }
+
+}  // namespace ufim

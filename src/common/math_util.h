@@ -1,0 +1,49 @@
+#ifndef UFIM_COMMON_MATH_UTIL_H_
+#define UFIM_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ufim {
+
+/// Small numeric helpers shared across modules. Heavier special functions
+/// (Φ, incomplete gamma) live in src/prob.
+
+/// Clamps `x` into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// True iff |a - b| <= tol, with tol interpreted absolutely.
+bool AlmostEqual(double a, double b, double tol = 1e-9);
+
+/// Smallest power of two >= n (n >= 1). Returns 1 for n == 0.
+std::size_t NextPowerOfTwo(std::size_t n);
+
+/// log(n!) via lgamma; exact enough for probability computations.
+double LogFactorial(unsigned n);
+
+/// Kahan (compensated) summation accumulator. Mining algorithms sum
+/// hundreds of thousands of small probabilities; naive accumulation loses
+/// precision that the cross-algorithm agreement tests would flag.
+class KahanSum {
+ public:
+  KahanSum() = default;
+
+  /// Adds `x` to the running sum with error compensation.
+  void Add(double x) {
+    double y = x - compensation_;
+    double t = sum_ + y;
+    compensation_ = (t - sum_) - y;
+    sum_ = t;
+  }
+
+  /// The compensated total.
+  double value() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_COMMON_MATH_UTIL_H_

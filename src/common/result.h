@@ -1,0 +1,88 @@
+#ifndef UFIM_COMMON_RESULT_H_
+#define UFIM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ufim {
+
+/// A value-or-error container: either holds a `T` or a non-OK `Status`.
+///
+/// Mirrors `arrow::Result` / `absl::StatusOr`. Accessing the value of an
+/// errored result is a programming error (checked with assert in debug
+/// builds).
+///
+/// ```
+/// Result<UncertainDatabase> r = LoadDatabase(path);
+/// if (!r.ok()) return r.status();
+/// UncertainDatabase db = std::move(r).value();
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status.ok()` is a
+  /// programming error: OK results must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if present, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a `Result` expression, or binds its value.
+#define UFIM_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto UFIM_CONCAT_(_ufim_result_, __LINE__) = (expr);            \
+  if (!UFIM_CONCAT_(_ufim_result_, __LINE__).ok()) \
+    return UFIM_CONCAT_(_ufim_result_, __LINE__).status();        \
+  lhs = std::move(UFIM_CONCAT_(_ufim_result_, __LINE__)).value()
+
+#define UFIM_CONCAT_INNER_(a, b) a##b
+#define UFIM_CONCAT_(a, b) UFIM_CONCAT_INNER_(a, b)
+
+}  // namespace ufim
+
+#endif  // UFIM_COMMON_RESULT_H_

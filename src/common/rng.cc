@@ -1,0 +1,79 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace ufim {
+
+double Rng::Uniform01() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t lo, std::uint64_t hi) {
+  return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::Exponential(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+unsigned Rng::Poisson(double mean) {
+  return std::poisson_distribution<unsigned>(mean)(engine_);
+}
+
+std::uint64_t Rng::Zipf(std::uint64_t n, double skew) {
+  // Exact inverse-CDF sampling over the (bounded) rank support. The
+  // cumulative table is rebuilt only when (n, skew) changes, so the
+  // common pattern — millions of draws with fixed parameters — costs
+  // O(log n) per draw after one O(n) setup.
+  if (n <= 1) return 1;
+  if (skew <= 0.0) return UniformInt(1, n);
+  if (n != zipf_n_ || skew != zipf_skew_) {
+    zipf_n_ = n;
+    zipf_skew_ = skew;
+    zipf_cdf_.resize(n);
+    double acc = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      acc += std::pow(static_cast<double>(k), -skew);
+      zipf_cdf_[k - 1] = acc;
+    }
+  }
+  const double u = Uniform01() * zipf_cdf_.back();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - zipf_cdf_.begin()) + 1;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform01() < p;
+}
+
+std::vector<std::uint64_t> SampleWithoutReplacement(Rng& rng, std::uint64_t n,
+                                                    std::uint64_t k) {
+  // Floyd's algorithm: k iterations, O(k) memory, uniform over subsets.
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    std::uint64_t t = rng.UniformInt(0, j);
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace ufim

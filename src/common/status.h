@@ -1,0 +1,97 @@
+#ifndef UFIM_COMMON_STATUS_H_
+#define UFIM_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ufim {
+
+/// Error-handling vocabulary for the whole library.
+///
+/// `ufim` follows the RocksDB/Arrow convention for database engines: no
+/// exceptions cross the public API. Fallible operations return a `Status`
+/// (or a `Result<T>`, see result.h) and the caller decides how to react.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kIOError = 4,
+  kInternal = 5,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"…).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// The OK status carries no message and allocates nothing. Error statuses
+/// carry a code and a context message. Typical use:
+///
+/// ```
+/// Status s = db.Validate();
+/// if (!s.ok()) return s;  // propagate
+/// ```
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status from the current function.
+#define UFIM_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::ufim::Status _ufim_status = (expr);       \
+    if (!_ufim_status.ok()) return _ufim_status; \
+  } while (false)
+
+}  // namespace ufim
+
+#endif  // UFIM_COMMON_STATUS_H_

@@ -1,0 +1,83 @@
+#include "core/itemset.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ufim {
+
+Itemset::Itemset(std::vector<ItemId> items) : items_(std::move(items)) {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+}
+
+Itemset::Itemset(std::initializer_list<ItemId> items)
+    : Itemset(std::vector<ItemId>(items)) {}
+
+bool Itemset::Contains(ItemId item) const {
+  return std::binary_search(items_.begin(), items_.end(), item);
+}
+
+bool Itemset::ContainsAll(const Itemset& other) const {
+  return std::includes(items_.begin(), items_.end(), other.items_.begin(),
+                       other.items_.end());
+}
+
+Itemset Itemset::Union(ItemId item) const {
+  assert(!Contains(item));
+  Itemset out;
+  out.items_.reserve(items_.size() + 1);
+  auto pos = std::lower_bound(items_.begin(), items_.end(), item);
+  out.items_.insert(out.items_.end(), items_.begin(), pos);
+  out.items_.push_back(item);
+  out.items_.insert(out.items_.end(), pos, items_.end());
+  return out;
+}
+
+Itemset Itemset::WithoutIndex(std::size_t pos) const {
+  assert(pos < items_.size());
+  Itemset out;
+  out.items_.reserve(items_.size() - 1);
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (i != pos) out.items_.push_back(items_[i]);
+  }
+  return out;
+}
+
+std::vector<Itemset> Itemset::AllSubsetsMissingOne() const {
+  std::vector<Itemset> out;
+  out.reserve(items_.size());
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    out.push_back(WithoutIndex(i));
+  }
+  return out;
+}
+
+bool Itemset::SharesPrefix(const Itemset& a, const Itemset& b) {
+  if (a.size() != b.size() || a.empty()) return false;
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+std::string Itemset::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(items_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+std::size_t ItemsetHash::operator()(const Itemset& s) const {
+  // FNV-1a over the item ids; good enough for candidate hash tables.
+  std::size_t h = 1469598103934665603ULL;
+  for (ItemId id : s.items()) {
+    h ^= static_cast<std::size_t>(id);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace ufim

@@ -1,0 +1,82 @@
+#ifndef UFIM_CORE_ITEMSET_H_
+#define UFIM_CORE_ITEMSET_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace ufim {
+
+/// An itemset: a non-empty, duplicate-free, sorted set of items.
+///
+/// Stored as a sorted vector for cache-friendly subset tests and prefix
+/// joins (the hot operations in every Apriori-style miner).
+class Itemset {
+ public:
+  Itemset() = default;
+
+  /// Constructs from arbitrary items; sorts and deduplicates.
+  explicit Itemset(std::vector<ItemId> items);
+  Itemset(std::initializer_list<ItemId> items);
+
+  Itemset(const Itemset&) = default;
+  Itemset& operator=(const Itemset&) = default;
+  Itemset(Itemset&&) noexcept = default;
+  Itemset& operator=(Itemset&&) noexcept = default;
+
+  /// Number of items (the `l` of an l-itemset).
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Items in ascending order.
+  const std::vector<ItemId>& items() const { return items_; }
+  ItemId operator[](std::size_t i) const { return items_[i]; }
+
+  std::vector<ItemId>::const_iterator begin() const { return items_.begin(); }
+  std::vector<ItemId>::const_iterator end() const { return items_.end(); }
+
+  /// True iff `item` is a member (binary search).
+  bool Contains(ItemId item) const;
+
+  /// True iff every item of `other` is a member (merge walk).
+  bool ContainsAll(const Itemset& other) const;
+
+  /// Returns this itemset extended with `item`. Precondition: `item` is
+  /// not already a member.
+  Itemset Union(ItemId item) const;
+
+  /// Returns this itemset with the item at position `pos` removed.
+  Itemset WithoutIndex(std::size_t pos) const;
+
+  /// All (size-1)-subsets, in position order. Used for Apriori pruning.
+  std::vector<Itemset> AllSubsetsMissingOne() const;
+
+  /// True iff the first size-1 items of `a` and `b` agree (the classic
+  /// Apriori join condition for two k-itemsets sharing a (k-1)-prefix).
+  static bool SharesPrefix(const Itemset& a, const Itemset& b);
+
+  /// "{1, 5, 9}" — for logs and test failure messages.
+  std::string ToString() const;
+
+  friend bool operator==(const Itemset& a, const Itemset& b) {
+    return a.items_ == b.items_;
+  }
+  friend bool operator<(const Itemset& a, const Itemset& b) {
+    return a.items_ < b.items_;
+  }
+
+ private:
+  std::vector<ItemId> items_;
+};
+
+/// Hash functor so Itemset can key unordered containers.
+struct ItemsetHash {
+  std::size_t operator()(const Itemset& s) const;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_CORE_ITEMSET_H_

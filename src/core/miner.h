@@ -1,0 +1,75 @@
+#ifndef UFIM_CORE_MINER_H_
+#define UFIM_CORE_MINER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/mining_result.h"
+#include "core/uncertain_database.h"
+
+namespace ufim {
+
+/// Parameters for the first problem definition (Definition 2):
+/// an itemset X is frequent iff esup(X) >= N * min_esup.
+struct ExpectedSupportParams {
+  /// Minimum expected support as a ratio of the database size, in (0, 1].
+  double min_esup = 0.5;
+
+  /// Checks the parameter ranges.
+  Status Validate() const;
+};
+
+/// Parameters for the second problem definition (Definition 4):
+/// X is frequent iff Pr(sup(X) >= N * min_sup) > pft.
+struct ProbabilisticParams {
+  /// Minimum support as a ratio of the database size, in (0, 1].
+  double min_sup = 0.5;
+  /// Probabilistic frequentness threshold, in [0, 1).
+  double pft = 0.9;
+
+  Status Validate() const;
+
+  /// The absolute minimum support count msc = ceil(N * min_sup), at
+  /// least 1. All probability computations use this integer threshold.
+  std::size_t MinSupportCount(std::size_t num_transactions) const;
+};
+
+/// Interface of the expected-support-based miners (UApriori, UFP-growth,
+/// UH-Mine). Implementations are stateless across calls: `Mine` may be
+/// invoked repeatedly with different databases.
+class ExpectedSupportMiner {
+ public:
+  virtual ~ExpectedSupportMiner() = default;
+
+  /// Algorithm name as used in the paper ("UApriori", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Finds all itemsets with esup(X) >= N * params.min_esup. Every
+  /// returned itemset carries (expected_support, variance); variance is
+  /// reported because it is free to accumulate and is exactly what turns
+  /// these miners into approximate probabilistic miners (§3.3).
+  virtual Result<MiningResult> Mine(const UncertainDatabase& db,
+                                    const ExpectedSupportParams& params) const = 0;
+};
+
+/// Interface of the probabilistic miners — exact (DP, DC) and approximate
+/// (PDUApriori, NDUApriori, NDUH-Mine).
+class ProbabilisticMiner {
+ public:
+  virtual ~ProbabilisticMiner() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// True for DP/DC (exact frequent probabilities), false for the
+  /// distribution-approximation algorithms.
+  virtual bool is_exact() const = 0;
+
+  /// Finds all itemsets with Pr(sup(X) >= N*min_sup) > pft.
+  virtual Result<MiningResult> Mine(const UncertainDatabase& db,
+                                    const ProbabilisticParams& params) const = 0;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_CORE_MINER_H_

@@ -1,0 +1,112 @@
+#include "core/miner_factory.h"
+
+#include "algo/brute_force.h"
+#include "algo/exact_dc.h"
+#include "algo/exact_dp.h"
+#include "algo/mc_sampling.h"
+#include "algo/ndu_apriori.h"
+#include "algo/nduh_mine.h"
+#include "algo/pdu_apriori.h"
+#include "algo/uapriori.h"
+#include "algo/ufp_growth.h"
+#include "algo/uh_mine.h"
+
+namespace ufim {
+
+std::unique_ptr<ExpectedSupportMiner> CreateExpectedSupportMiner(
+    ExpectedAlgorithm algorithm, const MinerOptions& options) {
+  switch (algorithm) {
+    case ExpectedAlgorithm::kUApriori:
+      return std::make_unique<UApriori>(options.decremental_pruning);
+    case ExpectedAlgorithm::kUFPGrowth:
+      return std::make_unique<UFPGrowth>();
+    case ExpectedAlgorithm::kUHMine:
+      return std::make_unique<UHMine>();
+    case ExpectedAlgorithm::kBruteForce:
+      return std::make_unique<BruteForceExpected>();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ProbabilisticMiner> CreateProbabilisticMiner(
+    ProbabilisticAlgorithm algorithm, const MinerOptions& options) {
+  switch (algorithm) {
+    case ProbabilisticAlgorithm::kDPNB:
+      return std::make_unique<ExactDP>(/*use_chernoff_pruning=*/false);
+    case ProbabilisticAlgorithm::kDPB:
+      return std::make_unique<ExactDP>(/*use_chernoff_pruning=*/true);
+    case ProbabilisticAlgorithm::kDCNB:
+      return std::make_unique<ExactDC>(/*use_chernoff_pruning=*/false,
+                                       options.dc_fft_threshold);
+    case ProbabilisticAlgorithm::kDCB:
+      return std::make_unique<ExactDC>(/*use_chernoff_pruning=*/true,
+                                       options.dc_fft_threshold);
+    case ProbabilisticAlgorithm::kPDUApriori:
+      return std::make_unique<PDUApriori>();
+    case ProbabilisticAlgorithm::kNDUApriori:
+      return std::make_unique<NDUApriori>();
+    case ProbabilisticAlgorithm::kNDUHMine:
+      return std::make_unique<NDUHMine>();
+    case ProbabilisticAlgorithm::kMCSampling:
+      return std::make_unique<MCSampling>(options.mc_samples, options.mc_seed);
+    case ProbabilisticAlgorithm::kBruteForce:
+      return std::make_unique<BruteForceProbabilistic>();
+  }
+  return nullptr;
+}
+
+std::string_view ToString(ExpectedAlgorithm algorithm) {
+  switch (algorithm) {
+    case ExpectedAlgorithm::kUApriori:
+      return "UApriori";
+    case ExpectedAlgorithm::kUFPGrowth:
+      return "UFP-growth";
+    case ExpectedAlgorithm::kUHMine:
+      return "UH-Mine";
+    case ExpectedAlgorithm::kBruteForce:
+      return "BruteForceExpected";
+  }
+  return "?";
+}
+
+std::string_view ToString(ProbabilisticAlgorithm algorithm) {
+  switch (algorithm) {
+    case ProbabilisticAlgorithm::kDPNB:
+      return "DPNB";
+    case ProbabilisticAlgorithm::kDPB:
+      return "DPB";
+    case ProbabilisticAlgorithm::kDCNB:
+      return "DCNB";
+    case ProbabilisticAlgorithm::kDCB:
+      return "DCB";
+    case ProbabilisticAlgorithm::kPDUApriori:
+      return "PDUApriori";
+    case ProbabilisticAlgorithm::kNDUApriori:
+      return "NDUApriori";
+    case ProbabilisticAlgorithm::kNDUHMine:
+      return "NDUH-Mine";
+    case ProbabilisticAlgorithm::kMCSampling:
+      return "MCSampling";
+    case ProbabilisticAlgorithm::kBruteForce:
+      return "BruteForceProbabilistic";
+  }
+  return "?";
+}
+
+std::vector<ExpectedAlgorithm> AllExpectedAlgorithms() {
+  return {ExpectedAlgorithm::kUApriori, ExpectedAlgorithm::kUFPGrowth,
+          ExpectedAlgorithm::kUHMine};
+}
+
+std::vector<ProbabilisticAlgorithm> AllExactProbabilisticAlgorithms() {
+  return {ProbabilisticAlgorithm::kDPNB, ProbabilisticAlgorithm::kDPB,
+          ProbabilisticAlgorithm::kDCNB, ProbabilisticAlgorithm::kDCB};
+}
+
+std::vector<ProbabilisticAlgorithm> AllApproximateProbabilisticAlgorithms() {
+  return {ProbabilisticAlgorithm::kPDUApriori,
+          ProbabilisticAlgorithm::kNDUApriori,
+          ProbabilisticAlgorithm::kNDUHMine};
+}
+
+}  // namespace ufim

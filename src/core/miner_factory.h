@@ -1,0 +1,67 @@
+#ifndef UFIM_CORE_MINER_FACTORY_H_
+#define UFIM_CORE_MINER_FACTORY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/miner.h"
+
+namespace ufim {
+
+/// The three expected-support-based algorithms of the paper's §3.1
+/// (+ the exhaustive reference used by tests).
+enum class ExpectedAlgorithm {
+  kUApriori,
+  kUFPGrowth,
+  kUHMine,
+  kBruteForce,
+};
+
+/// The exact (§3.2) and approximate (§3.3) probabilistic algorithms.
+/// DP/DC come in with-/without-Chernoff-pruning flavours, matching the
+/// paper's DPB/DPNB/DCB/DCNB experimental arms.
+enum class ProbabilisticAlgorithm {
+  kDPNB,
+  kDPB,
+  kDCNB,
+  kDCB,
+  kPDUApriori,
+  kNDUApriori,
+  kNDUHMine,
+  kMCSampling,  ///< possible-world sampling (paper's reference [11])
+  kBruteForce,
+};
+
+/// Tuning knobs shared across factories. Defaults mirror the optimized
+/// configurations the paper's study used.
+struct MinerOptions {
+  /// UApriori/PDUApriori: enable mid-scan decremental pruning [17, 18].
+  bool decremental_pruning = true;
+  /// DC: operand size above which the conquer step uses FFT convolution.
+  std::size_t dc_fft_threshold = 64;
+  /// MCSampling: possible worlds sampled per candidate.
+  std::size_t mc_samples = 1024;
+  /// MCSampling: RNG seed (results are deterministic in it).
+  std::uint64_t mc_seed = 0xC0FFEE;
+};
+
+/// Constructs a miner; never fails (the enums are closed).
+std::unique_ptr<ExpectedSupportMiner> CreateExpectedSupportMiner(
+    ExpectedAlgorithm algorithm, const MinerOptions& options = {});
+std::unique_ptr<ProbabilisticMiner> CreateProbabilisticMiner(
+    ProbabilisticAlgorithm algorithm, const MinerOptions& options = {});
+
+/// Display names matching the paper's figures.
+std::string_view ToString(ExpectedAlgorithm algorithm);
+std::string_view ToString(ProbabilisticAlgorithm algorithm);
+
+/// Enumeration helpers for the benchmark sweeps (production algorithms
+/// only — brute force excluded).
+std::vector<ExpectedAlgorithm> AllExpectedAlgorithms();
+std::vector<ProbabilisticAlgorithm> AllExactProbabilisticAlgorithms();
+std::vector<ProbabilisticAlgorithm> AllApproximateProbabilisticAlgorithms();
+
+}  // namespace ufim
+
+#endif  // UFIM_CORE_MINER_FACTORY_H_

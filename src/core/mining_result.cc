@@ -1,0 +1,52 @@
+#include "core/mining_result.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ufim {
+
+MiningResult& MiningResult::SortCanonical() {
+  std::sort(itemsets_.begin(), itemsets_.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.itemset.size() != b.itemset.size()) {
+                return a.itemset.size() < b.itemset.size();
+              }
+              return a.itemset < b.itemset;
+            });
+  return *this;
+}
+
+const FrequentItemset* MiningResult::Find(const Itemset& itemset) const {
+  for (const FrequentItemset& fi : itemsets_) {
+    if (fi.itemset == itemset) return &fi;
+  }
+  return nullptr;
+}
+
+std::vector<Itemset> MiningResult::ItemsetsOnly() const {
+  std::vector<Itemset> out;
+  out.reserve(itemsets_.size());
+  for (const FrequentItemset& fi : itemsets_) out.push_back(fi.itemset);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string MiningResult::ToString() const {
+  std::string out;
+  char buf[160];
+  for (const FrequentItemset& fi : itemsets_) {
+    if (fi.frequent_probability.has_value()) {
+      std::snprintf(buf, sizeof(buf), "  %s  esup=%.4f var=%.4f freq_prob=%.4f\n",
+                    fi.itemset.ToString().c_str(), fi.expected_support,
+                    fi.variance, *fi.frequent_probability);
+    } else {
+      std::snprintf(buf, sizeof(buf), "  %s  esup=%.4f var=%.4f\n",
+                    fi.itemset.ToString().c_str(), fi.expected_support,
+                    fi.variance);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ufim

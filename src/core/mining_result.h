@@ -1,0 +1,77 @@
+#ifndef UFIM_CORE_MINING_RESULT_H_
+#define UFIM_CORE_MINING_RESULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/itemset.h"
+
+namespace ufim {
+
+/// One mined frequent itemset together with the distribution moments that
+/// every algorithm in the paper reports.
+///
+/// `expected_support` and `variance` are the first two moments of the
+/// Poisson-binomial support distribution; `frequent_probability` is
+/// Pr(sup(X) >= N*min_sup) when the algorithm computes it (exact or
+/// approximate probabilistic miners), and nullopt for purely
+/// expected-support-based miners.
+struct FrequentItemset {
+  Itemset itemset;
+  double expected_support = 0.0;
+  double variance = 0.0;
+  std::optional<double> frequent_probability;
+};
+
+/// Counters describing the work an algorithm performed. These are the
+/// "uniform measures" of the paper's §4.1 beyond time/memory, and make
+/// pruning effects (Chernoff, decremental) observable in tests.
+struct MiningCounters {
+  std::uint64_t candidates_generated = 0;   ///< itemsets whose support was evaluated
+  std::uint64_t candidates_pruned_apriori = 0;  ///< dropped by downward closure
+  std::uint64_t candidates_pruned_chernoff = 0; ///< dropped by the Chernoff bound
+  std::uint64_t exact_probability_evaluations = 0;  ///< full DP/DC computations
+  std::uint64_t database_scans = 0;
+};
+
+/// The outcome of one mining run: the frequent itemsets plus counters.
+class MiningResult {
+ public:
+  MiningResult() = default;
+
+  void Add(FrequentItemset fi) { itemsets_.push_back(std::move(fi)); }
+
+  std::size_t size() const { return itemsets_.size(); }
+  bool empty() const { return itemsets_.empty(); }
+
+  const std::vector<FrequentItemset>& itemsets() const { return itemsets_; }
+  const FrequentItemset& operator[](std::size_t i) const { return itemsets_[i]; }
+
+  MiningCounters& counters() { return counters_; }
+  const MiningCounters& counters() const { return counters_; }
+
+  /// Sorts itemsets lexicographically so results from different
+  /// algorithms compare positionally. Returns *this for chaining.
+  MiningResult& SortCanonical();
+
+  /// Looks up an itemset; nullptr if not present. O(n) — intended for
+  /// tests and result diffing, not inner loops.
+  const FrequentItemset* Find(const Itemset& itemset) const;
+
+  /// The bare itemsets, canonically sorted (for set-level comparisons).
+  std::vector<Itemset> ItemsetsOnly() const;
+
+  /// Multi-line human-readable dump (examples and debugging).
+  std::string ToString() const;
+
+ private:
+  std::vector<FrequentItemset> itemsets_;
+  MiningCounters counters_;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_CORE_MINING_RESULT_H_

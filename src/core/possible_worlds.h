@@ -1,0 +1,57 @@
+#ifndef UFIM_CORE_POSSIBLE_WORLDS_H_
+#define UFIM_CORE_POSSIBLE_WORLDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/uncertain_database.h"
+
+namespace ufim {
+
+/// Possible-world semantics of an uncertain database — the formal ground
+/// truth beneath both frequentness definitions. A *world* is one
+/// deterministic database obtained by independently keeping each unit
+/// with its probability; the support of X in the uncertain database is
+/// exactly the distribution of X's deterministic support across worlds.
+///
+/// The enumerator is exponential (2^#units) and exists as the semantic
+/// oracle for tests and didactic examples; the sampler scales.
+
+/// One deterministic world: per transaction, the item ids that
+/// materialized (sorted).
+using World = std::vector<std::vector<ItemId>>;
+
+/// Deterministic support count of `itemset` in a world.
+std::size_t WorldSupport(const World& world, const Itemset& itemset);
+
+/// Enumerates every possible world with its probability and invokes
+/// `visit(world, probability)`. Returns InvalidArgument when the database
+/// has more than `max_units` units (the default bounds the enumeration
+/// to ~1M worlds). World probabilities sum to 1 over the enumeration.
+Status EnumerateWorlds(const UncertainDatabase& db,
+                       const std::function<void(const World&, double)>& visit,
+                       std::size_t max_units = 20);
+
+/// The exact support distribution of `itemset` computed by brute-force
+/// world enumeration: result[k] = Pr(sup = k), length db.size() + 1.
+/// Same preconditions as EnumerateWorlds. This path shares *no* code
+/// with prob/poisson_binomial, making it an independent oracle.
+Result<std::vector<double>> SupportDistributionByEnumeration(
+    const UncertainDatabase& db, const Itemset& itemset,
+    std::size_t max_units = 20);
+
+/// Samples one world (each unit kept independently with its probability).
+World SampleWorld(const UncertainDatabase& db, Rng& rng);
+
+/// Monte-Carlo estimate of Pr(sup(X) >= msc) from `num_samples` sampled
+/// worlds. Unbiased; standard error <= 1/(2 sqrt(num_samples)).
+double EstimateFrequentProbability(const UncertainDatabase& db,
+                                   const Itemset& itemset, std::size_t msc,
+                                   std::size_t num_samples, Rng& rng);
+
+}  // namespace ufim
+
+#endif  // UFIM_CORE_POSSIBLE_WORLDS_H_

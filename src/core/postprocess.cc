@@ -1,0 +1,137 @@
+#include "core/postprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+namespace ufim {
+
+namespace {
+
+/// Index from itemset to its result entry for O(1) esup lookups.
+std::unordered_map<Itemset, const FrequentItemset*, ItemsetHash> IndexOf(
+    const MiningResult& result) {
+  std::unordered_map<Itemset, const FrequentItemset*, ItemsetHash> index;
+  index.reserve(result.size());
+  for (const FrequentItemset& fi : result.itemsets()) {
+    index.emplace(fi.itemset, &fi);
+  }
+  return index;
+}
+
+}  // namespace
+
+MiningResult FilterClosed(const MiningResult& result, double tol) {
+  // Group supersets by size: X of size s is non-closed iff some superset
+  // of size s+1 has equal esup (equality propagates transitively, so
+  // checking one level up suffices).
+  MiningResult out;
+  out.counters() = result.counters();
+  for (const FrequentItemset& fi : result.itemsets()) {
+    bool closed = true;
+    for (const FrequentItemset& other : result.itemsets()) {
+      if (other.itemset.size() != fi.itemset.size() + 1) continue;
+      if (!other.itemset.ContainsAll(fi.itemset)) continue;
+      if (std::fabs(other.expected_support - fi.expected_support) <= tol) {
+        closed = false;
+        break;
+      }
+    }
+    if (closed) out.Add(fi);
+  }
+  out.SortCanonical();
+  return out;
+}
+
+MiningResult FilterMaximal(const MiningResult& result) {
+  MiningResult out;
+  out.counters() = result.counters();
+  for (const FrequentItemset& fi : result.itemsets()) {
+    bool maximal = true;
+    for (const FrequentItemset& other : result.itemsets()) {
+      if (other.itemset.size() != fi.itemset.size() + 1) continue;
+      if (other.itemset.ContainsAll(fi.itemset)) {
+        maximal = false;
+        break;
+      }
+    }
+    if (maximal) out.Add(fi);
+  }
+  out.SortCanonical();
+  return out;
+}
+
+MiningResult TopK(const MiningResult& result, std::size_t k, RankBy rank_by) {
+  std::vector<FrequentItemset> ranked(result.itemsets());
+  auto key = [rank_by](const FrequentItemset& fi) {
+    if (rank_by == RankBy::kFrequentProbability) {
+      return fi.frequent_probability.value_or(-1.0);
+    }
+    return fi.expected_support;
+  };
+  std::sort(ranked.begin(), ranked.end(),
+            [&key](const FrequentItemset& a, const FrequentItemset& b) {
+              const double ka = key(a), kb = key(b);
+              if (ka != kb) return ka > kb;
+              return a.itemset < b.itemset;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  MiningResult out;
+  out.counters() = result.counters();
+  for (FrequentItemset& fi : ranked) out.Add(std::move(fi));
+  return out;
+}
+
+std::string AssociationRule::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " => %s (esup=%.3f, conf=%.3f)",
+                consequent.ToString().c_str(), expected_support,
+                expected_confidence);
+  return antecedent.ToString() + buf;
+}
+
+std::vector<AssociationRule> GenerateRules(const MiningResult& result,
+                                           double min_confidence,
+                                           std::size_t max_itemset_size) {
+  const auto index = IndexOf(result);
+  std::vector<AssociationRule> rules;
+  for (const FrequentItemset& fi : result.itemsets()) {
+    const std::size_t n = fi.itemset.size();
+    if (n < 2 || n > max_itemset_size) continue;
+    const std::vector<ItemId>& items = fi.itemset.items();
+    // Enumerate non-empty proper subsets as antecedents via bitmask.
+    const std::size_t masks = std::size_t{1} << n;
+    for (std::size_t mask = 1; mask + 1 < masks; ++mask) {
+      std::vector<ItemId> ante, cons;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (std::size_t{1} << i)) {
+          ante.push_back(items[i]);
+        } else {
+          cons.push_back(items[i]);
+        }
+      }
+      const Itemset antecedent{std::move(ante)};
+      auto it = index.find(antecedent);
+      if (it == index.end()) continue;  // not mined: cannot score
+      const double denom = it->second->expected_support;
+      if (denom <= 0.0) continue;
+      const double confidence = fi.expected_support / denom;
+      if (confidence >= min_confidence) {
+        rules.push_back(AssociationRule{antecedent, Itemset{std::move(cons)},
+                                        fi.expected_support, confidence});
+      }
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.expected_confidence != b.expected_confidence) {
+                return a.expected_confidence > b.expected_confidence;
+              }
+              if (a.antecedent == b.antecedent) return a.consequent < b.consequent;
+              return a.antecedent < b.antecedent;
+            });
+  return rules;
+}
+
+}  // namespace ufim

@@ -1,0 +1,59 @@
+#ifndef UFIM_CORE_POSTPROCESS_H_
+#define UFIM_CORE_POSTPROCESS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/mining_result.h"
+
+namespace ufim {
+
+/// Downstream condensations and rule generation over a mining result —
+/// the standard post-processing layer of a frequent-itemset library
+/// (the paper's reference [30] studies the closed condensation over
+/// probabilistic data).
+
+/// Keeps only the *closed* itemsets: X is closed iff no strict superset
+/// in `result` has (numerically) the same expected support (|Δ| <= tol).
+/// Input must contain all frequent itemsets (true for every miner here).
+MiningResult FilterClosed(const MiningResult& result, double tol = 1e-9);
+
+/// Keeps only the *maximal* itemsets: X is maximal iff no strict
+/// superset is present at all.
+MiningResult FilterMaximal(const MiningResult& result);
+
+/// Ranking criterion for TopK.
+enum class RankBy {
+  kExpectedSupport,
+  kFrequentProbability,  ///< itemsets without one rank below all others
+};
+
+/// The k highest-ranked itemsets (ties broken lexicographically).
+MiningResult TopK(const MiningResult& result, std::size_t k,
+                  RankBy rank_by = RankBy::kExpectedSupport);
+
+/// An association rule antecedent => consequent with expected confidence
+/// esup(antecedent ∪ consequent) / esup(antecedent) — the standard
+/// expected-support semantics of uncertain association rules.
+struct AssociationRule {
+  Itemset antecedent;
+  Itemset consequent;
+  double expected_support = 0.0;   ///< esup of the union
+  double expected_confidence = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Generates all rules with expected confidence >= min_confidence from
+/// the frequent itemsets in `result`. Every antecedent must itself be in
+/// `result` (guaranteed by downward closure for expected-support-based
+/// results, which is what miners produce). Itemsets larger than
+/// `max_itemset_size` are skipped to bound the 2^|X| subset enumeration.
+std::vector<AssociationRule> GenerateRules(const MiningResult& result,
+                                           double min_confidence,
+                                           std::size_t max_itemset_size = 16);
+
+}  // namespace ufim
+
+#endif  // UFIM_CORE_POSTPROCESS_H_

@@ -1,0 +1,96 @@
+#include "core/result_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ufim {
+
+std::string FormatResultLine(const FrequentItemset& fi) {
+  std::string out;
+  for (std::size_t i = 0; i < fi.itemset.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(fi.itemset[i]);
+  }
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), " %.17g %.17g", fi.expected_support,
+                fi.variance);
+  out += buf;
+  if (fi.frequent_probability.has_value()) {
+    std::snprintf(buf, sizeof(buf), " %.17g", *fi.frequent_probability);
+    out += buf;
+  }
+  return out;
+}
+
+Result<FrequentItemset> ParseResultLine(const std::string& line) {
+  std::istringstream in(line);
+  std::string items_token;
+  if (!(in >> items_token)) {
+    return Status::InvalidArgument("empty result line");
+  }
+  std::vector<ItemId> items;
+  const char* p = items_token.c_str();
+  while (*p != '\0') {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long id = std::strtoul(p, &end, 10);
+    if (errno != 0 || end == p) {
+      return Status::InvalidArgument("malformed item list '" + items_token + "'");
+    }
+    items.push_back(static_cast<ItemId>(id));
+    p = (*end == ',') ? end + 1 : end;
+    if (*end != ',' && *end != '\0') {
+      return Status::InvalidArgument("malformed item list '" + items_token + "'");
+    }
+  }
+  FrequentItemset fi;
+  fi.itemset = Itemset(std::move(items));
+  if (!(in >> fi.expected_support >> fi.variance)) {
+    return Status::InvalidArgument("missing esup/variance in '" + line + "'");
+  }
+  double freq_prob = 0.0;
+  if (in >> freq_prob) {
+    fi.frequent_probability = freq_prob;
+  }
+  std::string trailing;
+  if (in >> trailing) {
+    return Status::InvalidArgument("trailing token '" + trailing + "'");
+  }
+  return fi;
+}
+
+Status WriteResult(const MiningResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << "# ufim mining result: " << result.size() << " itemsets\n";
+  for (const FrequentItemset& fi : result.itemsets()) {
+    out << FormatResultLine(fi) << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<MiningResult> ReadResult(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  MiningResult result;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    Result<FrequentItemset> fi = ParseResultLine(line);
+    if (!fi.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                     fi.status().message());
+    }
+    result.Add(std::move(fi).value());
+  }
+  return result;
+}
+
+}  // namespace ufim

@@ -1,0 +1,30 @@
+#ifndef UFIM_CORE_TYPES_H_
+#define UFIM_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace ufim {
+
+/// Dense identifier of an item. Generators and loaders map raw item labels
+/// to a contiguous range [0, num_items).
+using ItemId = std::uint32_t;
+
+/// Number of transactions / index of a transaction in a database.
+using TransactionId = std::uint32_t;
+
+/// One probabilistic unit inside a transaction: item `item` appears in the
+/// transaction with existential probability `prob` (attribute-level
+/// uncertainty, independent across units — the model of Defs. 1-4 of the
+/// paper).
+struct ProbItem {
+  ItemId item = 0;
+  double prob = 0.0;
+
+  friend bool operator==(const ProbItem& a, const ProbItem& b) {
+    return a.item == b.item && a.prob == b.prob;
+  }
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_CORE_TYPES_H_

@@ -1,0 +1,87 @@
+#ifndef UFIM_CORE_UNCERTAIN_DATABASE_H_
+#define UFIM_CORE_UNCERTAIN_DATABASE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/transaction.h"
+#include "core/types.h"
+
+namespace ufim {
+
+/// Summary statistics of a database (the columns of the paper's Table 6).
+struct DatabaseStats {
+  std::size_t num_transactions = 0;
+  std::size_t num_items = 0;       ///< size of the item universe actually used
+  double avg_length = 0.0;         ///< average units per transaction
+  double density = 0.0;            ///< avg_length / num_items
+  double mean_probability = 0.0;   ///< mean of all unit probabilities
+};
+
+/// An uncertain transaction database (UDB): the central data model.
+///
+/// Owns its transactions. Item ids should be dense but need not be
+/// contiguous; `num_items()` reports one past the largest id seen.
+class UncertainDatabase {
+ public:
+  UncertainDatabase() = default;
+
+  /// Takes ownership of `transactions`.
+  explicit UncertainDatabase(std::vector<Transaction> transactions);
+
+  std::size_t size() const { return transactions_.size(); }
+  bool empty() const { return transactions_.empty(); }
+
+  const Transaction& operator[](std::size_t i) const { return transactions_[i]; }
+  const std::vector<Transaction>& transactions() const { return transactions_; }
+
+  std::vector<Transaction>::const_iterator begin() const {
+    return transactions_.begin();
+  }
+  std::vector<Transaction>::const_iterator end() const {
+    return transactions_.end();
+  }
+
+  /// Appends a transaction (invalidates cached stats).
+  void Add(Transaction t);
+
+  /// One past the largest item id present (0 for an empty database).
+  std::size_t num_items() const;
+
+  /// Computes summary statistics with one pass.
+  DatabaseStats ComputeStats() const;
+
+  /// Expected support of a single item: sum of its probabilities over all
+  /// transactions (Definition 1 specialised to a 1-itemset). O(total units).
+  double ItemExpectedSupport(ItemId item) const;
+
+  /// Expected support of an arbitrary itemset via a full scan
+  /// (Definition 1). Intended for tests and small inputs; the miners use
+  /// their own incremental structures.
+  double ExpectedSupport(const Itemset& itemset) const;
+
+  /// Per-transaction containment probabilities Pr(X ⊆ T_i), skipping
+  /// zeros. The support distribution of X is the Poisson-binomial over
+  /// this vector — the bridge every algorithm in the paper builds on.
+  std::vector<double> ContainmentProbabilities(const Itemset& itemset) const;
+
+  /// Returns a database consisting of the first `n` transactions (used by
+  /// the scalability experiments). Clamps n to size().
+  UncertainDatabase Prefix(std::size_t n) const;
+
+  /// Validates invariants: probabilities in (0, 1], units sorted, no
+  /// duplicate items in one transaction.
+  Status Validate() const;
+
+ private:
+  std::vector<Transaction> transactions_;
+  mutable std::size_t cached_num_items_ = 0;
+  mutable bool num_items_valid_ = false;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_CORE_UNCERTAIN_DATABASE_H_

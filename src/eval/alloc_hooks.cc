@@ -1,0 +1,87 @@
+// Global operator new/delete overrides that feed ufim::memory_tracker.
+//
+// Linked only into binaries that opt into heap accounting (the bench
+// targets). Sizes are taken from malloc_usable_size so new and delete see
+// the same number without per-allocation headers.
+
+#include <malloc.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "eval/memory_tracker.h"
+
+namespace {
+
+struct HooksRegistrar {
+  HooksRegistrar() { ufim::memory_tracker::MarkHooksInstalled(); }
+};
+// Constant-initialized object with a trivial destructor; its constructor
+// flips the "hooks installed" flag before main().
+HooksRegistrar g_registrar;
+
+void* TrackedAlloc(std::size_t size, std::size_t alignment) {
+  void* p = alignment > alignof(std::max_align_t)
+                ? std::aligned_alloc(alignment,
+                                     (size + alignment - 1) / alignment * alignment)
+                : std::malloc(size);
+  if (p != nullptr) {
+    ufim::memory_tracker::RecordAlloc(malloc_usable_size(p));
+  }
+  return p;
+}
+
+void TrackedFree(void* p) {
+  if (p == nullptr) return;
+  ufim::memory_tracker::RecordFree(malloc_usable_size(p));
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = TrackedAlloc(size, 0);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = TrackedAlloc(size, 0);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return TrackedAlloc(size, 0);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return TrackedAlloc(size, 0);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = TrackedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = TrackedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { TrackedFree(p); }
+void operator delete[](void* p) noexcept { TrackedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { TrackedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { TrackedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { TrackedFree(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { TrackedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { TrackedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { TrackedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  TrackedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  TrackedFree(p);
+}

@@ -1,0 +1,42 @@
+#include "eval/experiment.h"
+
+#include "eval/memory_tracker.h"
+#include "eval/stopwatch.h"
+
+namespace ufim {
+
+namespace {
+
+template <typename MinerT, typename ParamsT>
+Result<ExperimentMeasurement> RunOne(const MinerT& miner,
+                                     const UncertainDatabase& db,
+                                     const ParamsT& params) {
+  ScopedPeakMemory mem;
+  Stopwatch watch;
+  Result<MiningResult> mined = miner.Mine(db, params);
+  if (!mined.ok()) return mined.status();
+  ExperimentMeasurement m;
+  m.millis = watch.ElapsedMillis();
+  m.peak_bytes = mem.PeakDeltaBytes();
+  m.algorithm = std::string(miner.name());
+  m.num_frequent = mined.value().size();
+  m.counters = mined.value().counters();
+  m.result = std::move(mined).value();
+  return m;
+}
+
+}  // namespace
+
+Result<ExperimentMeasurement> RunExpectedExperiment(
+    const ExpectedSupportMiner& miner, const UncertainDatabase& db,
+    const ExpectedSupportParams& params) {
+  return RunOne(miner, db, params);
+}
+
+Result<ExperimentMeasurement> RunProbabilisticExperiment(
+    const ProbabilisticMiner& miner, const UncertainDatabase& db,
+    const ProbabilisticParams& params) {
+  return RunOne(miner, db, params);
+}
+
+}  // namespace ufim

@@ -1,0 +1,35 @@
+#ifndef UFIM_EVAL_EXPERIMENT_H_
+#define UFIM_EVAL_EXPERIMENT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/miner.h"
+#include "core/mining_result.h"
+#include "core/uncertain_database.h"
+
+namespace ufim {
+
+/// One timed + memory-tracked mining run: the row format shared by every
+/// figure-reproduction bench.
+struct ExperimentMeasurement {
+  std::string algorithm;
+  double millis = 0.0;
+  std::size_t peak_bytes = 0;  ///< 0 when the alloc hooks are not linked
+  std::size_t num_frequent = 0;
+  MiningCounters counters;
+  MiningResult result;  ///< full result, for accuracy post-processing
+};
+
+/// Runs `miner` once under the stopwatch and the peak-memory scope.
+Result<ExperimentMeasurement> RunExpectedExperiment(
+    const ExpectedSupportMiner& miner, const UncertainDatabase& db,
+    const ExpectedSupportParams& params);
+
+Result<ExperimentMeasurement> RunProbabilisticExperiment(
+    const ProbabilisticMiner& miner, const UncertainDatabase& db,
+    const ProbabilisticParams& params);
+
+}  // namespace ufim
+
+#endif  // UFIM_EVAL_EXPERIMENT_H_

@@ -1,0 +1,62 @@
+#include "eval/memory_tracker.h"
+
+#include <atomic>
+
+namespace ufim {
+namespace memory_tracker {
+
+namespace {
+// Plain atomics with constant initialization (trivially destructible, per
+// the style rules for objects with static storage duration).
+std::atomic<std::size_t> g_current{0};
+std::atomic<std::size_t> g_peak{0};
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<bool> g_hooks{false};
+}  // namespace
+
+bool HooksInstalled() { return g_hooks.load(std::memory_order_relaxed); }
+
+std::size_t CurrentBytes() { return g_current.load(std::memory_order_relaxed); }
+
+std::size_t PeakBytes() { return g_peak.load(std::memory_order_relaxed); }
+
+std::uint64_t AllocationCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+void ResetPeak() {
+  g_peak.store(g_current.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+void RecordAlloc(std::size_t bytes) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t now =
+      g_current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Racy max update is fine: benches are single-threaded and the error
+  // bound under races is one allocation.
+  std::size_t peak = g_peak.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !g_peak.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void RecordFree(std::size_t bytes) {
+  g_current.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MarkHooksInstalled() { g_hooks.store(true, std::memory_order_relaxed); }
+
+}  // namespace memory_tracker
+
+ScopedPeakMemory::ScopedPeakMemory() {
+  memory_tracker::ResetPeak();
+  baseline_ = memory_tracker::CurrentBytes();
+}
+
+std::size_t ScopedPeakMemory::PeakDeltaBytes() const {
+  const std::size_t peak = memory_tracker::PeakBytes();
+  return peak > baseline_ ? peak - baseline_ : 0;
+}
+
+}  // namespace ufim

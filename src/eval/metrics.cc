@@ -1,0 +1,29 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ufim {
+
+PrecisionRecall ComputePrecisionRecall(const MiningResult& approx,
+                                       const MiningResult& exact) {
+  const std::vector<Itemset> ar = approx.ItemsetsOnly();
+  const std::vector<Itemset> er = exact.ItemsetsOnly();
+  std::vector<Itemset> common;
+  std::set_intersection(ar.begin(), ar.end(), er.begin(), er.end(),
+                        std::back_inserter(common));
+  PrecisionRecall pr;
+  pr.approx_size = ar.size();
+  pr.exact_size = er.size();
+  pr.intersection = common.size();
+  pr.precision = ar.empty()
+                     ? 1.0
+                     : static_cast<double>(common.size()) /
+                           static_cast<double>(ar.size());
+  pr.recall = er.empty() ? 1.0
+                         : static_cast<double>(common.size()) /
+                               static_cast<double>(er.size());
+  return pr;
+}
+
+}  // namespace ufim

@@ -1,0 +1,27 @@
+#ifndef UFIM_EVAL_METRICS_H_
+#define UFIM_EVAL_METRICS_H_
+
+#include <cstddef>
+
+#include "core/mining_result.h"
+
+namespace ufim {
+
+/// Set-level accuracy of an approximate mining result against an exact
+/// one, the measure of the paper's Tables 8 and 9:
+///   precision = |AR ∩ ER| / |AR|,  recall = |AR ∩ ER| / |ER|.
+/// Empty denominators yield 1.0 (no opportunity for error).
+struct PrecisionRecall {
+  double precision = 1.0;
+  double recall = 1.0;
+  std::size_t approx_size = 0;   ///< |AR|
+  std::size_t exact_size = 0;    ///< |ER|
+  std::size_t intersection = 0;  ///< |AR ∩ ER|
+};
+
+PrecisionRecall ComputePrecisionRecall(const MiningResult& approx,
+                                       const MiningResult& exact);
+
+}  // namespace ufim
+
+#endif  // UFIM_EVAL_METRICS_H_

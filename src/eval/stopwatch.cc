@@ -1,0 +1,10 @@
+#include "eval/stopwatch.h"
+
+namespace ufim {
+
+double Stopwatch::ElapsedMillis() const {
+  const auto d = Clock::now() - start_;
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+}  // namespace ufim

@@ -1,0 +1,29 @@
+#ifndef UFIM_EVAL_STOPWATCH_H_
+#define UFIM_EVAL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ufim {
+
+/// Monotonic wall-clock stopwatch for experiment timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in milliseconds.
+  double ElapsedMillis() const;
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_EVAL_STOPWATCH_H_

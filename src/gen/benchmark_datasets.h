@@ -1,0 +1,67 @@
+#ifndef UFIM_GEN_BENCHMARK_DATASETS_H_
+#define UFIM_GEN_BENCHMARK_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "core/uncertain_database.h"
+#include "gen/probability.h"
+
+namespace ufim {
+
+/// Synthetic stand-ins for the paper's FIMI benchmark datasets (Table 6).
+///
+/// The FIMI repository originals are not available offline, so each
+/// family reproduces the published *shape* — item-universe size, average
+/// transaction length, density, and popularity skew — which is what every
+/// dense-vs-sparse conclusion in the paper is keyed to (see DESIGN.md §3).
+/// Transaction counts are configurable so experiments can be scaled to
+/// the host; the paper's counts are the documented defaults' provenance:
+///
+///   Connect   67,557 txns | 129 items    | avg len 43   | density 0.33
+///   Accident  340,183     | 468 items    | avg len 33.8 | density 0.072
+///   Kosarak   990,002     | 41,270 items | avg len 8.1  | density 0.00019
+///   Gazelle   59,601      | 498 items    | avg len 2.5  | density 0.005
+///
+/// All generators are deterministic in `seed`.
+
+/// Dense, fixed-length (43 of 129 items) game-state-like transactions:
+/// highly overlapping popular items, the regime where UApriori wins.
+DeterministicDatabase MakeConnectLike(std::size_t num_transactions,
+                                      std::uint64_t seed);
+
+/// Dense-ish traffic-accident-like transactions: 468 items, Poisson
+/// length around 33.8, moderately skewed popularity.
+DeterministicDatabase MakeAccidentLike(std::size_t num_transactions,
+                                       std::uint64_t seed);
+
+/// Sparse click-stream-like transactions: large item universe (scaled to
+/// `num_items`, default shape 41,270), Zipf-popular items, avg len 8.1.
+DeterministicDatabase MakeKosarakLike(std::size_t num_transactions,
+                                      std::uint64_t seed,
+                                      std::size_t num_items = 4096);
+
+/// Very sparse web-purchase-like transactions: 498 items, avg len 2.5.
+DeterministicDatabase MakeGazelleLike(std::size_t num_transactions,
+                                      std::uint64_t seed);
+
+/// The Quest T25I15 family used for scalability (994 items, T=25, I=15).
+Result<DeterministicDatabase> MakeQuestT25I15(std::size_t num_transactions,
+                                              std::uint64_t seed);
+
+/// The paper's running example (Table 1): 4 transactions over items
+/// A..F mapped to ids 0..5. Ground truth for unit tests and examples.
+UncertainDatabase MakePaperTable1();
+
+/// Item ids of the Table 1 example, for readable tests.
+inline constexpr ItemId kItemA = 0;
+inline constexpr ItemId kItemB = 1;
+inline constexpr ItemId kItemC = 2;
+inline constexpr ItemId kItemD = 3;
+inline constexpr ItemId kItemE = 4;
+inline constexpr ItemId kItemF = 5;
+
+}  // namespace ufim
+
+#endif  // UFIM_GEN_BENCHMARK_DATASETS_H_

@@ -1,0 +1,57 @@
+#include "gen/probability.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ufim {
+
+UncertainDatabase AssignGaussianProbabilities(const DeterministicDatabase& det,
+                                              double mean, double variance,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  const double stddev = std::sqrt(variance > 0.0 ? variance : 0.0);
+  std::vector<Transaction> transactions;
+  transactions.reserve(det.size());
+  for (const std::vector<ItemId>& items : det) {
+    std::vector<ProbItem> units;
+    units.reserve(items.size());
+    for (ItemId id : items) {
+      double p = rng.Gaussian(mean, stddev);
+      // Resample out-of-range draws a few times, then clamp: keeps the
+      // distribution close to the truncated Gaussian without risking an
+      // unbounded loop at extreme parameters.
+      for (int tries = 0; (p <= 0.0 || p > 1.0) && tries < 16; ++tries) {
+        p = rng.Gaussian(mean, stddev);
+      }
+      if (p > 1.0) p = 1.0;
+      if (p <= 0.0) p = 0.001;
+      units.push_back(ProbItem{id, p});
+    }
+    transactions.emplace_back(std::move(units));
+  }
+  return UncertainDatabase(std::move(transactions));
+}
+
+UncertainDatabase AssignZipfProbabilities(const DeterministicDatabase& det,
+                                          double skew, std::uint64_t seed,
+                                          unsigned num_levels) {
+  Rng rng(seed);
+  std::vector<Transaction> transactions;
+  transactions.reserve(det.size());
+  for (const std::vector<ItemId>& items : det) {
+    std::vector<ProbItem> units;
+    units.reserve(items.size());
+    for (ItemId id : items) {
+      const std::uint64_t rank = rng.Zipf(num_levels + 1, skew);
+      if (rank == 1) continue;  // probability 0: the unit is dropped
+      const double p =
+          static_cast<double>(rank - 1) / static_cast<double>(num_levels);
+      units.push_back(ProbItem{id, p});
+    }
+    transactions.emplace_back(std::move(units));
+  }
+  return UncertainDatabase(std::move(transactions));
+}
+
+}  // namespace ufim

@@ -1,0 +1,37 @@
+#ifndef UFIM_GEN_PROBABILITY_H_
+#define UFIM_GEN_PROBABILITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/uncertain_database.h"
+#include "core/types.h"
+
+namespace ufim {
+
+/// A deterministic transaction database: the FIMI-style input to which a
+/// probability assigner adds existential probabilities (the standard way
+/// the community builds uncertain benchmarks — paper §4.1).
+using DeterministicDatabase = std::vector<std::vector<ItemId>>;
+
+/// Assigns each item occurrence an independent probability drawn from
+/// Gaussian(mean, variance), resampled (up to a bounded number of tries,
+/// then clamped) into (0, 1]. This reproduces the paper's four Gaussian
+/// scenarios (Table 7: mean/variance 0.95/0.05, 0.5/0.5, 0.9/0.1).
+UncertainDatabase AssignGaussianProbabilities(const DeterministicDatabase& det,
+                                              double mean, double variance,
+                                              std::uint64_t seed);
+
+/// Assigns probabilities via the Zipf level model: a level k is drawn
+/// from Zipf(skew) over ranks {1, ..., num_levels + 1}; rank 1 maps to
+/// probability 0 (the occurrence is dropped) and rank r > 1 maps to
+/// probability (r - 1) / num_levels. Higher skew concentrates mass on
+/// rank 1, i.e. "more items are assigned the zero probability with the
+/// increase of the skew" (paper §4.2), which thins the frequent itemsets.
+UncertainDatabase AssignZipfProbabilities(const DeterministicDatabase& det,
+                                          double skew, std::uint64_t seed,
+                                          unsigned num_levels = 10);
+
+}  // namespace ufim
+
+#endif  // UFIM_GEN_PROBABILITY_H_

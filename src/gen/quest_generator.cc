@@ -1,0 +1,114 @@
+#include "gen/quest_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace ufim {
+
+namespace {
+
+struct Pattern {
+  std::vector<ItemId> items;
+  double weight = 0.0;
+  double corruption = 0.0;
+};
+
+std::vector<Pattern> BuildPatterns(const QuestConfig& cfg, Rng& rng) {
+  std::vector<Pattern> patterns(cfg.num_patterns);
+  std::vector<ItemId> prev;
+  double weight_sum = 0.0;
+  for (Pattern& pat : patterns) {
+    std::size_t len = std::max<std::size_t>(1, rng.Poisson(cfg.avg_pattern_len));
+    len = std::min(len, cfg.num_items);
+    std::unordered_set<ItemId> chosen;
+    // Inherit a correlated fraction from the previous pattern.
+    if (!prev.empty()) {
+      for (ItemId id : prev) {
+        if (chosen.size() >= len) break;
+        if (rng.Bernoulli(cfg.correlation)) chosen.insert(id);
+      }
+    }
+    while (chosen.size() < len) {
+      chosen.insert(static_cast<ItemId>(rng.UniformInt(0, cfg.num_items - 1)));
+    }
+    pat.items.assign(chosen.begin(), chosen.end());
+    std::sort(pat.items.begin(), pat.items.end());
+    pat.weight = rng.Exponential(1.0);
+    weight_sum += pat.weight;
+    double corr = rng.Gaussian(cfg.corruption_mean, 0.1);
+    pat.corruption = corr < 0.0 ? 0.0 : (corr > 0.9 ? 0.9 : corr);
+    prev = pat.items;
+  }
+  for (Pattern& pat : patterns) pat.weight /= weight_sum;
+  return patterns;
+}
+
+// Weighted pattern index sampler (cumulative table + binary search).
+class PatternSampler {
+ public:
+  explicit PatternSampler(const std::vector<Pattern>& patterns) {
+    cumulative_.reserve(patterns.size());
+    double acc = 0.0;
+    for (const Pattern& p : patterns) {
+      acc += p.weight;
+      cumulative_.push_back(acc);
+    }
+  }
+
+  std::size_t Sample(Rng& rng) const {
+    const double u = rng.Uniform01() * cumulative_.back();
+    return static_cast<std::size_t>(
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u) -
+        cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace
+
+Result<DeterministicDatabase> GenerateQuest(const QuestConfig& cfg,
+                                            std::uint64_t seed) {
+  if (cfg.num_items == 0 || cfg.num_patterns == 0) {
+    return Status::InvalidArgument("quest: num_items and num_patterns must be > 0");
+  }
+  if (cfg.avg_transaction_len <= 0.0 || cfg.avg_pattern_len <= 0.0) {
+    return Status::InvalidArgument("quest: average lengths must be positive");
+  }
+  if (cfg.avg_pattern_len > static_cast<double>(cfg.num_items)) {
+    return Status::InvalidArgument("quest: avg_pattern_len exceeds num_items");
+  }
+  Rng rng(seed);
+  const std::vector<Pattern> patterns = BuildPatterns(cfg, rng);
+  const PatternSampler sampler(patterns);
+
+  DeterministicDatabase db(cfg.num_transactions);
+  for (std::vector<ItemId>& txn : db) {
+    const std::size_t target =
+        std::max<std::size_t>(1, rng.Poisson(cfg.avg_transaction_len));
+    std::unordered_set<ItemId> chosen;
+    // Guard against pathological configs that cannot reach the target.
+    for (int picks = 0; chosen.size() < target && picks < 64; ++picks) {
+      const Pattern& pat = patterns[sampler.Sample(rng)];
+      // Corrupt: drop a geometric number of items from the pattern.
+      std::vector<ItemId> kept = pat.items;
+      while (!kept.empty() && rng.Uniform01() < pat.corruption) {
+        kept.erase(kept.begin() +
+                   static_cast<std::ptrdiff_t>(rng.UniformInt(0, kept.size() - 1)));
+      }
+      if (chosen.size() + kept.size() > target + target / 2 &&
+          !rng.Bernoulli(0.5)) {
+        continue;  // classic Quest rule: half the oversized picks are deferred
+      }
+      chosen.insert(kept.begin(), kept.end());
+    }
+    txn.assign(chosen.begin(), chosen.end());
+    std::sort(txn.begin(), txn.end());
+  }
+  return db;
+}
+
+}  // namespace ufim

@@ -1,0 +1,42 @@
+#ifndef UFIM_GEN_QUEST_GENERATOR_H_
+#define UFIM_GEN_QUEST_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "gen/probability.h"
+
+namespace ufim {
+
+/// Configuration of the IBM Quest synthetic market-basket generator
+/// (Agrawal & Srikant, VLDB '94), re-implemented from scratch. The
+/// dataset name T{T}I{I}D{D} encodes avg_transaction_len=T,
+/// avg_pattern_len=I, num_transactions=D. The paper's scalability series
+/// is T25I15D320k with 994 items (Table 6).
+struct QuestConfig {
+  std::size_t num_transactions = 10000;   ///< D
+  double avg_transaction_len = 25.0;      ///< T
+  double avg_pattern_len = 15.0;          ///< I
+  std::size_t num_items = 994;
+  std::size_t num_patterns = 1000;        ///< |L|, # maximal potential itemsets
+  double correlation = 0.5;   ///< fraction of a pattern copied from its predecessor
+  double corruption_mean = 0.5;  ///< mean corruption level per pattern
+};
+
+/// Generates a deterministic database following the Quest process:
+///  1. Build L potential frequent patterns: sizes ~ Poisson(I); items
+///     partly inherited from the previous pattern (correlation), the rest
+///     uniform; each pattern has an exponential weight and a corruption
+///     level ~ clamped Normal(corruption_mean, 0.1).
+///  2. Each transaction draws its size ~ Poisson(T) and is filled by
+///     weighted pattern picks; each pattern is corrupted by dropping
+///     items while Uniform01 < corruption level; oversized picks are
+///     kept with probability 1/2 (classic rule), otherwise deferred.
+///
+/// Returns InvalidArgument for degenerate configurations.
+Result<DeterministicDatabase> GenerateQuest(const QuestConfig& config,
+                                            std::uint64_t seed);
+
+}  // namespace ufim
+
+#endif  // UFIM_GEN_QUEST_GENERATOR_H_

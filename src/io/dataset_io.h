@@ -1,0 +1,32 @@
+#ifndef UFIM_IO_DATASET_IO_H_
+#define UFIM_IO_DATASET_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/uncertain_database.h"
+
+namespace ufim {
+
+/// Text format for uncertain databases, one transaction per line:
+///
+///   item:prob item:prob ...
+///
+/// e.g. `0:0.8 1:0.2 2:0.9`. Blank lines and lines starting with '#' are
+/// skipped. This is the interchange format for all examples and tools.
+
+/// Writes `db` to `path`. Overwrites an existing file.
+Status WriteDataset(const UncertainDatabase& db, const std::string& path);
+
+/// Reads a database from `path`. Malformed units produce InvalidArgument
+/// with a line number; I/O failures produce IOError.
+Result<UncertainDatabase> ReadDataset(const std::string& path);
+
+/// Serializes/parses a single transaction line (exposed for tests).
+std::string FormatTransactionLine(const Transaction& t);
+Result<Transaction> ParseTransactionLine(const std::string& line);
+
+}  // namespace ufim
+
+#endif  // UFIM_IO_DATASET_IO_H_

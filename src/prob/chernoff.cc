@@ -1,0 +1,28 @@
+#include "prob/chernoff.h"
+
+#include <cmath>
+
+namespace ufim {
+
+double ChernoffUpperBound(double mu, std::size_t msc) {
+  if (mu <= 0.0) {
+    // Zero expectation: the support is identically zero.
+    return msc == 0 ? 1.0 : 0.0;
+  }
+  const double delta = (static_cast<double>(msc) - mu - 1.0) / mu;
+  if (delta <= 0.0) return 1.0;
+  constexpr double kTwoEMinusOne = 2.0 * 2.71828182845904523536 - 1.0;
+  double bound;
+  if (delta > kTwoEMinusOne) {
+    bound = std::exp2(-delta * mu);
+  } else {
+    bound = std::exp(-delta * delta * mu / 4.0);
+  }
+  return bound > 1.0 ? 1.0 : bound;
+}
+
+bool ChernoffCertifiesInfrequent(double mu, std::size_t msc, double pft) {
+  return ChernoffUpperBound(mu, msc) <= pft;
+}
+
+}  // namespace ufim

@@ -1,0 +1,33 @@
+#ifndef UFIM_PROB_CHERNOFF_H_
+#define UFIM_PROB_CHERNOFF_H_
+
+#include <cstddef>
+
+namespace ufim {
+
+/// Chernoff-bound pruning (Lemma 1 of the paper, after Sun et al. [28]).
+///
+/// For a Poisson-binomial support distribution with expectation mu, the
+/// frequent probability Pr(sup >= msc) is bounded above by
+///
+///   2^{-delta * mu}            if delta > 2e - 1
+///   exp(-delta^2 * mu / 4)     if 0 < delta <= 2e - 1
+///
+/// with delta = (msc - mu - 1) / mu (msc is the absolute minimum support
+/// count N * min_sup; the lemma's `min_sup` is read as a count, the only
+/// dimensionally consistent interpretation — see DESIGN.md §2).
+///
+/// Returns 1.0 when the bound is inapplicable (delta <= 0, i.e. the
+/// threshold is not above the mean), so callers can use the return value
+/// directly as a valid (if vacuous) upper bound.
+double ChernoffUpperBound(double mu, std::size_t msc);
+
+/// True iff the Chernoff bound alone certifies that the itemset cannot be
+/// a probabilistic frequent itemset at threshold `pft` (bound <= pft, so
+/// Pr > pft is impossible). Costs O(1) given mu; computing mu is the O(N)
+/// the paper's Table 4 charges to this test.
+bool ChernoffCertifiesInfrequent(double mu, std::size_t msc, double pft);
+
+}  // namespace ufim
+
+#endif  // UFIM_PROB_CHERNOFF_H_

@@ -1,0 +1,43 @@
+#include "prob/convolution.h"
+
+#include "prob/fft.h"
+
+namespace ufim {
+
+std::vector<double> NaiveConvolve(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ai = a[i];
+    if (ai == 0.0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += ai * b[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> CapPmf(std::vector<double> pmf, std::size_t cap) {
+  if (pmf.size() <= cap + 1) return pmf;
+  double overflow = 0.0;
+  for (std::size_t i = cap; i < pmf.size(); ++i) overflow += pmf[i];
+  pmf.resize(cap + 1);
+  pmf[cap] = overflow;
+  return pmf;
+}
+
+std::vector<double> CappedConvolve(const std::vector<double>& a,
+                                   const std::vector<double>& b,
+                                   std::size_t cap,
+                                   std::size_t fft_threshold) {
+  std::vector<double> conv;
+  if (a.size() >= fft_threshold && b.size() >= fft_threshold) {
+    conv = FftConvolve(a, b);
+  } else {
+    conv = NaiveConvolve(a, b);
+  }
+  return CapPmf(std::move(conv), cap);
+}
+
+}  // namespace ufim

@@ -1,0 +1,31 @@
+#ifndef UFIM_PROB_CONVOLUTION_H_
+#define UFIM_PROB_CONVOLUTION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ufim {
+
+/// Schoolbook O(n*m) polynomial multiplication. Reference implementation
+/// and the fast path for small operands (FFT constant factors dominate
+/// below ~64 coefficients).
+std::vector<double> NaiveConvolve(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+/// Folds all probability mass at indices >= cap into index cap, producing
+/// a "tail-capped" pmf of length at most cap+1. Index cap then means
+/// Pr(S >= cap). In-place semantics via return value.
+std::vector<double> CapPmf(std::vector<double> pmf, std::size_t cap);
+
+/// Convolves two tail-capped pmfs and re-caps the result at `cap`.
+/// Because any combination involving mass at >= cap lands at >= cap, the
+/// lumped representation stays exact for the tail Pr(S >= cap).
+/// Uses FFT when both operands exceed `fft_threshold` coefficients.
+std::vector<double> CappedConvolve(const std::vector<double>& a,
+                                   const std::vector<double>& b,
+                                   std::size_t cap,
+                                   std::size_t fft_threshold = 64);
+
+}  // namespace ufim
+
+#endif  // UFIM_PROB_CONVOLUTION_H_

@@ -1,0 +1,81 @@
+#include "prob/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "prob/normal.h"
+
+namespace ufim {
+
+double TotalVariationDistance(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double av = k < a.size() ? a[k] : 0.0;
+    const double bv = k < b.size() ? b[k] : 0.0;
+    sum += std::fabs(av - bv);
+  }
+  return 0.5 * sum;
+}
+
+double KolmogorovDistance(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  double ca = 0.0, cb = 0.0, worst = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    ca += k < a.size() ? a[k] : 0.0;
+    cb += k < b.size() ? b[k] : 0.0;
+    worst = std::max(worst, std::fabs(ca - cb));
+  }
+  return worst;
+}
+
+std::vector<double> DiscretizedNormalPmf(double mean, double variance,
+                                         std::size_t len) {
+  std::vector<double> pmf(len, 0.0);
+  if (len == 0) return pmf;
+  if (variance <= 0.0) {
+    // Degenerate: all mass at round(mean), clamped into range.
+    double m = std::round(mean);
+    if (m < 0.0) m = 0.0;
+    std::size_t idx = static_cast<std::size_t>(m);
+    if (idx >= len) idx = len - 1;
+    pmf[idx] = 1.0;
+    return pmf;
+  }
+  const double sd = std::sqrt(variance);
+  double prev = 0.0;  // Φ((k - 0.5 - mean)/sd) at k = 0 boundary includes all mass below
+  prev = StdNormalCdf((-0.5 - mean) / sd);
+  for (std::size_t k = 0; k < len; ++k) {
+    const double cur = StdNormalCdf((static_cast<double>(k) + 0.5 - mean) / sd);
+    pmf[k] = cur - prev;
+    prev = cur;
+  }
+  // Mass below -0.5 is folded into bin 0; mass above len-0.5 into the
+  // last bin, so the pmf sums to 1 and comparisons are fair.
+  pmf[0] += StdNormalCdf((-0.5 - mean) / sd);
+  pmf[len - 1] += 1.0 - prev;
+  return pmf;
+}
+
+std::vector<double> PoissonPmf(double lambda, std::size_t len) {
+  std::vector<double> pmf(len, 0.0);
+  if (len == 0) return pmf;
+  if (lambda <= 0.0) {
+    pmf[0] = 1.0;
+    return pmf;
+  }
+  for (std::size_t k = 0; k < len; ++k) {
+    pmf[k] = std::exp(-lambda + static_cast<double>(k) * std::log(lambda) -
+                      LogFactorial(static_cast<unsigned>(k)));
+  }
+  // Fold the tail beyond the support into the last bin for a proper pmf.
+  double sum = 0.0;
+  for (std::size_t k = 0; k + 1 < len; ++k) sum += pmf[k];
+  pmf[len - 1] = std::max(0.0, 1.0 - sum);
+  return pmf;
+}
+
+}  // namespace ufim

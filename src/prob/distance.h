@@ -1,0 +1,34 @@
+#ifndef UFIM_PROB_DISTANCE_H_
+#define UFIM_PROB_DISTANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ufim {
+
+/// Distances between discrete distributions over {0, 1, 2, ...} — used
+/// by the approximation-quality ablation to quantify how close the
+/// Normal and Poisson surrogates are to the exact Poisson-binomial
+/// support distribution (the evidence behind §4.4's accuracy tables).
+///
+/// Shorter pmfs are implicitly zero-padded.
+
+/// Total variation distance: (1/2) Σ |a_k - b_k| in [0, 1].
+double TotalVariationDistance(const std::vector<double>& a,
+                              const std::vector<double>& b);
+
+/// Kolmogorov (sup-CDF) distance: max_k |A(k) - B(k)| in [0, 1].
+double KolmogorovDistance(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Discretized Normal(mean, var) pmf on {0..len-1} via CDF differences
+/// with continuity correction — the implied pmf of the §3.3.2 method.
+std::vector<double> DiscretizedNormalPmf(double mean, double variance,
+                                         std::size_t len);
+
+/// Poisson(lambda) pmf on {0..len-1} — the implied pmf of §3.3.1.
+std::vector<double> PoissonPmf(double lambda, std::size_t len);
+
+}  // namespace ufim
+
+#endif  // UFIM_PROB_DISTANCE_H_

@@ -1,0 +1,61 @@
+#include "prob/fft.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ufim {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+void Fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * kPi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        std::complex<double> u = data[i + k];
+        std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> FftConvolve(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = NextPowerOfTwo(out_len);
+  std::vector<std::complex<double>> fa(n), fb(n);
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
+  Fft(fa, /*inverse=*/false);
+  Fft(fb, /*inverse=*/false);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  Fft(fa, /*inverse=*/true);
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    double v = fa[i].real() / static_cast<double>(n);
+    // Probabilities cannot be negative; clip FFT round-off noise.
+    out[i] = v < 0.0 ? 0.0 : v;
+  }
+  return out;
+}
+
+}  // namespace ufim

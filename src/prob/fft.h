@@ -1,0 +1,26 @@
+#ifndef UFIM_PROB_FFT_H_
+#define UFIM_PROB_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace ufim {
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// `data.size()` must be a power of two. `inverse == true` computes the
+/// unscaled inverse transform; callers divide by the length themselves
+/// (FftConvolve does). Implemented from scratch — the DC algorithm (§3.2.2
+/// of the paper) uses it to reach O(N log N) per itemset.
+void Fft(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Real polynomial multiplication via FFT: returns c with
+/// c[k] = sum_{i+j=k} a[i]*b[j], of length a.size()+b.size()-1.
+/// Either input empty yields an empty result.
+std::vector<double> FftConvolve(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+}  // namespace ufim
+
+#endif  // UFIM_PROB_FFT_H_

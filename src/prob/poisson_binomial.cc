@@ -1,0 +1,93 @@
+#include "prob/poisson_binomial.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "prob/convolution.h"
+
+namespace ufim {
+
+SupportMoments ComputeSupportMoments(const std::vector<double>& probs) {
+  KahanSum mean, var;
+  for (double p : probs) {
+    mean.Add(p);
+    var.Add(p * (1.0 - p));
+  }
+  return SupportMoments{mean.value(), var.value()};
+}
+
+std::vector<double> PoissonBinomialCappedPmfDP(const std::vector<double>& probs,
+                                               std::size_t cap) {
+  // pmf[j] = Pr(exactly j successes so far) for j < top;
+  // pmf[top] = Pr(>= top) once the overflow bucket is live (top == cap).
+  const std::size_t top = std::min(cap, probs.size());
+  if (top == 0) return {1.0};  // cap == 0 or no trials: all mass at "via >= 0"
+  std::vector<double> pmf(top + 1, 0.0);
+  pmf[0] = 1.0;
+  std::size_t filled = 0;  // highest index with possibly-nonzero mass
+  const bool capped = probs.size() > cap;
+  for (double p : probs) {
+    const std::size_t hi = std::min(filled + 1, top);
+    for (std::size_t j = hi; j > 0; --j) {
+      const bool overflow_bin = capped && j == top;
+      if (overflow_bin) {
+        // Overflow keeps its mass and absorbs promotions from j-1.
+        pmf[j] = pmf[j] + pmf[j - 1] * p;
+      } else {
+        pmf[j] = pmf[j] * (1.0 - p) + pmf[j - 1] * p;
+      }
+    }
+    pmf[0] *= (1.0 - p);
+    filled = hi;
+  }
+  return pmf;
+}
+
+double PoissonBinomialTailDP(const std::vector<double>& probs, std::size_t k) {
+  if (k == 0) return 1.0;
+  if (probs.size() < k) return 0.0;
+  const std::vector<double> pmf = PoissonBinomialCappedPmfDP(probs, k);
+  if (probs.size() == k) {
+    // No overflow bucket was needed; tail is exactly Pr(S = k).
+    return pmf[k];
+  }
+  return pmf[k];
+}
+
+namespace {
+
+std::vector<double> DcRecurse(const std::vector<double>& probs, std::size_t lo,
+                              std::size_t hi, std::size_t cap,
+                              std::size_t fft_threshold) {
+  if (hi - lo == 1) {
+    const double p = probs[lo];
+    if (cap == 0) return {1.0};  // everything is >= 0 successes
+    return {1.0 - p, p};
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::vector<double> left = DcRecurse(probs, lo, mid, cap, fft_threshold);
+  std::vector<double> right = DcRecurse(probs, mid, hi, cap, fft_threshold);
+  return CappedConvolve(left, right, cap, fft_threshold);
+}
+
+}  // namespace
+
+std::vector<double> PoissonBinomialCappedPmfDC(const std::vector<double>& probs,
+                                               std::size_t cap,
+                                               std::size_t fft_threshold) {
+  if (probs.empty()) return {1.0};
+  return CapPmf(DcRecurse(probs, 0, probs.size(), cap, fft_threshold), cap);
+}
+
+double PoissonBinomialTailDC(const std::vector<double>& probs, std::size_t k,
+                             std::size_t fft_threshold) {
+  if (k == 0) return 1.0;
+  if (probs.size() < k) return 0.0;
+  const std::vector<double> pmf =
+      PoissonBinomialCappedPmfDC(probs, k, fft_threshold);
+  // pmf has length min(n, k) + 1 >= k because n >= k; the last bin holds
+  // Pr(S >= k).
+  return pmf.size() > k ? pmf[k] : pmf.back();
+}
+
+}  // namespace ufim

@@ -1,0 +1,51 @@
+#ifndef UFIM_PROB_POISSON_BINOMIAL_H_
+#define UFIM_PROB_POISSON_BINOMIAL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ufim {
+
+/// The support sup(X) of an itemset X over an uncertain database is a
+/// Poisson-binomial random variable: a sum of independent Bernoulli trials
+/// with success probabilities p_i = Pr(X ⊆ T_i). This header collects the
+/// exact machinery over that distribution; `normal.h` and `poisson.h`
+/// provide the two approximations the paper studies.
+
+/// First two moments: mean = Σ p_i, variance = Σ p_i (1 - p_i).
+/// Computing both costs the same O(n) — the property §1 of the paper
+/// leans on to unify the two frequentness definitions.
+struct SupportMoments {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+SupportMoments ComputeSupportMoments(const std::vector<double>& probs);
+
+/// Exact upper tail Pr(S >= k) by the dynamic program of Bernecker et al.
+/// (§3.2.1): O(n * k) time, O(k) memory. k == 0 returns 1.
+double PoissonBinomialTailDP(const std::vector<double>& probs, std::size_t k);
+
+/// Exact tail-capped pmf by the same DP: result has length
+/// min(n, cap) + 1; index j < cap is Pr(S = j) and the last index (== cap
+/// when n >= cap) is Pr(S >= cap).
+std::vector<double> PoissonBinomialCappedPmfDP(const std::vector<double>& probs,
+                                               std::size_t cap);
+
+/// Exact upper tail Pr(S >= k) by the divide-and-conquer convolution of
+/// Sun et al. (§3.2.2): splits the trial list, recursively computes the
+/// two tail-capped sub-pmfs, and conquers with (FFT) convolution —
+/// O(n log n) when k is proportional to n. `fft_threshold` controls when
+/// the conquer step switches from schoolbook to FFT multiplication.
+double PoissonBinomialTailDC(const std::vector<double>& probs, std::size_t k,
+                             std::size_t fft_threshold = 64);
+
+/// The full capped pmf as computed by the divide-and-conquer recursion
+/// (exposed for tests and the micro-benchmarks).
+std::vector<double> PoissonBinomialCappedPmfDC(const std::vector<double>& probs,
+                                               std::size_t cap,
+                                               std::size_t fft_threshold = 64);
+
+}  // namespace ufim
+
+#endif  // UFIM_PROB_POISSON_BINOMIAL_H_

@@ -1,0 +1,121 @@
+#include "algo/mc_sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/brute_force.h"
+#include "eval/metrics.h"
+#include "gen/benchmark_datasets.h"
+#include "gen/probability.h"
+#include "testing/random_db.h"
+
+namespace ufim {
+namespace {
+
+TEST(MCSamplingTest, Metadata) {
+  MCSampling miner;
+  EXPECT_EQ(miner.name(), "MCSampling");
+  EXPECT_FALSE(miner.is_exact());
+}
+
+TEST(MCSamplingTest, RejectsZeroSamples) {
+  UncertainDatabase db = MakePaperTable1();
+  ProbabilisticParams params;
+  EXPECT_FALSE(MCSampling(0).Mine(db, params).ok());
+}
+
+TEST(MCSamplingTest, DeterministicInSeed) {
+  UncertainDatabase db = testing_util::MakeRandomDatabase(
+      {.seed = 71, .num_transactions = 30, .num_items = 6});
+  ProbabilisticParams params;
+  params.min_sup = 0.3;
+  params.pft = 0.6;
+  auto a = MCSampling(256, 5).Mine(db, params);
+  auto b = MCSampling(256, 5).Mine(db, params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->ItemsetsOnly(), b->ItemsetsOnly());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(*(*a)[i].frequent_probability, *(*b)[i].frequent_probability);
+  }
+}
+
+TEST(MCSamplingTest, PaperExample2WithManySamples) {
+  // Pr(sup(A) >= 2) = 0.8 exactly; 20k samples put the estimate within
+  // a tight interval with overwhelming probability.
+  UncertainDatabase db = MakePaperTable1();
+  ProbabilisticParams params;
+  params.min_sup = 0.5;
+  params.pft = 0.7;
+  auto result = MCSampling(20000, 1).Mine(db, params);
+  ASSERT_TRUE(result.ok());
+  const FrequentItemset* a = result->Find(Itemset({kItemA}));
+  ASSERT_NE(a, nullptr);
+  EXPECT_NEAR(*a->frequent_probability, 0.8, 0.02);
+}
+
+struct AgreementCase {
+  std::uint64_t seed;
+  double min_sup;
+  double pft;
+};
+
+class MCSamplingAgreementTest : public ::testing::TestWithParam<AgreementCase> {};
+
+// Against the exact oracle, sampling with a healthy budget must reach
+// high precision/recall: only itemsets whose true frequent probability
+// lies within the sampling noise band of pft can flip.
+TEST_P(MCSamplingAgreementTest, HighAgreementWithExact) {
+  const AgreementCase c = GetParam();
+  UncertainDatabase db = testing_util::MakeRandomDatabase(
+      {.seed = c.seed, .num_transactions = 40, .num_items = 7});
+  ProbabilisticParams params;
+  params.min_sup = c.min_sup;
+  params.pft = c.pft;
+  auto exact = BruteForceProbabilistic().Mine(db, params);
+  auto sampled = MCSampling(4096, c.seed).Mine(db, params);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(sampled.ok());
+  PrecisionRecall pr = ComputePrecisionRecall(*sampled, *exact);
+  EXPECT_GE(pr.precision, 0.9) << "seed=" << c.seed;
+  EXPECT_GE(pr.recall, 0.9) << "seed=" << c.seed;
+  // Estimated probabilities are close to the exact ones.
+  for (const FrequentItemset& fi : sampled->itemsets()) {
+    const FrequentItemset* truth = exact->Find(fi.itemset);
+    if (truth == nullptr) continue;  // borderline false positive
+    EXPECT_NEAR(*fi.frequent_probability, *truth->frequent_probability, 0.05)
+        << fi.itemset.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, MCSamplingAgreementTest,
+    ::testing::Values(AgreementCase{1, 0.25, 0.5}, AgreementCase{2, 0.3, 0.9},
+                      AgreementCase{3, 0.2, 0.7}, AgreementCase{4, 0.35, 0.3},
+                      AgreementCase{5, 0.15, 0.8}, AgreementCase{6, 0.4, 0.6}));
+
+TEST(MCSamplingTest, ChernoffPruningStillSound) {
+  // MCSampling runs with Chernoff pruning on; pruned candidates are
+  // certainly infrequent, so enabling it cannot cost recall vs exact.
+  UncertainDatabase db = testing_util::MakeRandomDatabase(
+      {.seed = 81, .num_transactions = 60, .num_items = 6});
+  ProbabilisticParams params;
+  params.min_sup = 0.4;
+  params.pft = 0.9;
+  auto exact = BruteForceProbabilistic().Mine(db, params);
+  auto sampled = MCSampling(8192, 2).Mine(db, params);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(sampled.ok());
+  PrecisionRecall pr = ComputePrecisionRecall(*sampled, *exact);
+  EXPECT_GE(pr.recall, 0.99);
+}
+
+TEST(MCSamplingTest, EmptyDatabase) {
+  UncertainDatabase db;
+  ProbabilisticParams params;
+  auto result = MCSampling().Mine(db, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+}  // namespace
+}  // namespace ufim

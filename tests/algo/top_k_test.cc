@@ -1,0 +1,98 @@
+#include "algo/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/brute_force.h"
+#include "core/postprocess.h"
+#include "gen/benchmark_datasets.h"
+#include "testing/random_db.h"
+
+namespace ufim {
+namespace {
+
+TEST(TopKMinerTest, RejectsZeroK) {
+  EXPECT_FALSE(MineTopKExpected(MakePaperTable1(), 0).ok());
+}
+
+TEST(TopKMinerTest, PaperTable1TopTwoAreCAndA) {
+  auto result = MineTopKExpected(MakePaperTable1(), 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].itemset, Itemset({kItemC}));  // esup 2.6
+  EXPECT_NEAR((*result)[0].expected_support, 2.6, 1e-12);
+  EXPECT_EQ((*result)[1].itemset, Itemset({kItemA}));  // esup 2.1
+}
+
+TEST(TopKMinerTest, KLargerThanLatticeReturnsEverything) {
+  // 2 items with nonzero probs -> 3 possible itemsets.
+  std::vector<Transaction> txns;
+  txns.emplace_back(std::vector<ProbItem>{{0, 0.5}, {1, 0.5}});
+  UncertainDatabase db(std::move(txns));
+  auto result = MineTopKExpected(db, 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+}
+
+struct TopKCase {
+  std::uint64_t seed;
+  std::size_t k;
+};
+
+class TopKPropertyTest : public ::testing::TestWithParam<TopKCase> {};
+
+// Oracle: mine everything at a tiny threshold with brute force, rank,
+// truncate — the top-k esup values must match (itemsets may differ on
+// exact ties, so compare the support multiset).
+TEST_P(TopKPropertyTest, MatchesRankedBruteForce) {
+  const TopKCase c = GetParam();
+  UncertainDatabase db = testing_util::MakeRandomDatabase(
+      {.seed = c.seed, .num_transactions = 15, .num_items = 6});
+  auto top = MineTopKExpected(db, c.k);
+  ASSERT_TRUE(top.ok());
+
+  ExpectedSupportParams params;
+  params.min_esup = 1e-9;  // everything
+  auto all = BruteForceExpected().Mine(db, params);
+  ASSERT_TRUE(all.ok());
+  MiningResult oracle = TopK(*all, c.k);
+
+  ASSERT_EQ(top->size(), oracle.size());
+  for (std::size_t i = 0; i < top->size(); ++i) {
+    EXPECT_NEAR((*top)[i].expected_support, oracle[i].expected_support, 1e-9)
+        << "rank " << i;
+  }
+  // Descending order.
+  for (std::size_t i = 1; i < top->size(); ++i) {
+    EXPECT_GE((*top)[i - 1].expected_support,
+              (*top)[i].expected_support - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedAndKSweep, TopKPropertyTest,
+                         ::testing::Values(TopKCase{1, 1}, TopKCase{2, 3},
+                                           TopKCase{3, 5}, TopKCase{4, 10},
+                                           TopKCase{5, 25}, TopKCase{6, 50},
+                                           TopKCase{7, 7}, TopKCase{8, 2}));
+
+TEST(TopKMinerTest, PrunesAgainstExhaustiveSearch) {
+  // The dynamic bound must explore far fewer candidates than the full
+  // lattice on a database with many items.
+  UncertainDatabase db = testing_util::MakeRandomDatabase(
+      {.seed = 9, .num_transactions = 100, .num_items = 14,
+       .item_presence = 0.4});
+  auto top = MineTopKExpected(db, 5);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->size(), 5u);
+  // Full lattice over 14 items is 2^14-1 = 16383; the bound should keep
+  // the search well under it.
+  EXPECT_LT(top->counters().candidates_generated, 4000u);
+}
+
+TEST(TopKMinerTest, EmptyDatabase) {
+  auto result = MineTopKExpected(UncertainDatabase(), 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+}  // namespace
+}  // namespace ufim

@@ -1,0 +1,76 @@
+#include "algo/ufp_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace ufim {
+namespace {
+
+TEST(UFPTreeTest, EmptyTree) {
+  UFPTree tree(4);
+  EXPECT_EQ(tree.num_nodes(), 0u);
+  EXPECT_EQ(tree.num_ranks(), 4u);
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_TRUE(tree.header(r).empty());
+  }
+}
+
+TEST(UFPTreeTest, SharesNodeOnlyWhenItemAndProbEqual) {
+  UFPTree tree(3);
+  // Same (rank, prob) path twice: one chain of nodes, weights summed.
+  tree.InsertPath({{0, 0.8}, {1, 0.5}}, 1.0, 1.0);
+  tree.InsertPath({{0, 0.8}, {1, 0.5}}, 1.0, 1.0);
+  EXPECT_EQ(tree.num_nodes(), 2u);
+  // Same item, different probability: a new node must appear (the paper's
+  // limited-sharing rule).
+  tree.InsertPath({{0, 0.7}, {1, 0.5}}, 1.0, 1.0);
+  EXPECT_EQ(tree.num_nodes(), 4u);  // (0,0.7) and its own (1,0.5) child
+  EXPECT_EQ(tree.header(0).size(), 2u);
+  EXPECT_EQ(tree.header(1).size(), 2u);
+}
+
+TEST(UFPTreeTest, WeightsAccumulate) {
+  UFPTree tree(2);
+  tree.InsertPath({{0, 0.5}}, 2.0, 1.5);
+  tree.InsertPath({{0, 0.5}}, 3.0, 2.5);
+  ASSERT_EQ(tree.header(0).size(), 1u);
+  const UFPTree::Node& n = tree.nodes()[tree.header(0)[0]];
+  EXPECT_DOUBLE_EQ(n.w_sum, 5.0);
+  EXPECT_DOUBLE_EQ(n.w2_sum, 4.0);
+}
+
+TEST(UFPTreeTest, AncestorPathReconstructsInsertionOrder) {
+  UFPTree tree(4);
+  tree.InsertPath({{0, 0.9}, {2, 0.4}, {3, 0.6}}, 1.0, 1.0);
+  ASSERT_EQ(tree.header(3).size(), 1u);
+  auto path = tree.AncestorPath(tree.header(3)[0]);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0].rank, 0u);
+  EXPECT_DOUBLE_EQ(path[0].prob, 0.9);
+  EXPECT_EQ(path[1].rank, 2u);
+  EXPECT_DOUBLE_EQ(path[1].prob, 0.4);
+}
+
+TEST(UFPTreeTest, AncestorPathOfTopLevelNodeIsEmpty) {
+  UFPTree tree(2);
+  tree.InsertPath({{1, 0.3}}, 1.0, 1.0);
+  EXPECT_TRUE(tree.AncestorPath(tree.header(1)[0]).empty());
+}
+
+TEST(UFPTreeTest, EmptyPathIgnored) {
+  UFPTree tree(2);
+  tree.InsertPath({}, 1.0, 1.0);
+  EXPECT_EQ(tree.num_nodes(), 0u);
+}
+
+TEST(UFPTreeTest, PrefixSharingSplitsAtDivergence) {
+  UFPTree tree(4);
+  tree.InsertPath({{0, 0.5}, {1, 0.5}}, 1.0, 1.0);
+  tree.InsertPath({{0, 0.5}, {2, 0.5}}, 1.0, 1.0);
+  // Shared (0,0.5) root child, two distinct leaves.
+  EXPECT_EQ(tree.num_nodes(), 3u);
+  EXPECT_EQ(tree.header(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(tree.nodes()[tree.header(0)[0]].w_sum, 2.0);
+}
+
+}  // namespace
+}  // namespace ufim

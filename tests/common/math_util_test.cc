@@ -1,0 +1,61 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ufim {
+namespace {
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_EQ(Clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(2.0, 0.0, 1.0), 1.0);
+}
+
+TEST(MathUtilTest, AlmostEqual) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0005, 1e-3));
+}
+
+TEST(MathUtilTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048u);
+}
+
+TEST(MathUtilTest, LogFactorialMatchesDirectProduct) {
+  double log_fact = 0.0;
+  for (unsigned n = 1; n <= 20; ++n) {
+    log_fact += std::log(static_cast<double>(n));
+    EXPECT_NEAR(LogFactorial(n), log_fact, 1e-9) << "n=" << n;
+  }
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+}
+
+TEST(MathUtilTest, KahanSumBeatsNaiveAccumulation) {
+  // Summing many tiny values onto a large one: naive accumulation loses
+  // them entirely in double precision; Kahan keeps them.
+  KahanSum kahan;
+  kahan.Add(1e16);
+  double naive = 1e16;
+  for (int i = 0; i < 10000; ++i) {
+    kahan.Add(0.25);
+    naive += 0.25;
+  }
+  EXPECT_NEAR(kahan.value() - 1e16, 2500.0, 1e-6);
+  // Demonstrate the naive path actually drifts (guards the test itself).
+  EXPECT_GT(std::fabs((naive - 1e16) - 2500.0), 100.0);
+}
+
+TEST(MathUtilTest, KahanSumZeroByDefault) {
+  KahanSum s;
+  EXPECT_EQ(s.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace ufim

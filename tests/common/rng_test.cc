@@ -1,0 +1,145 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace ufim {
+namespace {
+
+TEST(RngTest, DeterministicUnderSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform01(), b.Uniform01());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform01() == b.Uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3u);
+  EXPECT_EQ(*seen.rbegin(), 7u);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyCorrect) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Gaussian(2.0, 0.5);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.02);
+  EXPECT_NEAR(var, 0.25, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, PoissonMeanApproximatelyCorrect) {
+  Rng rng(19);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(25.0);
+  EXPECT_NEAR(sum / n, 25.0, 0.2);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(23);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(29);
+  for (double skew : {0.0, 0.8, 1.0, 1.6, 2.5}) {
+    for (int i = 0; i < 2000; ++i) {
+      std::uint64_t k = rng.Zipf(11, skew);
+      EXPECT_GE(k, 1u);
+      EXPECT_LE(k, 11u);
+    }
+  }
+}
+
+TEST(RngTest, ZipfPmfMatchesTheory) {
+  // Empirical frequencies vs k^-s over a small support.
+  Rng rng(31);
+  const double s = 1.2;
+  const std::uint64_t n = 5;
+  const int draws = 200000;
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < draws; ++i) ++counts[rng.Zipf(n, s)];
+  double norm = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) norm += std::pow(double(k), -s);
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    const double expected = std::pow(double(k), -s) / norm;
+    const double actual = counts[k] / double(draws);
+    EXPECT_NEAR(actual, expected, 0.01) << "k=" << k;
+  }
+}
+
+TEST(RngTest, ZipfHigherSkewConcentratesOnRankOne) {
+  Rng rng(37);
+  auto rank1_rate = [&](double skew) {
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i) {
+      if (rng.Zipf(11, skew) == 1) ++hits;
+    }
+    return hits / 20000.0;
+  };
+  const double low = rank1_rate(0.8);
+  const double high = rank1_rate(2.0);
+  EXPECT_GT(high, low + 0.15);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndComplete) {
+  Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto sample = SampleWithoutReplacement(rng, 20, 8);
+    ASSERT_EQ(sample.size(), 8u);
+    std::set<std::uint64_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), 8u);
+    for (auto v : sample) EXPECT_LT(v, 20u);
+  }
+  // k == n returns a permutation of everything.
+  auto all = SampleWithoutReplacement(rng, 6, 6);
+  std::sort(all.begin(), all.end());
+  for (std::uint64_t i = 0; i < 6; ++i) EXPECT_EQ(all[i], i);
+}
+
+}  // namespace
+}  // namespace ufim

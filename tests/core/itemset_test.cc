@@ -1,0 +1,87 @@
+#include "core/itemset.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace ufim {
+namespace {
+
+TEST(ItemsetTest, ConstructorSortsAndDeduplicates) {
+  Itemset s({5, 1, 3, 1, 5});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 1u);
+  EXPECT_EQ(s[1], 3u);
+  EXPECT_EQ(s[2], 5u);
+}
+
+TEST(ItemsetTest, Contains) {
+  Itemset s({2, 4, 6});
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_FALSE(Itemset().Contains(0));
+}
+
+TEST(ItemsetTest, ContainsAll) {
+  Itemset big({1, 2, 3, 4});
+  EXPECT_TRUE(big.ContainsAll(Itemset({2, 4})));
+  EXPECT_TRUE(big.ContainsAll(Itemset()));
+  EXPECT_FALSE(big.ContainsAll(Itemset({2, 5})));
+  EXPECT_FALSE(Itemset({1}).ContainsAll(big));
+}
+
+TEST(ItemsetTest, UnionInsertsInOrder) {
+  Itemset s({1, 5});
+  EXPECT_EQ(s.Union(3), Itemset({1, 3, 5}));
+  EXPECT_EQ(s.Union(0), Itemset({0, 1, 5}));
+  EXPECT_EQ(s.Union(9), Itemset({1, 5, 9}));
+  // Original untouched.
+  EXPECT_EQ(s, Itemset({1, 5}));
+}
+
+TEST(ItemsetTest, WithoutIndex) {
+  Itemset s({1, 3, 5});
+  EXPECT_EQ(s.WithoutIndex(0), Itemset({3, 5}));
+  EXPECT_EQ(s.WithoutIndex(1), Itemset({1, 5}));
+  EXPECT_EQ(s.WithoutIndex(2), Itemset({1, 3}));
+}
+
+TEST(ItemsetTest, AllSubsetsMissingOne) {
+  Itemset s({1, 2, 3});
+  auto subs = s.AllSubsetsMissingOne();
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_EQ(subs[0], Itemset({2, 3}));
+  EXPECT_EQ(subs[1], Itemset({1, 3}));
+  EXPECT_EQ(subs[2], Itemset({1, 2}));
+}
+
+TEST(ItemsetTest, SharesPrefix) {
+  EXPECT_TRUE(Itemset::SharesPrefix(Itemset({1, 2, 3}), Itemset({1, 2, 4})));
+  EXPECT_FALSE(Itemset::SharesPrefix(Itemset({1, 2, 3}), Itemset({1, 3, 4})));
+  EXPECT_TRUE(Itemset::SharesPrefix(Itemset({1}), Itemset({2})));  // empty prefix
+  EXPECT_FALSE(Itemset::SharesPrefix(Itemset({1, 2}), Itemset({1})));
+  EXPECT_FALSE(Itemset::SharesPrefix(Itemset(), Itemset()));
+}
+
+TEST(ItemsetTest, OrderingIsLexicographic) {
+  EXPECT_LT(Itemset({1, 2}), Itemset({1, 3}));
+  EXPECT_LT(Itemset({1}), Itemset({1, 0xFFFF}));
+  EXPECT_FALSE(Itemset({2}) < Itemset({1, 9}));
+}
+
+TEST(ItemsetTest, ToString) {
+  EXPECT_EQ(Itemset({3, 1}).ToString(), "{1, 3}");
+  EXPECT_EQ(Itemset().ToString(), "{}");
+}
+
+TEST(ItemsetTest, HashUsableInUnorderedSet) {
+  std::unordered_set<Itemset, ItemsetHash> set;
+  set.insert(Itemset({1, 2}));
+  set.insert(Itemset({2, 1}));  // same set
+  set.insert(Itemset({1, 3}));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Itemset({2, 1})));
+}
+
+}  // namespace
+}  // namespace ufim

@@ -1,0 +1,51 @@
+#include "core/miner.h"
+
+#include <gtest/gtest.h>
+
+namespace ufim {
+namespace {
+
+TEST(ExpectedSupportParamsTest, ValidatesRange) {
+  ExpectedSupportParams p;
+  p.min_esup = 0.5;
+  EXPECT_TRUE(p.Validate().ok());
+  p.min_esup = 1.0;
+  EXPECT_TRUE(p.Validate().ok());
+  p.min_esup = 0.0;
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+  p.min_esup = -0.1;
+  EXPECT_FALSE(p.Validate().ok());
+  p.min_esup = 1.01;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ProbabilisticParamsTest, ValidatesRanges) {
+  ProbabilisticParams p;
+  p.min_sup = 0.5;
+  p.pft = 0.9;
+  EXPECT_TRUE(p.Validate().ok());
+  p.pft = 0.0;
+  EXPECT_TRUE(p.Validate().ok());
+  p.pft = 1.0;  // frequent requires Pr > pft; pft = 1 admits nothing
+  EXPECT_FALSE(p.Validate().ok());
+  p.pft = -0.1;
+  EXPECT_FALSE(p.Validate().ok());
+  p.pft = 0.9;
+  p.min_sup = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ProbabilisticParamsTest, MinSupportCountCeilsAndClamps) {
+  ProbabilisticParams p;
+  p.min_sup = 0.5;
+  EXPECT_EQ(p.MinSupportCount(4), 2u);
+  EXPECT_EQ(p.MinSupportCount(5), 3u);  // ceil(2.5)
+  p.min_sup = 0.001;
+  EXPECT_EQ(p.MinSupportCount(100), 1u);  // ceil(0.1) but at least 1
+  p.min_sup = 1.0;
+  EXPECT_EQ(p.MinSupportCount(7), 7u);
+  EXPECT_EQ(p.MinSupportCount(0), 0u);  // empty database: clamped to size
+}
+
+}  // namespace
+}  // namespace ufim

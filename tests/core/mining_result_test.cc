@@ -1,0 +1,71 @@
+#include "core/mining_result.h"
+
+#include <gtest/gtest.h>
+
+namespace ufim {
+namespace {
+
+FrequentItemset Make(std::initializer_list<ItemId> items, double esup) {
+  FrequentItemset fi;
+  fi.itemset = Itemset(items);
+  fi.expected_support = esup;
+  return fi;
+}
+
+TEST(MiningResultTest, AddAndSize) {
+  MiningResult r;
+  EXPECT_TRUE(r.empty());
+  r.Add(Make({1}, 2.0));
+  r.Add(Make({2}, 1.5));
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(MiningResultTest, SortCanonicalOrdersBySizeThenLex) {
+  MiningResult r;
+  r.Add(Make({1, 2}, 1.0));
+  r.Add(Make({3}, 1.0));
+  r.Add(Make({1}, 1.0));
+  r.SortCanonical();
+  EXPECT_EQ(r[0].itemset, Itemset({1}));
+  EXPECT_EQ(r[1].itemset, Itemset({3}));
+  EXPECT_EQ(r[2].itemset, Itemset({1, 2}));
+}
+
+TEST(MiningResultTest, FindLocatesItemset) {
+  MiningResult r;
+  r.Add(Make({1, 2}, 1.25));
+  const FrequentItemset* hit = r.Find(Itemset({2, 1}));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->expected_support, 1.25);
+  EXPECT_EQ(r.Find(Itemset({9})), nullptr);
+}
+
+TEST(MiningResultTest, ItemsetsOnlySorted) {
+  MiningResult r;
+  r.Add(Make({5}, 1.0));
+  r.Add(Make({1}, 1.0));
+  auto only = r.ItemsetsOnly();
+  ASSERT_EQ(only.size(), 2u);
+  EXPECT_EQ(only[0], Itemset({1}));
+  EXPECT_EQ(only[1], Itemset({5}));
+}
+
+TEST(MiningResultTest, ToStringMentionsProbabilitiesWhenPresent) {
+  MiningResult r;
+  FrequentItemset fi = Make({1}, 2.0);
+  fi.frequent_probability = 0.875;
+  r.Add(fi);
+  EXPECT_NE(r.ToString().find("freq_prob=0.875"), std::string::npos);
+  MiningResult r2;
+  r2.Add(Make({1}, 2.0));
+  EXPECT_EQ(r2.ToString().find("freq_prob"), std::string::npos);
+}
+
+TEST(MiningResultTest, CountersAreMutable) {
+  MiningResult r;
+  r.counters().candidates_generated = 42;
+  EXPECT_EQ(r.counters().candidates_generated, 42u);
+}
+
+}  // namespace
+}  // namespace ufim

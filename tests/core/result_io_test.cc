@@ -1,0 +1,82 @@
+#include "core/result_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace ufim {
+namespace {
+
+FrequentItemset MakeFi(std::initializer_list<ItemId> items, double esup,
+                       double var, std::optional<double> prob = std::nullopt) {
+  FrequentItemset fi;
+  fi.itemset = Itemset(items);
+  fi.expected_support = esup;
+  fi.variance = var;
+  fi.frequent_probability = prob;
+  return fi;
+}
+
+TEST(ResultIoTest, LineRoundTripWithoutProbability) {
+  FrequentItemset fi = MakeFi({3, 1, 7}, 2.5, 0.75);
+  auto parsed = ParseResultLine(FormatResultLine(fi));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->itemset, fi.itemset);
+  EXPECT_EQ(parsed->expected_support, fi.expected_support);
+  EXPECT_EQ(parsed->variance, fi.variance);
+  EXPECT_FALSE(parsed->frequent_probability.has_value());
+}
+
+TEST(ResultIoTest, LineRoundTripWithProbability) {
+  FrequentItemset fi = MakeFi({2}, 1.0 / 3.0, 0.1 + 0.2, 0.875);
+  auto parsed = ParseResultLine(FormatResultLine(fi));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->expected_support, 1.0 / 3.0);  // bit-exact via %.17g
+  EXPECT_EQ(parsed->variance, 0.1 + 0.2);
+  ASSERT_TRUE(parsed->frequent_probability.has_value());
+  EXPECT_EQ(*parsed->frequent_probability, 0.875);
+}
+
+TEST(ResultIoTest, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(ParseResultLine("").ok());
+  EXPECT_FALSE(ParseResultLine("1,2").ok());          // missing numbers
+  EXPECT_FALSE(ParseResultLine("1,x 1.0 0.5").ok());  // bad item
+  EXPECT_FALSE(ParseResultLine("1 2.0 0.5 0.9 junk").ok());  // trailing
+}
+
+TEST(ResultIoTest, FileRoundTrip) {
+  MiningResult result;
+  result.Add(MakeFi({0}, 3.0, 0.5));
+  result.Add(MakeFi({0, 4}, 1.5, 0.25, 0.99));
+  const std::string path = testing::TempDir() + "/result.txt";
+  ASSERT_TRUE(WriteResult(result, path).ok());
+  auto loaded = ReadResult(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].itemset, Itemset({0}));
+  EXPECT_EQ((*loaded)[1].itemset, Itemset({0, 4}));
+  ASSERT_TRUE((*loaded)[1].frequent_probability.has_value());
+  EXPECT_EQ(*(*loaded)[1].frequent_probability, 0.99);
+  std::remove(path.c_str());
+}
+
+TEST(ResultIoTest, ReadReportsLineNumbers) {
+  const std::string path = testing::TempDir() + "/broken_result.txt";
+  {
+    std::ofstream out(path);
+    out << "# header\n1 2.0 0.5\nbroken line here extra\n";
+  }
+  auto loaded = ReadResult(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ResultIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadResult("/nonexistent/r.txt").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace ufim

@@ -1,0 +1,71 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ufim {
+namespace {
+
+MiningResult ResultOf(std::initializer_list<Itemset> itemsets) {
+  MiningResult r;
+  for (const Itemset& s : itemsets) {
+    FrequentItemset fi;
+    fi.itemset = s;
+    r.Add(fi);
+  }
+  return r;
+}
+
+TEST(MetricsTest, PerfectAgreement) {
+  MiningResult a = ResultOf({Itemset({1}), Itemset({1, 2})});
+  PrecisionRecall pr = ComputePrecisionRecall(a, a);
+  EXPECT_EQ(pr.precision, 1.0);
+  EXPECT_EQ(pr.recall, 1.0);
+  EXPECT_EQ(pr.intersection, 2u);
+}
+
+TEST(MetricsTest, FalsePositivesLowerPrecisionOnly) {
+  MiningResult approx = ResultOf({Itemset({1}), Itemset({2}), Itemset({3})});
+  MiningResult exact = ResultOf({Itemset({1}), Itemset({2})});
+  PrecisionRecall pr = ComputePrecisionRecall(approx, exact);
+  EXPECT_NEAR(pr.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(pr.recall, 1.0);
+}
+
+TEST(MetricsTest, FalseNegativesLowerRecallOnly) {
+  MiningResult approx = ResultOf({Itemset({1})});
+  MiningResult exact = ResultOf({Itemset({1}), Itemset({2})});
+  PrecisionRecall pr = ComputePrecisionRecall(approx, exact);
+  EXPECT_EQ(pr.precision, 1.0);
+  EXPECT_NEAR(pr.recall, 0.5, 1e-12);
+}
+
+TEST(MetricsTest, DisjointResults) {
+  MiningResult approx = ResultOf({Itemset({1})});
+  MiningResult exact = ResultOf({Itemset({2})});
+  PrecisionRecall pr = ComputePrecisionRecall(approx, exact);
+  EXPECT_EQ(pr.precision, 0.0);
+  EXPECT_EQ(pr.recall, 0.0);
+  EXPECT_EQ(pr.intersection, 0u);
+}
+
+TEST(MetricsTest, EmptyDenominatorsDefaultToOne) {
+  MiningResult empty;
+  MiningResult nonempty = ResultOf({Itemset({1})});
+  PrecisionRecall both_empty = ComputePrecisionRecall(empty, empty);
+  EXPECT_EQ(both_empty.precision, 1.0);
+  EXPECT_EQ(both_empty.recall, 1.0);
+  PrecisionRecall empty_approx = ComputePrecisionRecall(empty, nonempty);
+  EXPECT_EQ(empty_approx.precision, 1.0);
+  EXPECT_EQ(empty_approx.recall, 0.0);
+}
+
+TEST(MetricsTest, ItemsetOrderIrrelevant) {
+  MiningResult a = ResultOf({Itemset({2, 1}), Itemset({3})});
+  MiningResult b = ResultOf({Itemset({3}), Itemset({1, 2})});
+  PrecisionRecall pr = ComputePrecisionRecall(a, b);
+  EXPECT_EQ(pr.precision, 1.0);
+  EXPECT_EQ(pr.recall, 1.0);
+}
+
+}  // namespace
+}  // namespace ufim

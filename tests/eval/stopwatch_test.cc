@@ -1,0 +1,45 @@
+#include "eval/stopwatch.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace ufim {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = w.ElapsedMillis();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 2000.0);
+}
+
+TEST(StopwatchTest, ResetRestarts) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  w.Reset();
+  EXPECT_LT(w.ElapsedMillis(), 15.0);
+}
+
+TEST(StopwatchTest, SecondsConsistentWithMillis) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double ms = w.ElapsedMillis();
+  const double s = w.ElapsedSeconds();
+  EXPECT_NEAR(s * 1000.0, ms, 5.0);
+}
+
+TEST(StopwatchTest, MonotoneNonDecreasing) {
+  Stopwatch w;
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = w.ElapsedMillis();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace ufim

@@ -1,0 +1,95 @@
+#include "gen/benchmark_datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace ufim {
+namespace {
+
+double AvgLen(const DeterministicDatabase& db) {
+  std::size_t total = 0;
+  for (const auto& t : db) total += t.size();
+  return static_cast<double>(total) / static_cast<double>(db.size());
+}
+
+ItemId MaxItem(const DeterministicDatabase& db) {
+  ItemId m = 0;
+  for (const auto& t : db) {
+    for (ItemId id : t) m = std::max(m, id);
+  }
+  return m;
+}
+
+TEST(BenchmarkDatasetsTest, ConnectLikeShape) {
+  auto db = MakeConnectLike(400, 1);
+  ASSERT_EQ(db.size(), 400u);
+  for (const auto& t : db) EXPECT_EQ(t.size(), 43u);  // fixed length
+  EXPECT_LT(MaxItem(db), 129u);
+  // Density = 43/129 = 0.33, dense by construction.
+}
+
+TEST(BenchmarkDatasetsTest, AccidentLikeShape) {
+  auto db = MakeAccidentLike(1000, 2);
+  ASSERT_EQ(db.size(), 1000u);
+  EXPECT_NEAR(AvgLen(db), 33.8, 2.0);
+  EXPECT_LT(MaxItem(db), 468u);
+}
+
+TEST(BenchmarkDatasetsTest, KosarakLikeShape) {
+  auto db = MakeKosarakLike(1000, 3);
+  ASSERT_EQ(db.size(), 1000u);
+  EXPECT_NEAR(AvgLen(db), 8.1, 1.5);
+  EXPECT_LT(MaxItem(db), 4096u);
+  // Sparse: density well below 1%.
+  EXPECT_LT(AvgLen(db) / 4096.0, 0.01);
+}
+
+TEST(BenchmarkDatasetsTest, GazelleLikeShape) {
+  auto db = MakeGazelleLike(1000, 4);
+  ASSERT_EQ(db.size(), 1000u);
+  EXPECT_NEAR(AvgLen(db), 2.5, 0.8);
+  EXPECT_LT(MaxItem(db), 498u);
+}
+
+TEST(BenchmarkDatasetsTest, QuestT25I15Shape) {
+  auto db = MakeQuestT25I15(500, 5);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 500u);
+  EXPECT_LT(MaxItem(*db), 994u);
+}
+
+TEST(BenchmarkDatasetsTest, DenseVsSparsePopularitySkew) {
+  // In the Connect-like family the most popular item must appear in
+  // nearly every transaction; in the Kosarak-like family it must not.
+  auto dense = MakeConnectLike(500, 6);
+  auto sparse = MakeKosarakLike(500, 6);
+  auto top_frequency = [](const DeterministicDatabase& db, std::size_t n_items) {
+    std::vector<int> count(n_items, 0);
+    for (const auto& t : db) {
+      for (ItemId id : t) ++count[id];
+    }
+    return *std::max_element(count.begin(), count.end()) /
+           static_cast<double>(db.size());
+  };
+  EXPECT_GT(top_frequency(dense, 129), 0.8);
+  EXPECT_LT(top_frequency(sparse, 4096), 0.7);
+}
+
+TEST(BenchmarkDatasetsTest, DeterministicInSeed) {
+  EXPECT_EQ(MakeConnectLike(50, 9), MakeConnectLike(50, 9));
+  EXPECT_NE(MakeConnectLike(50, 9), MakeConnectLike(50, 10));
+}
+
+TEST(BenchmarkDatasetsTest, PaperTable1MatchesPaper) {
+  UncertainDatabase db = MakePaperTable1();
+  ASSERT_EQ(db.size(), 4u);
+  EXPECT_EQ(db[0].size(), 5u);
+  EXPECT_EQ(db[1].size(), 4u);
+  EXPECT_EQ(db[2].size(), 4u);
+  EXPECT_EQ(db[3].size(), 3u);
+  EXPECT_DOUBLE_EQ(db[0].ProbabilityOf(kItemA), 0.8);
+  EXPECT_DOUBLE_EQ(db[3].ProbabilityOf(kItemF), 0.7);
+  EXPECT_EQ(db[3].ProbabilityOf(kItemA), 0.0);
+}
+
+}  // namespace
+}  // namespace ufim

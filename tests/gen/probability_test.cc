@@ -1,0 +1,78 @@
+#include "gen/probability.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ufim {
+namespace {
+
+DeterministicDatabase SmallDet() {
+  return {{0, 1, 2}, {1, 2, 3}, {0, 3}, {2}};
+}
+
+TEST(GaussianAssignerTest, PreservesStructure) {
+  UncertainDatabase db = AssignGaussianProbabilities(SmallDet(), 0.8, 0.05, 1);
+  ASSERT_EQ(db.size(), 4u);
+  EXPECT_EQ(db[0].size(), 3u);
+  EXPECT_EQ(db[3].size(), 1u);
+  EXPECT_EQ(db[0][0].item, 0u);
+  EXPECT_EQ(db[0][2].item, 2u);
+  EXPECT_TRUE(db.Validate().ok());
+}
+
+TEST(GaussianAssignerTest, ProbabilitiesInRange) {
+  // Extreme variance forces the resample/clamp path.
+  UncertainDatabase db = AssignGaussianProbabilities(SmallDet(), 0.5, 0.5, 2);
+  for (const Transaction& t : db) {
+    for (const ProbItem& u : t) {
+      EXPECT_GT(u.prob, 0.0);
+      EXPECT_LE(u.prob, 1.0);
+    }
+  }
+}
+
+TEST(GaussianAssignerTest, MeanApproximatelyRespected) {
+  DeterministicDatabase det(2000, std::vector<ItemId>{0, 1, 2, 3, 4});
+  UncertainDatabase db = AssignGaussianProbabilities(det, 0.7, 0.01, 3);
+  DatabaseStats stats = db.ComputeStats();
+  EXPECT_NEAR(stats.mean_probability, 0.7, 0.02);
+}
+
+TEST(GaussianAssignerTest, DeterministicInSeed) {
+  UncertainDatabase a = AssignGaussianProbabilities(SmallDet(), 0.5, 0.2, 77);
+  UncertainDatabase b = AssignGaussianProbabilities(SmallDet(), 0.5, 0.2, 77);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ZipfAssignerTest, ProbabilitiesOnLevelGrid) {
+  DeterministicDatabase det(200, std::vector<ItemId>{0, 1, 2, 3});
+  UncertainDatabase db = AssignZipfProbabilities(det, 1.0, 4);
+  for (const Transaction& t : db) {
+    for (const ProbItem& u : t) {
+      const double scaled = u.prob * 10.0;
+      EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+      EXPECT_GE(u.prob, 0.1 - 1e-12);
+      EXPECT_LE(u.prob, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(ZipfAssignerTest, HigherSkewDropsMoreUnits) {
+  DeterministicDatabase det(500, std::vector<ItemId>{0, 1, 2, 3, 4, 5});
+  const std::size_t total = 500 * 6;
+  auto units_kept = [&](double skew) {
+    UncertainDatabase db = AssignZipfProbabilities(det, skew, 5);
+    std::size_t kept = 0;
+    for (const Transaction& t : db) kept += t.size();
+    return kept;
+  };
+  const std::size_t low = units_kept(0.8);
+  const std::size_t high = units_kept(2.0);
+  EXPECT_LT(high, low);
+  EXPECT_LT(low, total);  // even low skew drops some units
+}
+
+}  // namespace
+}  // namespace ufim

@@ -1,0 +1,73 @@
+#include "core/miner_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/benchmark_datasets.h"
+
+namespace ufim {
+namespace {
+
+TEST(FactoryTest, CreatesEveryExpectedMiner) {
+  for (ExpectedAlgorithm algo :
+       {ExpectedAlgorithm::kUApriori, ExpectedAlgorithm::kUFPGrowth,
+        ExpectedAlgorithm::kUHMine, ExpectedAlgorithm::kBruteForce}) {
+    auto miner = CreateExpectedSupportMiner(algo);
+    ASSERT_NE(miner, nullptr);
+    EXPECT_EQ(miner->name(), ToString(algo));
+  }
+}
+
+TEST(FactoryTest, CreatesEveryProbabilisticMiner) {
+  for (ProbabilisticAlgorithm algo :
+       {ProbabilisticAlgorithm::kDPNB, ProbabilisticAlgorithm::kDPB,
+        ProbabilisticAlgorithm::kDCNB, ProbabilisticAlgorithm::kDCB,
+        ProbabilisticAlgorithm::kPDUApriori, ProbabilisticAlgorithm::kNDUApriori,
+        ProbabilisticAlgorithm::kNDUHMine, ProbabilisticAlgorithm::kMCSampling,
+        ProbabilisticAlgorithm::kBruteForce}) {
+    auto miner = CreateProbabilisticMiner(algo);
+    ASSERT_NE(miner, nullptr);
+    EXPECT_EQ(miner->name(), ToString(algo));
+  }
+}
+
+TEST(FactoryTest, ExactnessFlagsMatchTaxonomy) {
+  EXPECT_TRUE(CreateProbabilisticMiner(ProbabilisticAlgorithm::kDPB)->is_exact());
+  EXPECT_TRUE(CreateProbabilisticMiner(ProbabilisticAlgorithm::kDCNB)->is_exact());
+  EXPECT_FALSE(
+      CreateProbabilisticMiner(ProbabilisticAlgorithm::kPDUApriori)->is_exact());
+  EXPECT_FALSE(
+      CreateProbabilisticMiner(ProbabilisticAlgorithm::kNDUApriori)->is_exact());
+  EXPECT_FALSE(
+      CreateProbabilisticMiner(ProbabilisticAlgorithm::kNDUHMine)->is_exact());
+}
+
+TEST(FactoryTest, EnumerationHelpersExcludeBruteForce) {
+  for (ExpectedAlgorithm algo : AllExpectedAlgorithms()) {
+    EXPECT_NE(algo, ExpectedAlgorithm::kBruteForce);
+  }
+  EXPECT_EQ(AllExpectedAlgorithms().size(), 3u);
+  EXPECT_EQ(AllExactProbabilisticAlgorithms().size(), 4u);
+  EXPECT_EQ(AllApproximateProbabilisticAlgorithms().size(), 3u);
+}
+
+TEST(FactoryTest, OptionsReachUApriori) {
+  // Both configurations must produce identical results (pruning is an
+  // optimization); this smoke-tests the options plumbing.
+  UncertainDatabase db = MakePaperTable1();
+  ExpectedSupportParams params;
+  params.min_esup = 0.3;
+  MinerOptions on;
+  on.decremental_pruning = true;
+  MinerOptions off;
+  off.decremental_pruning = false;
+  auto a = CreateExpectedSupportMiner(ExpectedAlgorithm::kUApriori, on)
+               ->Mine(db, params);
+  auto b = CreateExpectedSupportMiner(ExpectedAlgorithm::kUApriori, off)
+               ->Mine(db, params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->ItemsetsOnly(), b->ItemsetsOnly());
+}
+
+}  // namespace
+}  // namespace ufim

@@ -1,0 +1,64 @@
+// End-to-end checks of every algorithm against the paper's own running
+// example (Table 1, Examples 1 and 2).
+#include <gtest/gtest.h>
+
+#include "core/miner_factory.h"
+#include "gen/benchmark_datasets.h"
+
+namespace ufim {
+namespace {
+
+TEST(PaperExampleTest, Example1AllExpectedMiners) {
+  UncertainDatabase db = MakePaperTable1();
+  ExpectedSupportParams params;
+  params.min_esup = 0.5;
+  for (ExpectedAlgorithm algo : AllExpectedAlgorithms()) {
+    auto result = CreateExpectedSupportMiner(algo)->Mine(db, params);
+    ASSERT_TRUE(result.ok()) << ToString(algo);
+    ASSERT_EQ(result->size(), 2u) << ToString(algo);
+    const FrequentItemset* a = result->Find(Itemset({kItemA}));
+    const FrequentItemset* c = result->Find(Itemset({kItemC}));
+    ASSERT_NE(a, nullptr) << ToString(algo);
+    ASSERT_NE(c, nullptr) << ToString(algo);
+    EXPECT_NEAR(a->expected_support, 2.1, 1e-9) << ToString(algo);
+    EXPECT_NEAR(c->expected_support, 2.6, 1e-9) << ToString(algo);
+  }
+}
+
+TEST(PaperExampleTest, Example2AllExactMiners) {
+  UncertainDatabase db = MakePaperTable1();
+  ProbabilisticParams params;
+  params.min_sup = 0.5;
+  params.pft = 0.7;
+  for (ProbabilisticAlgorithm algo : AllExactProbabilisticAlgorithms()) {
+    auto result = CreateProbabilisticMiner(algo)->Mine(db, params);
+    ASSERT_TRUE(result.ok()) << ToString(algo);
+    const FrequentItemset* a = result->Find(Itemset({kItemA}));
+    ASSERT_NE(a, nullptr) << ToString(algo);
+    ASSERT_TRUE(a->frequent_probability.has_value());
+    EXPECT_NEAR(*a->frequent_probability, 0.8, 1e-9) << ToString(algo);
+  }
+}
+
+TEST(PaperExampleTest, ChernoffDoesNotChangeTable1Results) {
+  UncertainDatabase db = MakePaperTable1();
+  ProbabilisticParams params;
+  params.min_sup = 0.5;
+  params.pft = 0.7;
+  auto dpb = CreateProbabilisticMiner(ProbabilisticAlgorithm::kDPB)->Mine(db, params);
+  auto dpnb = CreateProbabilisticMiner(ProbabilisticAlgorithm::kDPNB)->Mine(db, params);
+  ASSERT_TRUE(dpb.ok());
+  ASSERT_TRUE(dpnb.ok());
+  EXPECT_EQ(dpb->ItemsetsOnly(), dpnb->ItemsetsOnly());
+}
+
+TEST(PaperExampleTest, Table1DatabaseStatsSane) {
+  UncertainDatabase db = MakePaperTable1();
+  EXPECT_TRUE(db.Validate().ok());
+  DatabaseStats stats = db.ComputeStats();
+  EXPECT_EQ(stats.num_transactions, 4u);
+  EXPECT_EQ(stats.num_items, 6u);
+}
+
+}  // namespace
+}  // namespace ufim

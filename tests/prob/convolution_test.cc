@@ -1,0 +1,74 @@
+#include "prob/convolution.h"
+
+#include <gtest/gtest.h>
+
+namespace ufim {
+namespace {
+
+TEST(NaiveConvolveTest, KnownProduct) {
+  // (1 + x + x^2)(2 + x) = 2 + 3x + 3x^2 + x^3.
+  auto c = NaiveConvolve({1, 1, 1}, {2, 1});
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+  EXPECT_DOUBLE_EQ(c[1], 3.0);
+  EXPECT_DOUBLE_EQ(c[2], 3.0);
+  EXPECT_DOUBLE_EQ(c[3], 1.0);
+}
+
+TEST(NaiveConvolveTest, EmptyYieldsEmpty) {
+  EXPECT_TRUE(NaiveConvolve({}, {1.0}).empty());
+}
+
+TEST(CapPmfTest, NoOpWhenShort) {
+  std::vector<double> pmf = {0.5, 0.5};
+  EXPECT_EQ(CapPmf(pmf, 5), pmf);
+  EXPECT_EQ(CapPmf(pmf, 1), pmf);  // length == cap+1 already
+}
+
+TEST(CapPmfTest, FoldsTailMass) {
+  std::vector<double> pmf = {0.1, 0.2, 0.3, 0.25, 0.15};
+  auto capped = CapPmf(pmf, 2);
+  ASSERT_EQ(capped.size(), 3u);
+  EXPECT_DOUBLE_EQ(capped[0], 0.1);
+  EXPECT_DOUBLE_EQ(capped[1], 0.2);
+  EXPECT_NEAR(capped[2], 0.7, 1e-12);
+}
+
+TEST(CapPmfTest, CapZeroFoldsEverything) {
+  auto capped = CapPmf({0.4, 0.6}, 0);
+  ASSERT_EQ(capped.size(), 1u);
+  EXPECT_NEAR(capped[0], 1.0, 1e-12);
+}
+
+TEST(CappedConvolveTest, ExactTailPreservedUnderCapping) {
+  // Two Bernoulli(0.5) trials, cap at 1: Pr(S >= 1) must be 0.75.
+  std::vector<double> bern = {0.5, 0.5};
+  auto c = CappedConvolve(bern, bern, 1);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c[0], 0.25, 1e-12);
+  EXPECT_NEAR(c[1], 0.75, 1e-12);
+}
+
+TEST(CappedConvolveTest, OverflowBinAbsorbsCrossTerms) {
+  // Capped operands with overflow bins: {P(0)=0.5, P(>=1)=0.5} squared
+  // capped at 1 gives P(0)=0.25, P(>=1)=0.75 regardless of path.
+  std::vector<double> capped = {0.5, 0.5};
+  auto c = CappedConvolve(capped, capped, 1, /*fft_threshold=*/1);  // force FFT
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c[0], 0.25, 1e-9);
+  EXPECT_NEAR(c[1], 0.75, 1e-9);
+}
+
+TEST(CappedConvolveTest, FftAndNaivePathsAgree) {
+  std::vector<double> a = {0.2, 0.3, 0.5};
+  std::vector<double> b = {0.6, 0.4};
+  auto naive_path = CappedConvolve(a, b, 2, /*fft_threshold=*/100);
+  auto fft_path = CappedConvolve(a, b, 2, /*fft_threshold=*/1);
+  ASSERT_EQ(naive_path.size(), fft_path.size());
+  for (std::size_t i = 0; i < naive_path.size(); ++i) {
+    EXPECT_NEAR(naive_path[i], fft_path[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ufim

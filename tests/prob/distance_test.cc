@@ -1,0 +1,97 @@
+#include "prob/distance.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "prob/poisson_binomial.h"
+
+namespace ufim {
+namespace {
+
+TEST(TotalVariationTest, IdenticalIsZero) {
+  std::vector<double> p = {0.25, 0.5, 0.25};
+  EXPECT_EQ(TotalVariationDistance(p, p), 0.0);
+}
+
+TEST(TotalVariationTest, DisjointIsOne) {
+  EXPECT_NEAR(TotalVariationDistance({1.0, 0.0}, {0.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(TotalVariationTest, PadsShorterOperand) {
+  EXPECT_NEAR(TotalVariationDistance({1.0}, {0.5, 0.5}), 0.5, 1e-12);
+  EXPECT_NEAR(TotalVariationDistance({0.5, 0.5}, {1.0}), 0.5, 1e-12);
+}
+
+TEST(KolmogorovTest, BoundedByTotalVariation) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a(10), b(10);
+    double sa = 0.0, sb = 0.0;
+    for (double& x : a) sa += (x = rng.Uniform01());
+    for (double& x : b) sb += (x = rng.Uniform01());
+    for (double& x : a) x /= sa;
+    for (double& x : b) x /= sb;
+    EXPECT_LE(KolmogorovDistance(a, b), TotalVariationDistance(a, b) + 1e-12);
+  }
+}
+
+TEST(KolmogorovTest, KnownShift) {
+  // Point mass at 0 vs point mass at 2: sup-CDF gap is 1.
+  EXPECT_NEAR(KolmogorovDistance({1, 0, 0}, {0, 0, 1}), 1.0, 1e-12);
+}
+
+TEST(DiscretizedNormalPmfTest, SumsToOneAndCentersOnMean) {
+  auto pmf = DiscretizedNormalPmf(10.0, 4.0, 30);
+  EXPECT_NEAR(std::accumulate(pmf.begin(), pmf.end(), 0.0), 1.0, 1e-9);
+  auto peak = std::max_element(pmf.begin(), pmf.end()) - pmf.begin();
+  EXPECT_EQ(peak, 10);
+}
+
+TEST(DiscretizedNormalPmfTest, DegenerateVariance) {
+  auto pmf = DiscretizedNormalPmf(3.0, 0.0, 6);
+  EXPECT_EQ(pmf[3], 1.0);
+}
+
+TEST(PoissonPmfTest, MatchesClosedFormHead) {
+  auto pmf = PoissonPmf(2.0, 40);
+  EXPECT_NEAR(pmf[0], std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(pmf[1], 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(pmf[2], 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(std::accumulate(pmf.begin(), pmf.end(), 0.0), 1.0, 1e-9);
+}
+
+// The quantitative backbone of §4.4: on large Poisson-binomial
+// instances, the Normal surrogate is much closer (in TV distance) to
+// the true support distribution than the Poisson surrogate when unit
+// probabilities are not small.
+TEST(ApproximationQualityTest, NormalBeatsPoissonAtModerateProbs) {
+  Rng rng(9);
+  std::vector<double> probs(800);
+  for (double& p : probs) p = rng.Uniform(0.3, 0.9);
+  SupportMoments m = ComputeSupportMoments(probs);
+  const std::size_t len = probs.size() + 1;
+  auto exact = PoissonBinomialCappedPmfDP(probs, probs.size());
+  exact.resize(len, 0.0);
+  const double tv_normal =
+      TotalVariationDistance(exact, DiscretizedNormalPmf(m.mean, m.variance, len));
+  const double tv_poisson = TotalVariationDistance(exact, PoissonPmf(m.mean, len));
+  EXPECT_LT(tv_normal, 0.02);
+  EXPECT_GT(tv_poisson, 5.0 * tv_normal);
+}
+
+TEST(ApproximationQualityTest, PoissonCompetitiveAtSmallProbs) {
+  Rng rng(10);
+  std::vector<double> probs(3000);
+  for (double& p : probs) p = rng.Uniform(0.0, 0.04);
+  SupportMoments m = ComputeSupportMoments(probs);
+  const std::size_t len = 200;
+  auto exact = PoissonBinomialCappedPmfDP(probs, len - 1);
+  exact.resize(len, 0.0);
+  const double tv_poisson = TotalVariationDistance(exact, PoissonPmf(m.mean, len));
+  EXPECT_LT(tv_poisson, 0.02);  // Le Cam regime: Poisson is accurate
+}
+
+}  // namespace
+}  // namespace ufim

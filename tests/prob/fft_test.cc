@@ -1,0 +1,83 @@
+#include "prob/fft.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "prob/convolution.h"
+
+namespace ufim {
+namespace {
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  std::vector<std::complex<double>> data = {
+      {1, 0}, {2, 0}, {3, 0}, {4, 0}, {0, 0}, {0, 0}, {0, 0}, {0, 0}};
+  auto original = data;
+  Fft(data, false);
+  Fft(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real() / 8.0, original[i].real(), 1e-12);
+    EXPECT_NEAR(data[i].imag() / 8.0, original[i].imag(), 1e-12);
+  }
+}
+
+TEST(FftTest, TransformOfImpulseIsFlat) {
+  std::vector<std::complex<double>> data(8, {0, 0});
+  data[0] = {1, 0};
+  Fft(data, false);
+  for (const auto& c : data) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, SingleElementIsIdentity) {
+  std::vector<std::complex<double>> data = {{3.5, -1.0}};
+  Fft(data, false);
+  EXPECT_EQ(data[0], std::complex<double>(3.5, -1.0));
+}
+
+TEST(FftConvolveTest, MatchesKnownProduct) {
+  // (1 + 2x)(3 + 4x) = 3 + 10x + 8x^2.
+  auto c = FftConvolve({1, 2}, {3, 4});
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c[0], 3.0, 1e-9);
+  EXPECT_NEAR(c[1], 10.0, 1e-9);
+  EXPECT_NEAR(c[2], 8.0, 1e-9);
+}
+
+TEST(FftConvolveTest, EmptyOperandYieldsEmpty) {
+  EXPECT_TRUE(FftConvolve({}, {1.0}).empty());
+  EXPECT_TRUE(FftConvolve({1.0}, {}).empty());
+}
+
+TEST(FftConvolveTest, MatchesNaiveOnRandomInputs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t la = 1 + rng.UniformInt(0, 60);
+    const std::size_t lb = 1 + rng.UniformInt(0, 60);
+    std::vector<double> a(la), b(lb);
+    for (double& x : a) x = rng.Uniform01();
+    for (double& x : b) x = rng.Uniform01();
+    auto fast = FftConvolve(a, b);
+    auto slow = NaiveConvolve(a, b);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_NEAR(fast[i], slow[i], 1e-9) << "trial " << trial << " i " << i;
+    }
+  }
+}
+
+TEST(FftConvolveTest, ProbabilityMassPreserved) {
+  // Convolving two pmfs yields a pmf: mass sums to 1.
+  std::vector<double> a = {0.25, 0.5, 0.25};
+  std::vector<double> b = {0.1, 0.9};
+  auto c = FftConvolve(a, b);
+  double sum = 0.0;
+  for (double x : c) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ufim

@@ -1,0 +1,43 @@
+#ifndef UFIM_TESTS_TESTING_RANDOM_DB_H_
+#define UFIM_TESTS_TESTING_RANDOM_DB_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/uncertain_database.h"
+
+namespace ufim::testing_util {
+
+/// Parameters of a randomized test database.
+struct RandomDbSpec {
+  std::uint64_t seed = 1;
+  std::size_t num_transactions = 12;
+  std::size_t num_items = 8;
+  double item_presence = 0.5;  ///< Bernoulli inclusion rate per (txn, item)
+  double min_prob = 0.05;      ///< probability range of present units
+  double max_prob = 1.0;
+};
+
+/// Builds a small random uncertain database. Small enough that the
+/// brute-force oracle miners stay fast, varied enough (via seeds) to act
+/// as property-test inputs.
+inline UncertainDatabase MakeRandomDatabase(const RandomDbSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<Transaction> txns;
+  txns.reserve(spec.num_transactions);
+  for (std::size_t t = 0; t < spec.num_transactions; ++t) {
+    std::vector<ProbItem> units;
+    for (std::size_t i = 0; i < spec.num_items; ++i) {
+      if (rng.Bernoulli(spec.item_presence)) {
+        units.push_back(ProbItem{static_cast<ItemId>(i),
+                                 rng.Uniform(spec.min_prob, spec.max_prob)});
+      }
+    }
+    txns.emplace_back(std::move(units));
+  }
+  return UncertainDatabase(std::move(txns));
+}
+
+}  // namespace ufim::testing_util
+
+#endif  // UFIM_TESTS_TESTING_RANDOM_DB_H_

@@ -1,0 +1,257 @@
+// ufim command-line tool: generate benchmark datasets, inspect them, and
+// mine them with any of the library's algorithms.
+//
+//   ufim_cli generate --family kosarak --n 5000 --prob gaussian:0.5,0.5
+//       --seed 7 --out data.udb
+//   ufim_cli stats data.udb
+//   ufim_cli mine data.udb --algorithm UApriori --min-esup 0.01
+//   ufim_cli mine data.udb --algorithm DCB --min-sup 0.05 --pft 0.9
+//       --top 20 --rules 0.8
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/miner_factory.h"
+#include "core/postprocess.h"
+#include "eval/experiment.h"
+#include "gen/benchmark_datasets.h"
+#include "gen/probability.h"
+#include "io/dataset_io.h"
+
+namespace ufim::cli {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, R"(usage:
+  ufim_cli generate --family {connect|accident|kosarak|gazelle|quest}
+           --n <transactions> [--prob gaussian:<mean>,<var> | zipf:<skew>]
+           [--seed <s>] --out <path>
+  ufim_cli stats <path>
+  ufim_cli mine <path> --algorithm <name> (--min-esup <r> | --min-sup <r> [--pft <p>])
+           [--top <k>] [--closed] [--maximal] [--rules <min_conf>]
+
+algorithms: UApriori UFP-growth UH-Mine | DPNB DPB DCNB DCB
+            PDUApriori NDUApriori NDUH-Mine MCSampling
+)");
+  return 2;
+}
+
+/// Minimal long-flag parser: --key value pairs plus positional args.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static std::optional<Args> Parse(int argc, char** argv) {
+    Args out;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        // (iterator-range copy sidesteps GCC 12's -Wrestrict false
+        // positive on substr, bug 105329)
+        std::string key(arg.begin() + 2, arg.end());
+        bool is_switch = key == "closed" || key == "maximal";
+        if (is_switch) {
+          out.flags[key] = "1";
+        } else if (i + 1 < argc) {
+          out.flags[key] = argv[++i];
+        } else {
+          std::fprintf(stderr, "missing value for --%s\n", key.c_str());
+          return std::nullopt;
+        }
+      } else {
+        out.positional.push_back(std::move(arg));
+      }
+    }
+    return out;
+  }
+
+  const char* Get(const std::string& key) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? nullptr : it->second.c_str();
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const char* v = Get(key);
+    return v != nullptr ? std::atof(v) : fallback;
+  }
+  std::size_t GetSize(const std::string& key, std::size_t fallback) const {
+    const char* v = Get(key);
+    return v != nullptr ? static_cast<std::size_t>(std::atoll(v)) : fallback;
+  }
+};
+
+int Generate(const Args& args) {
+  const char* family = args.Get("family");
+  const char* out_path = args.Get("out");
+  if (family == nullptr || out_path == nullptr) return Usage();
+  const std::size_t n = args.GetSize("n", 1000);
+  const std::uint64_t seed = args.GetSize("seed", 42);
+
+  DeterministicDatabase det;
+  const std::string fam = family;
+  if (fam == "connect") {
+    det = MakeConnectLike(n, seed);
+  } else if (fam == "accident") {
+    det = MakeAccidentLike(n, seed);
+  } else if (fam == "kosarak") {
+    det = MakeKosarakLike(n, seed);
+  } else if (fam == "gazelle") {
+    det = MakeGazelleLike(n, seed);
+  } else if (fam == "quest") {
+    auto q = MakeQuestT25I15(n, seed);
+    if (!q.ok()) {
+      std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+      return 1;
+    }
+    det = std::move(q).value();
+  } else {
+    std::fprintf(stderr, "unknown family '%s'\n", family);
+    return Usage();
+  }
+
+  // Probability model: "gaussian:mean,var" (default 0.9,0.1) or "zipf:skew".
+  std::string prob = args.Get("prob") != nullptr ? args.Get("prob") : "gaussian:0.9,0.1";
+  UncertainDatabase db;
+  if (prob.rfind("gaussian:", 0) == 0) {
+    double mean = 0.9, var = 0.1;
+    if (std::sscanf(prob.c_str() + 9, "%lf,%lf", &mean, &var) != 2) {
+      std::fprintf(stderr, "bad --prob '%s'\n", prob.c_str());
+      return Usage();
+    }
+    db = AssignGaussianProbabilities(det, mean, var, seed + 1);
+  } else if (prob.rfind("zipf:", 0) == 0) {
+    const double skew = std::atof(prob.c_str() + 5);
+    db = AssignZipfProbabilities(det, skew, seed + 1);
+  } else {
+    std::fprintf(stderr, "bad --prob '%s'\n", prob.c_str());
+    return Usage();
+  }
+
+  if (Status s = WriteDataset(db, out_path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  DatabaseStats stats = db.ComputeStats();
+  std::printf("wrote %zu transactions (%zu items, avg len %.2f) to %s\n",
+              stats.num_transactions, stats.num_items, stats.avg_length,
+              out_path);
+  return 0;
+}
+
+int Stats(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  auto db = ReadDataset(args.positional[1]);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  DatabaseStats s = db->ComputeStats();
+  std::printf("transactions: %zu\nitems:        %zu\navg length:   %.3f\n"
+              "density:      %.6f\nmean prob:    %.4f\n",
+              s.num_transactions, s.num_items, s.avg_length, s.density,
+              s.mean_probability);
+  return 0;
+}
+
+std::optional<ExpectedAlgorithm> ExpectedByName(const std::string& name) {
+  if (name == "UApriori") return ExpectedAlgorithm::kUApriori;
+  if (name == "UFP-growth") return ExpectedAlgorithm::kUFPGrowth;
+  if (name == "UH-Mine") return ExpectedAlgorithm::kUHMine;
+  return std::nullopt;
+}
+
+std::optional<ProbabilisticAlgorithm> ProbabilisticByName(const std::string& name) {
+  if (name == "DPNB") return ProbabilisticAlgorithm::kDPNB;
+  if (name == "DPB") return ProbabilisticAlgorithm::kDPB;
+  if (name == "DCNB") return ProbabilisticAlgorithm::kDCNB;
+  if (name == "DCB") return ProbabilisticAlgorithm::kDCB;
+  if (name == "PDUApriori") return ProbabilisticAlgorithm::kPDUApriori;
+  if (name == "NDUApriori") return ProbabilisticAlgorithm::kNDUApriori;
+  if (name == "NDUH-Mine") return ProbabilisticAlgorithm::kNDUHMine;
+  if (name == "MCSampling") return ProbabilisticAlgorithm::kMCSampling;
+  return std::nullopt;
+}
+
+void PrintResult(const MiningResult& result, const Args& args, double millis) {
+  MiningResult shown = result;
+  if (args.Get("closed") != nullptr) shown = FilterClosed(shown);
+  if (args.Get("maximal") != nullptr) shown = FilterMaximal(shown);
+  if (args.Get("top") != nullptr) {
+    shown = TopK(shown, args.GetSize("top", 10));
+  }
+  std::printf("# %zu frequent itemsets (%.1f ms)\n", result.size(), millis);
+  std::printf("%s", shown.ToString().c_str());
+  if (args.Get("rules") != nullptr) {
+    const double min_conf = args.GetDouble("rules", 0.8);
+    auto rules = GenerateRules(result, min_conf);
+    std::printf("# %zu rules at confidence >= %.2f\n", rules.size(), min_conf);
+    for (const AssociationRule& rule : rules) {
+      std::printf("  %s\n", rule.ToString().c_str());
+    }
+  }
+}
+
+int Mine(const Args& args) {
+  if (args.positional.size() < 2 || args.Get("algorithm") == nullptr) {
+    return Usage();
+  }
+  auto db = ReadDataset(args.positional[1]);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  const std::string algo_name = args.Get("algorithm");
+
+  if (auto expected = ExpectedByName(algo_name); expected.has_value()) {
+    if (args.Get("min-esup") == nullptr) {
+      std::fprintf(stderr, "%s needs --min-esup\n", algo_name.c_str());
+      return Usage();
+    }
+    ExpectedSupportParams params;
+    params.min_esup = args.GetDouble("min-esup", 0.5);
+    auto miner = CreateExpectedSupportMiner(*expected);
+    auto m = RunExpectedExperiment(*miner, *db, params);
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+      return 1;
+    }
+    PrintResult(m->result, args, m->millis);
+    return 0;
+  }
+  if (auto prob = ProbabilisticByName(algo_name); prob.has_value()) {
+    if (args.Get("min-sup") == nullptr) {
+      std::fprintf(stderr, "%s needs --min-sup\n", algo_name.c_str());
+      return Usage();
+    }
+    ProbabilisticParams params;
+    params.min_sup = args.GetDouble("min-sup", 0.5);
+    params.pft = args.GetDouble("pft", 0.9);
+    auto miner = CreateProbabilisticMiner(*prob);
+    auto m = RunProbabilisticExperiment(*miner, *db, params);
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+      return 1;
+    }
+    PrintResult(m->result, args, m->millis);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown algorithm '%s'\n", algo_name.c_str());
+  return Usage();
+}
+
+int Main(int argc, char** argv) {
+  std::optional<Args> args = Args::Parse(argc, argv);
+  if (!args.has_value() || args->positional.empty()) return Usage();
+  const std::string& command = args->positional[0];
+  if (command == "generate") return Generate(*args);
+  if (command == "stats") return Stats(*args);
+  if (command == "mine") return Mine(*args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace ufim::cli
+
+int main(int argc, char** argv) { return ufim::cli::Main(argc, argv); }
