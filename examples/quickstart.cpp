@@ -1,11 +1,13 @@
-// Quickstart: build an uncertain database, mine it under both frequent-
-// itemset definitions, and print the results. Uses the paper's Table 1
-// database so the output can be checked against Examples 1 and 2.
+// Quickstart: build an uncertain database, index it once as a columnar
+// FlatView, and mine it under both frequent-itemset definitions through
+// the unified Miner API. Uses the paper's Table 1 database so the output
+// can be checked against Examples 1 and 2.
 //
-//   $ ./quickstart
+//   $ ./example_quickstart
 #include <cstdio>
 
-#include "core/miner_factory.h"
+#include "core/flat_view.h"
+#include "core/miner_registry.h"
 #include "gen/benchmark_datasets.h"
 
 int main() {
@@ -25,42 +27,47 @@ int main() {
     std::printf("\n");
   }
 
-  // --- Definition 1: expected-support-based frequent itemsets. ---
+  // Index once; every miner below shares the same columnar view.
+  FlatView view(db);
+
+  // One driver for both problem definitions: pick an algorithm by name
+  // from the registry, describe the task as a MiningTask, and run it.
+  struct Run {
+    const char* algorithm;
+    MiningTask task;
+  };
   ExpectedSupportParams esup_params;
   esup_params.min_esup = 0.5;
-  auto miner = CreateExpectedSupportMiner(ExpectedAlgorithm::kUApriori);
-  auto expected = miner->Mine(db, esup_params);
-  if (!expected.ok()) {
-    std::fprintf(stderr, "mining failed: %s\n",
-                 expected.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("\nExpected-support frequent itemsets (min_esup = %.2f):\n",
-              esup_params.min_esup);
-  for (const FrequentItemset& fi : expected->itemsets()) {
-    std::printf("  %-10s esup = %.2f, var = %.2f\n",
-                fi.itemset.ToString().c_str(), fi.expected_support, fi.variance);
-  }
-
-  // --- Definition 2: probabilistic frequent itemsets. ---
   ProbabilisticParams prob_params;
   prob_params.min_sup = 0.5;
   prob_params.pft = 0.7;
-  auto prob_miner = CreateProbabilisticMiner(ProbabilisticAlgorithm::kDCB);
-  auto probabilistic = prob_miner->Mine(db, prob_params);
-  if (!probabilistic.ok()) {
-    std::fprintf(stderr, "mining failed: %s\n",
-                 probabilistic.status().ToString().c_str());
-    return 1;
-  }
-  std::printf(
-      "\nProbabilistic frequent itemsets (min_sup = %.2f, pft = %.2f):\n",
-      prob_params.min_sup, prob_params.pft);
-  for (const FrequentItemset& fi : probabilistic->itemsets()) {
-    std::printf("  %-10s Pr(sup >= %zu) = %.3f\n",
-                fi.itemset.ToString().c_str(),
-                prob_params.MinSupportCount(db.size()),
-                *fi.frequent_probability);
+  const Run runs[] = {
+      {"UApriori", esup_params},   // Definition 2: expected support
+      {"DCB", prob_params},        // Definition 4: probabilistic
+  };
+
+  for (const Run& run : runs) {
+    auto miner = MinerRegistry::Global().Create(run.algorithm);
+    auto mined = miner->Mine(view, run.task);
+    if (!mined.ok()) {
+      std::fprintf(stderr, "mining failed: %s\n",
+                   mined.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n%s (%s task): %zu frequent itemsets\n", run.algorithm,
+                std::string(TaskKindName(run.task)).c_str(), mined->size());
+    for (const FrequentItemset& fi : mined->itemsets()) {
+      if (fi.frequent_probability.has_value()) {
+        std::printf("  %-10s esup = %.2f, Pr(sup >= %zu) = %.3f\n",
+                    fi.itemset.ToString().c_str(), fi.expected_support,
+                    prob_params.MinSupportCount(db.size()),
+                    *fi.frequent_probability);
+      } else {
+        std::printf("  %-10s esup = %.2f, var = %.2f\n",
+                    fi.itemset.ToString().c_str(), fi.expected_support,
+                    fi.variance);
+      }
+    }
   }
   return 0;
 }

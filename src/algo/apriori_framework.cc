@@ -8,7 +8,23 @@
 
 namespace ufim {
 
+std::vector<ItemStats> CollectItemStats(const FlatView& view) {
+  const std::size_t n_items = view.num_items();
+  std::vector<ItemStats> out;
+  out.reserve(n_items);
+  for (std::size_t i = 0; i < n_items; ++i) {
+    const ItemId item = static_cast<ItemId>(i);
+    const double esup = view.ItemExpectedSupport(item);
+    if (esup > 0.0) {
+      out.push_back(ItemStats{item, esup, view.ItemSquaredSum(item)});
+    }
+  }
+  return out;
+}
+
 std::vector<ItemStats> CollectItemStats(const UncertainDatabase& db) {
+  // Direct row pass — building a FlatView just to read its caches would
+  // cost more than this single scan.
   const std::size_t n_items = db.num_items();
   std::vector<double> esup(n_items, 0.0), sq(n_items, 0.0);
   for (const Transaction& t : db) {
@@ -58,10 +74,166 @@ std::vector<Itemset> GenerateCandidates(const std::vector<Itemset>& frequent_k,
   return candidates;
 }
 
+namespace {
+
+/// Joins one candidate's posting arrays through the shared FlatView
+/// kernel, filling `stats` with esup / Σp² (+ probs when requested).
+/// `decremental_threshold >= 0` abandons the join once even one unit of
+/// probability per remaining driver posting cannot reach the threshold.
+void JoinCandidate(const FlatView& view, const Itemset& candidate,
+                   bool collect_probs, double decremental_threshold,
+                   CandidateStats& stats) {
+  const bool decremental = decremental_threshold >= 0.0;
+  constexpr std::size_t kSweepPeriod = 256;
+
+  KahanSum esup;
+  std::size_t last_check = 0;
+  view.JoinPostings(candidate, [&](std::size_t driver_pos,
+                                   std::size_t driver_len, TransactionId,
+                                   double prod) {
+    if (decremental && driver_pos - last_check >= kSweepPeriod) {
+      last_check = driver_pos;
+      // Each remaining driver posting contributes at most 1 to esup.
+      const double optimistic =
+          esup.value() + static_cast<double>(driver_len - driver_pos);
+      if (optimistic < decremental_threshold) return false;
+    }
+    esup.Add(prod);
+    stats.sq_sum += prod * prod;
+    if (collect_probs) stats.probs.push_back(prod);
+    return true;
+  });
+  stats.esup = esup.value();
+}
+
+/// Probe sweep over the view's flat horizontal arrays: one pass through
+/// the contiguous unit arrays, candidates bucketed by first item and
+/// probed against a dense per-transaction probability array. Same
+/// algorithm as the row-scan baseline, but every read is sequential over
+/// FlatView storage instead of chasing per-Transaction vectors. Wins
+/// when the candidate set is dense (level 2 of a low-threshold run).
+std::vector<CandidateStats> ProbeSweep(const FlatView& view,
+                                       const std::vector<Itemset>& candidates,
+                                       bool collect_probs,
+                                       double decremental_threshold) {
+  const std::size_t n_items = view.num_items();
+  const std::size_t n_cands = candidates.size();
+  std::vector<CandidateStats> stats(n_cands);
+
+  std::vector<std::vector<std::uint32_t>> buckets(n_items);
+  for (std::size_t c = 0; c < n_cands; ++c) {
+    buckets[candidates[c].items().front()].push_back(
+        static_cast<std::uint32_t>(c));
+  }
+
+  std::vector<KahanSum> esup(n_cands);
+  std::vector<char> active(n_cands, 1);
+  const bool decremental = decremental_threshold >= 0.0;
+  constexpr std::size_t kSweepPeriod = 512;
+
+  std::vector<double> probe(n_items, 0.0);
+
+  const std::size_t n_txn = view.num_transactions();
+  for (std::size_t ti = 0; ti < n_txn; ++ti) {
+    const TransactionId tid = static_cast<TransactionId>(ti);
+    const std::span<const ProbItem> units = view.TransactionUnits(tid);
+    for (const ProbItem& u : units) probe[u.item] = u.prob;
+    for (const ProbItem& u : units) {
+      for (std::uint32_t c : buckets[u.item]) {
+        if (!active[c]) continue;
+        double prod = u.prob;
+        const std::vector<ItemId>& members = candidates[c].items();
+        for (std::size_t k = 1; k < members.size(); ++k) {
+          const double p = probe[members[k]];
+          if (p == 0.0) {
+            prod = 0.0;
+            break;
+          }
+          prod *= p;
+        }
+        if (prod > 0.0) {
+          esup[c].Add(prod);
+          stats[c].sq_sum += prod * prod;
+          if (collect_probs) stats[c].probs.push_back(prod);
+        }
+      }
+    }
+    for (const ProbItem& u : units) probe[u.item] = 0.0;
+
+    if (decremental && (ti + 1) % kSweepPeriod == 0) {
+      const double remaining = static_cast<double>(n_txn - ti - 1);
+      for (std::size_t c = 0; c < n_cands; ++c) {
+        if (active[c] && esup[c].value() + remaining < decremental_threshold) {
+          active[c] = 0;
+        }
+      }
+    }
+  }
+  for (std::size_t c = 0; c < n_cands; ++c) stats[c].esup = esup[c].value();
+  return stats;
+}
+
+}  // namespace
+
+std::vector<CandidateStats> EvaluateCandidates(const FlatView& view,
+                                               const std::vector<Itemset>& candidates,
+                                               bool collect_probs,
+                                               double decremental_threshold) {
+  if (candidates.empty()) return {};
+
+  // Strategy selection by estimated work. A posting join touches the
+  // driver (shortest) posting list per candidate, with a binary-search
+  // constant on the other members; the probe sweep touches the first
+  // item's postings per candidate plus one pass over all units. Joins
+  // win for small or selective candidate sets (deep levels); the sweep
+  // wins for the dense pair level of a low-threshold run.
+  // The estimate is sampled (deterministic stride) so the strategy pick
+  // stays O(1)-ish even with hundreds of thousands of pair candidates.
+  constexpr double kSearchOverhead = 4.0;
+  constexpr std::size_t kCostSamples = 512;
+  const std::size_t stride = std::max<std::size_t>(candidates.size() / kCostSamples, 1);
+  double join_cost = 0.0;
+  double sweep_cost = 0.0;
+  std::size_t sampled = 0;
+  for (std::size_t c = 0; c < candidates.size(); c += stride, ++sampled) {
+    const std::vector<ItemId>& items = candidates[c].items();
+    std::size_t shortest = view.PostingTids(items[0]).size();
+    for (std::size_t k = 1; k < items.size(); ++k) {
+      shortest = std::min(shortest, view.PostingTids(items[k]).size());
+    }
+    join_cost += kSearchOverhead * static_cast<double>(shortest);
+    sweep_cost += static_cast<double>(view.PostingTids(items[0]).size());
+  }
+  const double scale =
+      static_cast<double>(candidates.size()) / static_cast<double>(sampled);
+  join_cost *= scale;
+  sweep_cost = sweep_cost * scale + static_cast<double>(view.num_units());
+  if (join_cost >= sweep_cost) {
+    return ProbeSweep(view, candidates, collect_probs, decremental_threshold);
+  }
+
+  std::vector<CandidateStats> stats(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    JoinCandidate(view, candidates[c], collect_probs, decremental_threshold,
+                  stats[c]);
+  }
+  return stats;
+}
+
 std::vector<CandidateStats> EvaluateCandidates(const UncertainDatabase& db,
                                                const std::vector<Itemset>& candidates,
                                                bool collect_probs,
                                                double decremental_threshold) {
+  // One-shot row-oriented callers get the single-pass scan; rebuilding
+  // the columnar index per call would dominate the counting itself.
+  // Miners that amortize the index use the FlatView overload.
+  return EvaluateCandidatesRowScan(db, candidates, collect_probs,
+                                   decremental_threshold);
+}
+
+std::vector<CandidateStats> EvaluateCandidatesRowScan(
+    const UncertainDatabase& db, const std::vector<Itemset>& candidates,
+    bool collect_probs, double decremental_threshold) {
   const std::size_t n_items = db.num_items();
   const std::size_t n_cands = candidates.size();
   std::vector<CandidateStats> stats(n_cands);
@@ -134,25 +306,17 @@ namespace {
 /// result annotation for one candidate given its scan statistics;
 /// returning nullopt marks the candidate infrequent.
 std::vector<FrequentItemset> LevelWiseLoop(
-    const UncertainDatabase& db,
+    const FlatView& view,
     const std::function<std::optional<FrequentItemset>(const Itemset&, CandidateStats&)>& judge,
     bool collect_probs, double decremental_threshold, MiningCounters* counters) {
   std::vector<FrequentItemset> results;
 
-  // Level 1: items.
-  std::vector<ItemStats> item_stats = CollectItemStats(db);
+  // Level 1: items, straight off the view's cached moments; the per-item
+  // posting arrays already hold the per-transaction probabilities.
+  std::vector<ItemStats> item_stats = CollectItemStats(view);
   if (counters != nullptr) {
     ++counters->database_scans;
     counters->candidates_generated += item_stats.size();
-  }
-  // When the judge needs per-transaction probabilities, gather them for
-  // every item in one database pass.
-  std::vector<std::vector<double>> item_probs;
-  if (collect_probs) {
-    item_probs.resize(db.num_items());
-    for (const Transaction& t : db) {
-      for (const ProbItem& u : t) item_probs[u.item].push_back(u.prob);
-    }
   }
   std::vector<Itemset> level;
   for (const ItemStats& is : item_stats) {
@@ -161,7 +325,8 @@ std::vector<FrequentItemset> LevelWiseLoop(
     cs.esup = is.esup;
     cs.sq_sum = is.sq_sum;
     if (collect_probs) {
-      cs.probs = std::move(item_probs[is.item]);
+      const std::span<const double> probs = view.PostingProbs(is.item);
+      cs.probs.assign(probs.begin(), probs.end());
     }
     std::optional<FrequentItemset> fi = judge(single, cs);
     if (fi.has_value()) {
@@ -184,7 +349,7 @@ std::vector<FrequentItemset> LevelWiseLoop(
       counters->candidates_generated += candidates.size();
     }
     std::vector<CandidateStats> stats =
-        EvaluateCandidates(db, candidates, collect_probs, decremental_threshold);
+        EvaluateCandidates(view, candidates, collect_probs, decremental_threshold);
     std::vector<Itemset> next;
     for (std::size_t c = 0; c < candidates.size(); ++c) {
       std::optional<FrequentItemset> fi = judge(candidates[c], stats[c]);
@@ -201,7 +366,7 @@ std::vector<FrequentItemset> LevelWiseLoop(
 
 }  // namespace
 
-std::vector<FrequentItemset> MineAprioriGeneric(const UncertainDatabase& db,
+std::vector<FrequentItemset> MineAprioriGeneric(const FlatView& view,
                                                 const AprioriCallbacks& callbacks,
                                                 double decremental_threshold,
                                                 MiningCounters* counters) {
@@ -217,12 +382,20 @@ std::vector<FrequentItemset> MineAprioriGeneric(const UncertainDatabase& db,
     }
     return fi;
   };
-  return LevelWiseLoop(db, judge, /*collect_probs=*/false, decremental_threshold,
+  return LevelWiseLoop(view, judge, /*collect_probs=*/false, decremental_threshold,
                        counters);
 }
 
+std::vector<FrequentItemset> MineAprioriGeneric(const UncertainDatabase& db,
+                                                const AprioriCallbacks& callbacks,
+                                                double decremental_threshold,
+                                                MiningCounters* counters) {
+  return MineAprioriGeneric(FlatView(db), callbacks, decremental_threshold,
+                            counters);
+}
+
 std::vector<FrequentItemset> MineProbabilisticApriori(
-    const UncertainDatabase& db, std::size_t msc, double pft,
+    const FlatView& view, std::size_t msc, double pft,
     const std::function<double(const std::vector<double>&, std::size_t)>& tail_fn,
     bool use_chernoff, MiningCounters* counters) {
   auto judge = [&](const Itemset& itemset,
@@ -241,8 +414,16 @@ std::vector<FrequentItemset> MineProbabilisticApriori(
     fi.frequent_probability = tail;
     return fi;
   };
-  return LevelWiseLoop(db, judge, /*collect_probs=*/true,
+  return LevelWiseLoop(view, judge, /*collect_probs=*/true,
                        /*decremental_threshold=*/-1.0, counters);
+}
+
+std::vector<FrequentItemset> MineProbabilisticApriori(
+    const UncertainDatabase& db, std::size_t msc, double pft,
+    const std::function<double(const std::vector<double>&, std::size_t)>& tail_fn,
+    bool use_chernoff, MiningCounters* counters) {
+  return MineProbabilisticApriori(FlatView(db), msc, pft, tail_fn, use_chernoff,
+                                  counters);
 }
 
 }  // namespace ufim

@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/flat_view.h"
 #include "core/mining_result.h"
 #include "core/uncertain_database.h"
 
@@ -17,6 +18,13 @@ namespace ufim {
 /// predicates. Keeping one audited implementation of candidate
 /// generation and support counting is exactly the "common subroutines"
 /// uniformity the paper's experimental methodology demands (§4.1).
+///
+/// Support counting runs over the columnar `FlatView`: each candidate's
+/// containment probabilities come from a merge-join of its members'
+/// posting arrays (ascending-tid index joins over contiguous memory),
+/// replacing the row-oriented probe-array scan. The row scan survives as
+/// `EvaluateCandidatesRowScan` — the baseline the equivalence tests and
+/// the FlatView bench compare against.
 
 /// Accumulated statistics for one candidate after a database scan.
 struct CandidateStats {
@@ -32,7 +40,12 @@ struct ItemStats {
   double sq_sum = 0.0;
 };
 
-/// One pass over the database accumulating esup and Σp² per item.
+/// Item-level moments from the view's cached per-item arrays (items with
+/// zero support omitted). O(num_items) on a full view.
+std::vector<ItemStats> CollectItemStats(const FlatView& view);
+
+/// Row-oriented variant: one pass over the transactions (no index
+/// build). Same contents as the view overload.
 std::vector<ItemStats> CollectItemStats(const UncertainDatabase& db);
 
 /// Classic Apriori candidate generation: joins lexicographically sorted
@@ -42,23 +55,42 @@ std::vector<ItemStats> CollectItemStats(const UncertainDatabase& db);
 std::vector<Itemset> GenerateCandidates(const std::vector<Itemset>& frequent_k,
                                         std::uint64_t* pruned);
 
-/// Evaluates all `candidates` (any mixture of sizes >= 2) in one database
-/// scan. Candidates are bucketed by their first item and probed against a
-/// dense per-transaction probability array, so each candidate is touched
-/// only for transactions containing its first item.
+/// Evaluates all `candidates` (any mixture of sizes >= 2) over the
+/// columnar view, choosing per call between two strategies by estimated
+/// work: posting-list merge-joins (each candidate driven from its
+/// shortest member posting array, the other members' cursors advanced
+/// monotonically) for small or selective candidate sets, and a bucketed
+/// probe sweep over the view's contiguous horizontal arrays for dense
+/// candidate sets such as the pair level of a low-threshold run.
 ///
-/// `collect_probs` stores the nonzero per-transaction probabilities
-/// (needed by the exact probabilistic algorithms).
+/// `collect_probs` stores the nonzero per-transaction probabilities in
+/// ascending transaction order (needed by the exact probabilistic
+/// algorithms).
 ///
 /// `decremental_threshold`, when >= 0, enables UApriori's decremental
-/// pruning: periodically during the scan, a candidate whose optimistic
-/// bound esup_so_far + (transactions remaining) can no longer reach the
-/// threshold is deactivated. Deactivated candidates report whatever they
+/// pruning: periodically during the join, a candidate whose optimistic
+/// bound esup_so_far + (driver postings remaining) can no longer reach
+/// the threshold is abandoned. Abandoned candidates report whatever they
 /// accumulated; they are guaranteed infrequent.
+std::vector<CandidateStats> EvaluateCandidates(const FlatView& view,
+                                               const std::vector<Itemset>& candidates,
+                                               bool collect_probs,
+                                               double decremental_threshold = -1.0);
+
+/// Row-oriented convenience overload for one-shot callers: delegates to
+/// the row-scan baseline rather than paying a full index build per call.
 std::vector<CandidateStats> EvaluateCandidates(const UncertainDatabase& db,
                                                const std::vector<Itemset>& candidates,
                                                bool collect_probs,
                                                double decremental_threshold = -1.0);
+
+/// The pre-columnar implementation: one pass over row-oriented
+/// transactions probing a dense per-transaction probability array.
+/// Kept as the reference baseline for equivalence tests and the
+/// FlatView-vs-row-scan bench; production miners use the view overload.
+std::vector<CandidateStats> EvaluateCandidatesRowScan(
+    const UncertainDatabase& db, const std::vector<Itemset>& candidates,
+    bool collect_probs, double decremental_threshold = -1.0);
 
 /// Hooks instantiating the framework for a concrete algorithm.
 struct AprioriCallbacks {
@@ -76,6 +108,10 @@ struct AprioriCallbacks {
 /// esup/variance (+ optional frequent probability) and are canonically
 /// sorted by the caller if needed. `decremental_threshold` as above
 /// (only meaningful when the predicate is an esup threshold).
+std::vector<FrequentItemset> MineAprioriGeneric(const FlatView& view,
+                                                const AprioriCallbacks& callbacks,
+                                                double decremental_threshold,
+                                                MiningCounters* counters);
 std::vector<FrequentItemset> MineAprioriGeneric(const UncertainDatabase& db,
                                                 const AprioriCallbacks& callbacks,
                                                 double decremental_threshold,
@@ -84,6 +120,10 @@ std::vector<FrequentItemset> MineAprioriGeneric(const UncertainDatabase& db,
 /// The exact probabilistic variant: per candidate, first the O(1)
 /// Chernoff test on esup (when `use_chernoff`), then the exact tail
 /// Pr(sup >= msc) via `tail_fn` (DP or DC). Frequent iff tail > pft.
+std::vector<FrequentItemset> MineProbabilisticApriori(
+    const FlatView& view, std::size_t msc, double pft,
+    const std::function<double(const std::vector<double>&, std::size_t)>& tail_fn,
+    bool use_chernoff, MiningCounters* counters);
 std::vector<FrequentItemset> MineProbabilisticApriori(
     const UncertainDatabase& db, std::size_t msc, double pft,
     const std::function<double(const std::vector<double>&, std::size_t)>& tail_fn,

@@ -1,8 +1,11 @@
 #include "algo/brute_force.h"
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "common/math_util.h"
+#include "core/miner_registry.h"
 
 namespace ufim {
 
@@ -27,30 +30,20 @@ struct Containment {
   }
 };
 
-/// Extends `base` with `item`: keeps transactions where `item` also
-/// occurs, multiplying probabilities.
-Containment Extend(const UncertainDatabase& db, const Containment& base,
-                   ItemId item) {
+/// Extends `base` with `item` via the shared list×postings join: keeps
+/// transactions where `item` also occurs, multiplying probabilities.
+Containment Extend(const FlatView& view, const Containment& base, ItemId item) {
   Containment out;
-  for (std::size_t i = 0; i < base.tids.size(); ++i) {
-    const double p = db[base.tids[i]].ProbabilityOf(item);
-    if (p > 0.0) {
-      out.tids.push_back(base.tids[i]);
-      out.probs.push_back(base.probs[i] * p);
-    }
-  }
+  view.JoinWithPostings(base.tids, item, [&](std::size_t i, double p) {
+    out.tids.push_back(base.tids[i]);
+    out.probs.push_back(base.probs[i] * p);
+  });
   return out;
 }
 
-Containment SingleItem(const UncertainDatabase& db, ItemId item) {
+Containment SingleItem(const FlatView& view, ItemId item) {
   Containment out;
-  for (std::size_t t = 0; t < db.size(); ++t) {
-    const double p = db[t].ProbabilityOf(item);
-    if (p > 0.0) {
-      out.tids.push_back(static_cast<TransactionId>(t));
-      out.probs.push_back(p);
-    }
-  }
+  view.CopyPostings(item, out.tids, out.probs);
   return out;
 }
 
@@ -77,11 +70,12 @@ double TailFromPmf(const std::vector<double>& pmf, std::size_t k) {
 
 }  // namespace
 
-Result<MiningResult> BruteForceExpected::Mine(
-    const UncertainDatabase& db, const ExpectedSupportParams& params) const {
+Result<MiningResult> BruteForceExpected::MineExpected(
+    const FlatView& view, const ExpectedSupportParams& params) const {
   UFIM_RETURN_IF_ERROR(params.Validate());
-  const double threshold = params.min_esup * static_cast<double>(db.size());
-  const std::size_t n_items = db.num_items();
+  const double threshold =
+      params.min_esup * static_cast<double>(view.num_transactions());
+  const std::size_t n_items = view.num_items();
   MiningResult result;
 
   // DFS over itemsets in lexicographic order; expected support is
@@ -94,8 +88,8 @@ Result<MiningResult> BruteForceExpected::Mine(
     for (ItemId next = frame.itemset.empty() ? 0 : frame.itemset.items().back() + 1;
          next < n_items; ++next) {
       result.counters().candidates_generated++;
-      Containment ext = frame.itemset.empty() ? SingleItem(db, next)
-                                              : Extend(db, frame.cont, next);
+      Containment ext = frame.itemset.empty() ? SingleItem(view, next)
+                                              : Extend(view, frame.cont, next);
       const double esup = ext.Esup();
       if (esup < threshold) continue;
       Frame child{frame.itemset.empty() ? Itemset{next}
@@ -114,11 +108,11 @@ Result<MiningResult> BruteForceExpected::Mine(
   return result;
 }
 
-Result<MiningResult> BruteForceProbabilistic::Mine(
-    const UncertainDatabase& db, const ProbabilisticParams& params) const {
+Result<MiningResult> BruteForceProbabilistic::MineProbabilistic(
+    const FlatView& view, const ProbabilisticParams& params) const {
   UFIM_RETURN_IF_ERROR(params.Validate());
-  const std::size_t msc = params.MinSupportCount(db.size());
-  const std::size_t n_items = db.num_items();
+  const std::size_t msc = params.MinSupportCount(view.num_transactions());
+  const std::size_t n_items = view.num_items();
   MiningResult result;
 
   struct Frame {
@@ -129,8 +123,8 @@ Result<MiningResult> BruteForceProbabilistic::Mine(
     for (ItemId next = frame.itemset.empty() ? 0 : frame.itemset.items().back() + 1;
          next < n_items; ++next) {
       result.counters().candidates_generated++;
-      Containment ext = frame.itemset.empty() ? SingleItem(db, next)
-                                              : Extend(db, frame.cont, next);
+      Containment ext = frame.itemset.empty() ? SingleItem(view, next)
+                                              : Extend(view, frame.cont, next);
       if (ext.probs.size() < msc) continue;  // support can never reach msc
       result.counters().exact_probability_evaluations++;
       const double tail = TailFromPmf(FullPmf(ext.probs), msc);
@@ -151,5 +145,17 @@ Result<MiningResult> BruteForceProbabilistic::Mine(
   result.SortCanonical();
   return result;
 }
+
+UFIM_REGISTER_MINER("BruteForceExpected", TaskFamily::kExpectedSupport,
+                    /*production=*/false,
+                    [](const MinerOptions&) {
+                      return std::make_unique<BruteForceExpected>();
+                    })
+
+UFIM_REGISTER_MINER("BruteForceProbabilistic", TaskFamily::kProbabilistic,
+                    /*production=*/false,
+                    [](const MinerOptions&) {
+                      return std::make_unique<BruteForceProbabilistic>();
+                    })
 
 }  // namespace ufim

@@ -20,8 +20,9 @@ class BruteForceExpected final : public ExpectedSupportMiner {
 
   std::string_view name() const override { return "BruteForceExpected"; }
 
-  Result<MiningResult> Mine(const UncertainDatabase& db,
-                            const ExpectedSupportParams& params) const override;
+  Result<MiningResult> MineExpected(
+      const FlatView& view,
+      const ExpectedSupportParams& params) const override;
 };
 
 /// Exhaustive exact probabilistic miner. Per itemset, the support pmf is
@@ -34,8 +35,9 @@ class BruteForceProbabilistic final : public ProbabilisticMiner {
   std::string_view name() const override { return "BruteForceProbabilistic"; }
   bool is_exact() const override { return true; }
 
-  Result<MiningResult> Mine(const UncertainDatabase& db,
-                            const ProbabilisticParams& params) const override;
+  Result<MiningResult> MineProbabilistic(
+      const FlatView& view,
+      const ProbabilisticParams& params) const override;
 };
 
 }  // namespace ufim

@@ -1,18 +1,21 @@
 #include "algo/exact_dc.h"
 
+#include <memory>
+
 #include "algo/apriori_framework.h"
+#include "core/miner_registry.h"
 #include "prob/poisson_binomial.h"
 
 namespace ufim {
 
-Result<MiningResult> ExactDC::Mine(const UncertainDatabase& db,
-                                   const ProbabilisticParams& params) const {
+Result<MiningResult> ExactDC::MineProbabilistic(
+    const FlatView& view, const ProbabilisticParams& params) const {
   UFIM_RETURN_IF_ERROR(params.Validate());
-  const std::size_t msc = params.MinSupportCount(db.size());
+  const std::size_t msc = params.MinSupportCount(view.num_transactions());
   const std::size_t fft_threshold = fft_threshold_;
   MiningResult result;
   std::vector<FrequentItemset> found = MineProbabilisticApriori(
-      db, msc, params.pft,
+      view, msc, params.pft,
       [fft_threshold](const std::vector<double>& probs, std::size_t k) {
         return PoissonBinomialTailDC(probs, k, fft_threshold);
       },
@@ -21,5 +24,21 @@ Result<MiningResult> ExactDC::Mine(const UncertainDatabase& db,
   result.SortCanonical();
   return result;
 }
+
+UFIM_REGISTER_MINER("DCNB", TaskFamily::kProbabilistic,
+                    /*production=*/true,
+                    [](const MinerOptions& options) {
+                      return std::make_unique<ExactDC>(
+                          /*use_chernoff_pruning=*/false,
+                          options.dc_fft_threshold);
+                    })
+
+UFIM_REGISTER_MINER("DCB", TaskFamily::kProbabilistic,
+                    /*production=*/true,
+                    [](const MinerOptions& options) {
+                      return std::make_unique<ExactDC>(
+                          /*use_chernoff_pruning=*/true,
+                          options.dc_fft_threshold);
+                    })
 
 }  // namespace ufim

@@ -23,8 +23,9 @@ class ExactDC final : public ProbabilisticMiner {
   std::string_view name() const override { return use_chernoff_ ? "DCB" : "DCNB"; }
   bool is_exact() const override { return true; }
 
-  Result<MiningResult> Mine(const UncertainDatabase& db,
-                            const ProbabilisticParams& params) const override;
+  Result<MiningResult> MineProbabilistic(
+      const FlatView& view,
+      const ProbabilisticParams& params) const override;
 
  private:
   bool use_chernoff_;

@@ -1,17 +1,20 @@
 #include "algo/exact_dp.h"
 
+#include <memory>
+
 #include "algo/apriori_framework.h"
+#include "core/miner_registry.h"
 #include "prob/poisson_binomial.h"
 
 namespace ufim {
 
-Result<MiningResult> ExactDP::Mine(const UncertainDatabase& db,
-                                   const ProbabilisticParams& params) const {
+Result<MiningResult> ExactDP::MineProbabilistic(
+    const FlatView& view, const ProbabilisticParams& params) const {
   UFIM_RETURN_IF_ERROR(params.Validate());
-  const std::size_t msc = params.MinSupportCount(db.size());
+  const std::size_t msc = params.MinSupportCount(view.num_transactions());
   MiningResult result;
   std::vector<FrequentItemset> found = MineProbabilisticApriori(
-      db, msc, params.pft,
+      view, msc, params.pft,
       [](const std::vector<double>& probs, std::size_t k) {
         return PoissonBinomialTailDP(probs, k);
       },
@@ -20,5 +23,19 @@ Result<MiningResult> ExactDP::Mine(const UncertainDatabase& db,
   result.SortCanonical();
   return result;
 }
+
+UFIM_REGISTER_MINER("DPNB", TaskFamily::kProbabilistic,
+                    /*production=*/true,
+                    [](const MinerOptions&) {
+                      return std::make_unique<ExactDP>(
+                          /*use_chernoff_pruning=*/false);
+                    })
+
+UFIM_REGISTER_MINER("DPB", TaskFamily::kProbabilistic,
+                    /*production=*/true,
+                    [](const MinerOptions&) {
+                      return std::make_unique<ExactDP>(
+                          /*use_chernoff_pruning=*/true);
+                    })
 
 }  // namespace ufim

@@ -1,17 +1,20 @@
 #include "algo/mc_sampling.h"
 
+#include <memory>
+
 #include "algo/apriori_framework.h"
 #include "common/rng.h"
+#include "core/miner_registry.h"
 
 namespace ufim {
 
-Result<MiningResult> MCSampling::Mine(const UncertainDatabase& db,
-                                      const ProbabilisticParams& params) const {
+Result<MiningResult> MCSampling::MineProbabilistic(
+    const FlatView& view, const ProbabilisticParams& params) const {
   UFIM_RETURN_IF_ERROR(params.Validate());
   if (num_samples_ == 0) {
     return Status::InvalidArgument("MCSampling requires num_samples > 0");
   }
-  const std::size_t msc = params.MinSupportCount(db.size());
+  const std::size_t msc = params.MinSupportCount(view.num_transactions());
   const std::size_t samples = num_samples_;
 
   MiningResult result;
@@ -39,11 +42,18 @@ Result<MiningResult> MCSampling::Mine(const UncertainDatabase& db,
     return static_cast<double>(hits) / static_cast<double>(samples);
   };
   std::vector<FrequentItemset> found =
-      MineProbabilisticApriori(db, msc, params.pft, tail_estimator,
+      MineProbabilisticApriori(view, msc, params.pft, tail_estimator,
                                /*use_chernoff=*/true, &result.counters());
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
 }
+
+UFIM_REGISTER_MINER("MCSampling", TaskFamily::kProbabilistic,
+                    /*production=*/true,
+                    [](const MinerOptions& options) {
+                      return std::make_unique<MCSampling>(options.mc_samples,
+                                                          options.mc_seed);
+                    })
 
 }  // namespace ufim

@@ -26,8 +26,9 @@ class MCSampling final : public ProbabilisticMiner {
   std::string_view name() const override { return "MCSampling"; }
   bool is_exact() const override { return false; }
 
-  Result<MiningResult> Mine(const UncertainDatabase& db,
-                            const ProbabilisticParams& params) const override;
+  Result<MiningResult> MineProbabilistic(
+      const FlatView& view,
+      const ProbabilisticParams& params) const override;
 
  private:
   std::size_t num_samples_;

@@ -1,14 +1,17 @@
 #include "algo/ndu_apriori.h"
 
+#include <memory>
+
 #include "algo/apriori_framework.h"
+#include "core/miner_registry.h"
 #include "prob/normal.h"
 
 namespace ufim {
 
-Result<MiningResult> NDUApriori::Mine(const UncertainDatabase& db,
-                                      const ProbabilisticParams& params) const {
+Result<MiningResult> NDUApriori::MineProbabilistic(
+    const FlatView& view, const ProbabilisticParams& params) const {
   UFIM_RETURN_IF_ERROR(params.Validate());
-  const std::size_t msc = params.MinSupportCount(db.size());
+  const std::size_t msc = params.MinSupportCount(view.num_transactions());
   const double pft = params.pft;
 
   MiningResult result;
@@ -21,10 +24,16 @@ Result<MiningResult> NDUApriori::Mine(const UncertainDatabase& db,
     return NormalApproxFrequentProbability(esup, esup - sq_sum, msc);
   };
   std::vector<FrequentItemset> found = MineAprioriGeneric(
-      db, callbacks, /*decremental_threshold=*/-1.0, &result.counters());
+      view, callbacks, /*decremental_threshold=*/-1.0, &result.counters());
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
 }
+
+UFIM_REGISTER_MINER("NDUApriori", TaskFamily::kProbabilistic,
+                    /*production=*/true,
+                    [](const MinerOptions&) {
+                      return std::make_unique<NDUApriori>();
+                    })
 
 }  // namespace ufim

@@ -20,8 +20,9 @@ class NDUApriori final : public ProbabilisticMiner {
   std::string_view name() const override { return "NDUApriori"; }
   bool is_exact() const override { return false; }
 
-  Result<MiningResult> Mine(const UncertainDatabase& db,
-                            const ProbabilisticParams& params) const override;
+  Result<MiningResult> MineProbabilistic(
+      const FlatView& view,
+      const ProbabilisticParams& params) const override;
 };
 
 }  // namespace ufim

@@ -1,14 +1,17 @@
 #include "algo/nduh_mine.h"
 
+#include <memory>
+
 #include "algo/uh_struct.h"
+#include "core/miner_registry.h"
 #include "prob/normal.h"
 
 namespace ufim {
 
-Result<MiningResult> NDUHMine::Mine(const UncertainDatabase& db,
-                                    const ProbabilisticParams& params) const {
+Result<MiningResult> NDUHMine::MineProbabilistic(
+    const FlatView& view, const ProbabilisticParams& params) const {
   UFIM_RETURN_IF_ERROR(params.Validate());
-  const std::size_t msc = params.MinSupportCount(db.size());
+  const std::size_t msc = params.MinSupportCount(view.num_transactions());
   const double pft = params.pft;
   UHStructEngine::Hooks hooks;
   hooks.is_frequent = [msc, pft](double esup, double sq_sum) {
@@ -18,12 +21,18 @@ Result<MiningResult> NDUHMine::Mine(const UncertainDatabase& db,
                                      double sq_sum) -> std::optional<double> {
     return NormalApproxFrequentProbability(esup, esup - sq_sum, msc);
   };
-  UHStructEngine engine(db, std::move(hooks));
+  UHStructEngine engine(view, std::move(hooks));
   MiningResult result;
   std::vector<FrequentItemset> found = engine.Mine(&result.counters());
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
 }
+
+UFIM_REGISTER_MINER("NDUH-Mine", TaskFamily::kProbabilistic,
+                    /*production=*/true,
+                    [](const MinerOptions&) {
+                      return std::make_unique<NDUHMine>();
+                    })
 
 }  // namespace ufim

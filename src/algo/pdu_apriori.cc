@@ -1,14 +1,17 @@
 #include "algo/pdu_apriori.h"
 
+#include <memory>
+
 #include "algo/apriori_framework.h"
+#include "core/miner_registry.h"
 #include "prob/poisson.h"
 
 namespace ufim {
 
-Result<MiningResult> PDUApriori::Mine(const UncertainDatabase& db,
-                                      const ProbabilisticParams& params) const {
+Result<MiningResult> PDUApriori::MineProbabilistic(
+    const FlatView& view, const ProbabilisticParams& params) const {
   UFIM_RETURN_IF_ERROR(params.Validate());
-  const std::size_t msc = params.MinSupportCount(db.size());
+  const std::size_t msc = params.MinSupportCount(view.num_transactions());
   const double lambda_star = PoissonLambdaForTail(msc, params.pft);
 
   MiningResult result;
@@ -17,10 +20,17 @@ Result<MiningResult> PDUApriori::Mine(const UncertainDatabase& db,
     return esup >= lambda_star;
   };
   std::vector<FrequentItemset> found = MineAprioriGeneric(
-      db, callbacks, /*decremental_threshold=*/lambda_star, &result.counters());
+      view, callbacks, /*decremental_threshold=*/lambda_star,
+      &result.counters());
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
 }
+
+UFIM_REGISTER_MINER("PDUApriori", TaskFamily::kProbabilistic,
+                    /*production=*/true,
+                    [](const MinerOptions&) {
+                      return std::make_unique<PDUApriori>();
+                    })
 
 }  // namespace ufim

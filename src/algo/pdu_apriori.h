@@ -22,8 +22,9 @@ class PDUApriori final : public ProbabilisticMiner {
   std::string_view name() const override { return "PDUApriori"; }
   bool is_exact() const override { return false; }
 
-  Result<MiningResult> Mine(const UncertainDatabase& db,
-                            const ProbabilisticParams& params) const override;
+  Result<MiningResult> MineProbabilistic(
+      const FlatView& view,
+      const ProbabilisticParams& params) const override;
 };
 
 }  // namespace ufim

@@ -31,7 +31,7 @@ using MinHeap =
     std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
 
 struct SearchContext {
-  const UncertainDatabase* db = nullptr;
+  const FlatView* view = nullptr;
   std::size_t k = 0;
   /// Items in descending expected-support order (exploration order).
   std::vector<ItemId> order;
@@ -56,26 +56,24 @@ double Bound(const SearchContext& ctx) {
 }
 
 /// Extends `prefix` (whose containment is given) with every item at an
-/// order-position greater than `last_pos`.
+/// order-position greater than `last_pos`. Extension containments come
+/// from merge-joining the prefix tids with the item's posting arrays.
 void Dfs(SearchContext& ctx, const Itemset& prefix, const Containment& cont,
          std::uint32_t last_pos) {
-  const UncertainDatabase& db = *ctx.db;
+  const FlatView& view = *ctx.view;
   for (std::uint32_t p = last_pos + 1; p < ctx.order.size(); ++p) {
     const ItemId item = ctx.order[p];
     ++ctx.counters.candidates_generated;
     Containment ext;
     KahanSum esup;
     double sq_sum = 0.0;
-    for (std::size_t i = 0; i < cont.tids.size(); ++i) {
-      const double ip = db[cont.tids[i]].ProbabilityOf(item);
-      if (ip > 0.0) {
-        const double joint = cont.probs[i] * ip;
-        ext.tids.push_back(cont.tids[i]);
-        ext.probs.push_back(joint);
-        esup.Add(joint);
-        sq_sum += joint * joint;
-      }
-    }
+    view.JoinWithPostings(cont.tids, item, [&](std::size_t i, double p) {
+      const double joint = cont.probs[i] * p;
+      ext.tids.push_back(cont.tids[i]);
+      ext.probs.push_back(joint);
+      esup.Add(joint);
+      sq_sum += joint * joint;
+    });
     // Itemsets that never co-occur are not results.
     if (ext.tids.empty()) continue;
     // Anti-monotonicity: nothing below this node can beat the bound.
@@ -88,14 +86,13 @@ void Dfs(SearchContext& ctx, const Itemset& prefix, const Containment& cont,
 
 }  // namespace
 
-Result<MiningResult> MineTopKExpected(const UncertainDatabase& db,
-                                      std::size_t k) {
+Result<MiningResult> MineTopKExpected(const FlatView& view, std::size_t k) {
   if (k == 0) return Status::InvalidArgument("top-k mining requires k > 0");
   SearchContext ctx;
-  ctx.db = &db;
+  ctx.view = &view;
   ctx.k = k;
 
-  std::vector<ItemStats> stats = CollectItemStats(db);
+  std::vector<ItemStats> stats = CollectItemStats(view);
   std::sort(stats.begin(), stats.end(), [](const ItemStats& a, const ItemStats& b) {
     if (a.esup != b.esup) return a.esup > b.esup;
     return a.item < b.item;
@@ -113,13 +110,7 @@ Result<MiningResult> MineTopKExpected(const UncertainDatabase& db,
     const ItemId item = ctx.order[p];
     if (stats[p].esup <= Bound(ctx)) continue;  // no extension can qualify
     Containment cont;
-    for (std::size_t t = 0; t < db.size(); ++t) {
-      const double ip = db[t].ProbabilityOf(item);
-      if (ip > 0.0) {
-        cont.tids.push_back(static_cast<TransactionId>(t));
-        cont.probs.push_back(ip);
-      }
-    }
+    view.CopyPostings(item, cont.tids, cont.probs);
     Dfs(ctx, Itemset{item}, cont, p);
   }
 
@@ -140,6 +131,11 @@ Result<MiningResult> MineTopKExpected(const UncertainDatabase& db,
     result.Add(std::move(fi));
   }
   return result;
+}
+
+Result<MiningResult> MineTopKExpected(const UncertainDatabase& db,
+                                      std::size_t k) {
+  return MineTopKExpected(FlatView(db), k);
 }
 
 }  // namespace ufim

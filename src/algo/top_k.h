@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "core/flat_view.h"
 #include "core/miner.h"
 
 namespace ufim {
@@ -20,6 +21,9 @@ namespace ufim {
 /// Returns fewer than k itemsets only when fewer exist. Results carry
 /// (esup, variance) like every other miner and are sorted by descending
 /// expected support.
+Result<MiningResult> MineTopKExpected(const FlatView& view, std::size_t k);
+
+/// Convenience overload that builds a FlatView first.
 Result<MiningResult> MineTopKExpected(const UncertainDatabase& db,
                                       std::size_t k);
 

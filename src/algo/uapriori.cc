@@ -1,25 +1,36 @@
 #include "algo/uapriori.h"
 
+#include <memory>
+
 #include "algo/apriori_framework.h"
+#include "core/miner_registry.h"
 
 namespace ufim {
 
-Result<MiningResult> UApriori::Mine(const UncertainDatabase& db,
-                                    const ExpectedSupportParams& params) const {
+Result<MiningResult> UApriori::MineExpected(
+    const FlatView& view, const ExpectedSupportParams& params) const {
   UFIM_RETURN_IF_ERROR(params.Validate());
-  const double threshold = params.min_esup * static_cast<double>(db.size());
+  const double threshold =
+      params.min_esup * static_cast<double>(view.num_transactions());
   MiningResult result;
   AprioriCallbacks callbacks;
   callbacks.is_frequent = [threshold](double esup, double) {
     return esup >= threshold;
   };
   std::vector<FrequentItemset> found =
-      MineAprioriGeneric(db, callbacks,
+      MineAprioriGeneric(view, callbacks,
                          decremental_pruning_ ? threshold : -1.0,
                          &result.counters());
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
 }
+
+UFIM_REGISTER_MINER("UApriori", TaskFamily::kExpectedSupport,
+                    /*production=*/true,
+                    [](const MinerOptions& options) {
+                      return std::make_unique<UApriori>(
+                          options.decremental_pruning);
+                    })
 
 }  // namespace ufim

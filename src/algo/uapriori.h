@@ -23,8 +23,9 @@ class UApriori final : public ExpectedSupportMiner {
 
   std::string_view name() const override { return "UApriori"; }
 
-  Result<MiningResult> Mine(const UncertainDatabase& db,
-                            const ExpectedSupportParams& params) const override;
+  Result<MiningResult> MineExpected(
+      const FlatView& view,
+      const ExpectedSupportParams& params) const override;
 
  private:
   bool decremental_pruning_;

@@ -1,9 +1,11 @@
 #include "algo/ufp_growth.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "algo/apriori_framework.h"
 #include "algo/ufp_tree.h"
+#include "core/miner_registry.h"
 
 namespace ufim {
 
@@ -103,15 +105,17 @@ void MineTree(const UFPTree& tree, std::vector<std::uint32_t>& prefix_ranks,
 
 }  // namespace
 
-Result<MiningResult> UFPGrowth::Mine(const UncertainDatabase& db,
-                                     const ExpectedSupportParams& params) const {
+Result<MiningResult> UFPGrowth::MineExpected(
+    const FlatView& view, const ExpectedSupportParams& params) const {
   UFIM_RETURN_IF_ERROR(params.Validate());
-  const double threshold = params.min_esup * static_cast<double>(db.size());
+  const double threshold =
+      params.min_esup * static_cast<double>(view.num_transactions());
   MiningResult result;
   ++result.counters().database_scans;
 
-  // Pass 1: frequent items, ordered by descending expected support.
-  std::vector<ItemStats> stats = CollectItemStats(db);
+  // Pass 1: frequent items, ordered by descending expected support
+  // (straight off the view's cached per-item moments).
+  std::vector<ItemStats> stats = CollectItemStats(view);
   std::vector<ItemStats> kept;
   for (const ItemStats& is : stats) {
     ++result.counters().candidates_generated;
@@ -122,7 +126,7 @@ Result<MiningResult> UFPGrowth::Mine(const UncertainDatabase& db,
     return a.item < b.item;
   });
   std::vector<ItemId> rank_to_item;
-  std::vector<std::uint32_t> item_to_rank(db.num_items(), UINT32_MAX);
+  std::vector<std::uint32_t> item_to_rank(view.num_items(), UINT32_MAX);
   for (std::size_t r = 0; r < kept.size(); ++r) {
     rank_to_item.push_back(kept[r].item);
     item_to_rank[kept[r].item] = static_cast<std::uint32_t>(r);
@@ -130,13 +134,15 @@ Result<MiningResult> UFPGrowth::Mine(const UncertainDatabase& db,
     // (whose per-rank moments equal the item-level moments exactly).
   }
 
-  // Pass 2: build the global UFP-tree over the frequent items.
+  // Pass 2: build the global UFP-tree over the frequent items from the
+  // view's flat horizontal arrays.
   ++result.counters().database_scans;
   UFPTree tree(rank_to_item.size());
   std::vector<UFPTree::PathUnit> path;
-  for (const Transaction& t : db) {
+  for (std::size_t ti = 0; ti < view.num_transactions(); ++ti) {
     path.clear();
-    for (const ProbItem& u : t) {
+    for (const ProbItem& u :
+         view.TransactionUnits(static_cast<TransactionId>(ti))) {
       const std::uint32_t rank = item_to_rank[u.item];
       if (rank != UINT32_MAX) path.push_back(UFPTree::PathUnit{rank, u.prob});
     }
@@ -161,5 +167,11 @@ Result<MiningResult> UFPGrowth::Mine(const UncertainDatabase& db,
   result.SortCanonical();
   return result;
 }
+
+UFIM_REGISTER_MINER("UFP-growth", TaskFamily::kExpectedSupport,
+                    /*production=*/true,
+                    [](const MinerOptions&) {
+                      return std::make_unique<UFPGrowth>();
+                    })
 
 }  // namespace ufim

@@ -21,8 +21,9 @@ class UFPGrowth final : public ExpectedSupportMiner {
 
   std::string_view name() const override { return "UFP-growth"; }
 
-  Result<MiningResult> Mine(const UncertainDatabase& db,
-                            const ExpectedSupportParams& params) const override;
+  Result<MiningResult> MineExpected(
+      const FlatView& view,
+      const ExpectedSupportParams& params) const override;
 };
 
 }  // namespace ufim

@@ -15,8 +15,9 @@ class UHMine final : public ExpectedSupportMiner {
 
   std::string_view name() const override { return "UH-Mine"; }
 
-  Result<MiningResult> Mine(const UncertainDatabase& db,
-                            const ExpectedSupportParams& params) const override;
+  Result<MiningResult> MineExpected(
+      const FlatView& view,
+      const ExpectedSupportParams& params) const override;
 };
 
 }  // namespace ufim

@@ -6,11 +6,12 @@
 
 namespace ufim {
 
-UHStructEngine::UHStructEngine(const UncertainDatabase& db, Hooks hooks)
+UHStructEngine::UHStructEngine(const FlatView& view, Hooks hooks)
     : hooks_(std::move(hooks)) {
-  // Item-level pass: moments per item, filter by the predicate, order by
-  // descending expected support (the paper's head-table order).
-  std::vector<ItemStats> stats = CollectItemStats(db);
+  // Item-level pass: moments off the view's cached arrays, filter by the
+  // predicate, order by descending expected support (the paper's
+  // head-table order).
+  std::vector<ItemStats> stats = CollectItemStats(view);
   std::vector<ItemStats> kept;
   kept.reserve(stats.size());
   for (const ItemStats& is : stats) {
@@ -20,7 +21,7 @@ UHStructEngine::UHStructEngine(const UncertainDatabase& db, Hooks hooks)
     if (a.esup != b.esup) return a.esup > b.esup;
     return a.item < b.item;
   });
-  std::vector<std::uint32_t> item_to_rank(db.num_items(), UINT32_MAX);
+  std::vector<std::uint32_t> item_to_rank(view.num_items(), UINT32_MAX);
   rank_to_item_.reserve(kept.size());
   for (std::size_t r = 0; r < kept.size(); ++r) {
     rank_to_item_.push_back(kept[r].item);
@@ -29,12 +30,13 @@ UHStructEngine::UHStructEngine(const UncertainDatabase& db, Hooks hooks)
 
   // Project transactions onto the kept items, re-labelled by rank and
   // sorted by rank (so "extensions after position" enumerates each
-  // itemset exactly once).
+  // itemset exactly once). Reads the view's flat horizontal arrays.
   txn_offsets_.push_back(0);
   std::vector<Unit> scratch;
-  for (const Transaction& t : db) {
+  for (std::size_t ti = 0; ti < view.num_transactions(); ++ti) {
     scratch.clear();
-    for (const ProbItem& u : t) {
+    for (const ProbItem& u :
+         view.TransactionUnits(static_cast<TransactionId>(ti))) {
       const std::uint32_t rank = item_to_rank[u.item];
       if (rank != UINT32_MAX) scratch.push_back(Unit{rank, u.prob});
     }
@@ -49,6 +51,9 @@ UHStructEngine::UHStructEngine(const UncertainDatabase& db, Hooks hooks)
   sq_acc_.assign(rank_to_item_.size(), 0.0);
   slot_of_.assign(rank_to_item_.size(), UINT32_MAX);
 }
+
+UHStructEngine::UHStructEngine(const UncertainDatabase& db, Hooks hooks)
+    : UHStructEngine(FlatView(db), std::move(hooks)) {}
 
 FrequentItemset UHStructEngine::MakeResult(
     const std::vector<std::uint32_t>& prefix_ranks, double esup,

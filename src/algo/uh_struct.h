@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/flat_view.h"
 #include "core/mining_result.h"
 #include "core/uncertain_database.h"
 
@@ -37,8 +38,12 @@ class UHStructEngine {
         frequent_probability;  ///< may be null
   };
 
-  /// Builds the UH-Struct over `db`, keeping only items accepted by
-  /// `hooks.is_frequent` on their item-level moments.
+  /// Builds the UH-Struct over the columnar view, keeping only items
+  /// accepted by `hooks.is_frequent` on their item-level moments (read
+  /// off the view's cached per-item arrays).
+  UHStructEngine(const FlatView& view, Hooks hooks);
+
+  /// Convenience overload that builds a FlatView first.
   UHStructEngine(const UncertainDatabase& db, Hooks hooks);
 
   /// Runs the depth-first mining and returns all frequent itemsets

@@ -1,0 +1,143 @@
+#include "core/flat_view.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace ufim {
+
+FlatView::FlatView(const UncertainDatabase& db) {
+  auto s = std::make_shared<Storage>();
+  s->num_items = db.num_items();
+  s->full_size = db.size();
+
+  // Pass 1: sizes. Horizontal offsets directly; vertical postings counted
+  // per item so both CSR arrays are filled without reallocation.
+  std::size_t total_units = 0;
+  s->txn_offsets.reserve(db.size() + 1);
+  s->txn_offsets.push_back(0);
+  std::vector<std::size_t> item_counts(s->num_items, 0);
+  for (const Transaction& t : db) {
+    total_units += t.size();
+    s->txn_offsets.push_back(total_units);
+    for (const ProbItem& u : t) ++item_counts[u.item];
+  }
+
+  s->units.reserve(total_units);
+  s->item_offsets.assign(s->num_items + 1, 0);
+  for (std::size_t i = 0; i < s->num_items; ++i) {
+    s->item_offsets[i + 1] = s->item_offsets[i] + item_counts[i];
+  }
+  s->posting_tids.resize(total_units);
+  s->posting_probs.resize(total_units);
+  s->item_esup.assign(s->num_items, 0.0);
+  s->item_sq_sum.assign(s->num_items, 0.0);
+
+  // Pass 2: fill. Transactions are visited in ascending tid order, so
+  // each item's postings come out tid-sorted by construction.
+  std::vector<std::size_t> fill(s->item_offsets.begin(),
+                                s->item_offsets.end() - 1);
+  std::vector<KahanSum> esup(s->num_items);
+  for (std::size_t ti = 0; ti < db.size(); ++ti) {
+    for (const ProbItem& u : db[ti]) {
+      s->units.push_back(u);
+      const std::size_t pos = fill[u.item]++;
+      s->posting_tids[pos] = static_cast<TransactionId>(ti);
+      s->posting_probs[pos] = u.prob;
+      esup[u.item].Add(u.prob);
+      s->item_sq_sum[u.item] += u.prob * u.prob;
+    }
+  }
+  for (std::size_t i = 0; i < s->num_items; ++i) {
+    s->item_esup[i] = esup[i].value();
+  }
+
+  num_transactions_ = s->full_size;
+  storage_ = std::move(s);
+}
+
+std::size_t FlatView::num_units() const {
+  return storage_->txn_offsets[num_transactions_];
+}
+
+double FlatView::Probability(TransactionId t, ItemId item) const {
+  std::span<const ProbItem> units = TransactionUnits(t);
+  auto it = std::lower_bound(
+      units.begin(), units.end(), item,
+      [](const ProbItem& u, ItemId needle) { return u.item < needle; });
+  if (it == units.end() || it->item != item) return 0.0;
+  return it->prob;
+}
+
+std::pair<std::size_t, std::size_t> FlatView::PostingRange(ItemId item) const {
+  const Storage& s = *storage_;
+  if (item >= s.num_items) return {0, 0};
+  const std::size_t begin = s.item_offsets[item];
+  std::size_t end = s.item_offsets[item + 1];
+  if (num_transactions_ < s.full_size) {
+    // Sliced view: cut where tids reach the slice boundary.
+    end = static_cast<std::size_t>(
+        std::lower_bound(s.posting_tids.begin() + begin,
+                         s.posting_tids.begin() + end,
+                         static_cast<TransactionId>(num_transactions_)) -
+        s.posting_tids.begin());
+  }
+  return {begin, end};
+}
+
+std::span<const TransactionId> FlatView::PostingTids(ItemId item) const {
+  auto [begin, end] = PostingRange(item);
+  return {storage_->posting_tids.data() + begin, end - begin};
+}
+
+std::span<const double> FlatView::PostingProbs(ItemId item) const {
+  auto [begin, end] = PostingRange(item);
+  return {storage_->posting_probs.data() + begin, end - begin};
+}
+
+void FlatView::CopyPostings(ItemId item, std::vector<TransactionId>& tids,
+                            std::vector<double>& probs) const {
+  const std::span<const TransactionId> t = PostingTids(item);
+  const std::span<const double> p = PostingProbs(item);
+  tids.assign(t.begin(), t.end());
+  probs.assign(p.begin(), p.end());
+}
+
+double FlatView::ItemExpectedSupport(ItemId item) const {
+  if (item >= storage_->num_items) return 0.0;
+  if (IsFullView()) return storage_->item_esup[item];
+  KahanSum sum;
+  for (double p : PostingProbs(item)) sum.Add(p);
+  return sum.value();
+}
+
+double FlatView::ItemSquaredSum(ItemId item) const {
+  if (item >= storage_->num_items) return 0.0;
+  if (IsFullView()) return storage_->item_sq_sum[item];
+  double sum = 0.0;
+  for (double p : PostingProbs(item)) sum += p * p;
+  return sum;
+}
+
+double FlatView::ExpectedSupport(const Itemset& itemset) const {
+  KahanSum sum;
+  for (double p : ContainmentProbabilities(itemset)) sum.Add(p);
+  return sum.value();
+}
+
+std::vector<double> FlatView::ContainmentProbabilities(
+    const Itemset& itemset) const {
+  std::vector<double> out;
+  JoinPostings(itemset, [&out](std::size_t, std::size_t, TransactionId,
+                               double prod) {
+    out.push_back(prod);
+    return true;
+  });
+  return out;
+}
+
+FlatView FlatView::Prefix(std::size_t n) const {
+  return FlatView(storage_, std::min(n, num_transactions_));
+}
+
+}  // namespace ufim

@@ -1,0 +1,224 @@
+#ifndef UFIM_CORE_FLAT_VIEW_H_
+#define UFIM_CORE_FLAT_VIEW_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/itemset.h"
+#include "core/types.h"
+#include "core/uncertain_database.h"
+
+namespace ufim {
+
+/// Immutable columnar index over an `UncertainDatabase`, built once and
+/// shared by every miner.
+///
+/// Two layouts over the same data, both in contiguous arrays:
+///
+///  * **Vertical (CSR postings):** for each item, the ascending list of
+///    `(transaction, probability)` occurrences. Candidate support counting
+///    becomes a tight merge-join of posting arrays instead of re-walking
+///    `Transaction` objects — the locality argument of the paper's §4
+///    made structural.
+///  * **Horizontal (flat rows):** all transactions flattened into one
+///    item array + one probability array with a CSR offset table, for the
+///    tree/hyperlink builders (UFP-tree, UH-Struct) that consume
+///    transactions in row order.
+///
+/// Per-item expected supports and Σp² are cached at build time, so the
+/// level-1 pass of every miner is O(num_items) array reads.
+///
+/// A view is cheap to copy: copies share the underlying arrays.
+/// `Prefix(n)` returns an O(1) slice restricted to the first `n`
+/// transactions (the scalability-sweep access pattern); vertical accessors
+/// of a sliced view locate their cut by binary search on the tid arrays.
+class FlatView {
+ public:
+  FlatView() : FlatView(UncertainDatabase()) {}
+
+  /// Builds both layouts in two passes over `db`. The view does not keep
+  /// a reference to `db`; it owns its arrays.
+  explicit FlatView(const UncertainDatabase& db);
+
+  std::size_t num_transactions() const { return num_transactions_; }
+  std::size_t num_items() const { return storage_->num_items; }
+  bool empty() const { return num_transactions_ == 0; }
+
+  /// Total probabilistic units in the viewed transactions.
+  std::size_t num_units() const;
+
+  // --- Horizontal layout -------------------------------------------------
+
+  /// Units of transaction `t`, ascending by item. Kept as interleaved
+  /// (item, prob) records because every horizontal consumer — the probe
+  /// sweep, the UFP-tree and UH-Struct builders — reads both fields of a
+  /// unit together; the vertical postings below are the split layout.
+  std::span<const ProbItem> TransactionUnits(TransactionId t) const {
+    const Storage& s = *storage_;
+    return {s.units.data() + s.txn_offsets[t],
+            s.txn_offsets[t + 1] - s.txn_offsets[t]};
+  }
+
+  /// Existential probability of `item` in transaction `t`; 0 if absent.
+  /// Binary search over the transaction's item array.
+  double Probability(TransactionId t, ItemId item) const;
+
+  // --- Vertical layout ---------------------------------------------------
+
+  /// Transactions containing `item`, ascending. Items >= num_items() have
+  /// empty postings.
+  std::span<const TransactionId> PostingTids(ItemId item) const;
+
+  /// Probabilities parallel to `PostingTids(item)`.
+  std::span<const double> PostingProbs(ItemId item) const;
+
+  /// Copies `item`'s postings into caller-owned vectors — the seed
+  /// containment of a single-item prefix in the DFS miners (brute force,
+  /// top-k). Existing contents are replaced.
+  void CopyPostings(ItemId item, std::vector<TransactionId>& tids,
+                    std::vector<double>& probs) const;
+
+  // --- Cached item moments ----------------------------------------------
+
+  /// Σ_t Pr(item ∈ T_t) over the viewed transactions. O(1) on a full
+  /// view; O(slice length) on a prefix slice.
+  double ItemExpectedSupport(ItemId item) const;
+
+  /// Σ_t Pr(item ∈ T_t)² likewise.
+  double ItemSquaredSum(ItemId item) const;
+
+  // --- Itemset queries (merge-joins over postings) -----------------------
+
+  /// Expected support of `itemset` by posting-list join (Definition 1).
+  double ExpectedSupport(const Itemset& itemset) const;
+
+  /// Nonzero containment probabilities Pr(X ⊆ T), ascending transaction
+  /// order — identical contents to
+  /// `UncertainDatabase::ContainmentProbabilities`.
+  std::vector<double> ContainmentProbabilities(const Itemset& itemset) const;
+
+  /// The shared posting merge-join kernel: visits every transaction
+  /// containing all of `itemset`, ascending, with prod = Pr(X ⊆ T).
+  /// Drives from the shortest member posting list and advances the other
+  /// members' cursors monotonically by binary search. `sink` is called as
+  /// sink(driver_pos, driver_len, tid, prod) on each match — driver_pos /
+  /// driver_len expose join progress for optimistic-bound pruning (each
+  /// remaining driver posting contributes at most 1 to esup) — and
+  /// returns false to abandon the join.
+  ///
+  /// Every posting-join consumer (candidate evaluation, containment
+  /// queries, the brute-force and top-k searches) routes through this or
+  /// `JoinWithPostings` so join semantics can never diverge per miner.
+  template <typename Sink>
+  void JoinPostings(const Itemset& itemset, Sink&& sink) const {
+    const std::vector<ItemId>& items = itemset.items();
+    if (items.empty()) return;
+
+    std::size_t driver = 0;
+    std::size_t shortest = PostingTids(items[0]).size();
+    for (std::size_t k = 1; k < items.size(); ++k) {
+      const std::size_t len = PostingTids(items[k]).size();
+      if (len < shortest) {
+        shortest = len;
+        driver = k;
+      }
+    }
+    if (shortest == 0) return;
+
+    struct Cursor {
+      std::span<const TransactionId> tids;
+      std::span<const double> probs;
+      std::size_t pos;
+    };
+    std::vector<Cursor> cursors;
+    cursors.reserve(items.size() - 1);
+    for (std::size_t k = 0; k < items.size(); ++k) {
+      if (k == driver) continue;
+      cursors.push_back(Cursor{PostingTids(items[k]), PostingProbs(items[k]), 0});
+    }
+
+    const std::span<const TransactionId> dtids = PostingTids(items[driver]);
+    const std::span<const double> dprobs = PostingProbs(items[driver]);
+    for (std::size_t i = 0; i < dtids.size(); ++i) {
+      const TransactionId tid = dtids[i];
+      double prod = dprobs[i];
+      bool all = true;
+      for (Cursor& c : cursors) {
+        c.pos = static_cast<std::size_t>(
+            std::lower_bound(c.tids.begin() + c.pos, c.tids.end(), tid) -
+            c.tids.begin());
+        if (c.pos == c.tids.size() || c.tids[c.pos] != tid) {
+          all = false;
+          break;
+        }
+        prod *= c.probs[c.pos];
+      }
+      if (all && !sink(i, dtids.size(), tid, prod)) return;
+    }
+  }
+
+  /// The list×postings variant of the kernel: merge-joins an ascending
+  /// tid sequence (typically a prefix itemset's containment) with
+  /// `item`'s postings, calling sink(seq_index, posting_prob) per match.
+  template <typename Sink>
+  void JoinWithPostings(std::span<const TransactionId> seq_tids, ItemId item,
+                        Sink&& sink) const {
+    const std::span<const TransactionId> tids = PostingTids(item);
+    const std::span<const double> probs = PostingProbs(item);
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < seq_tids.size() && pos < tids.size(); ++i) {
+      pos = static_cast<std::size_t>(
+          std::lower_bound(tids.begin() + pos, tids.end(), seq_tids[i]) -
+          tids.begin());
+      if (pos < tids.size() && tids[pos] == seq_tids[i]) {
+        sink(i, probs[pos]);
+      }
+    }
+  }
+
+  // --- Slicing -----------------------------------------------------------
+
+  /// View over the first `n` transactions. O(1): shares all arrays with
+  /// this view. Clamps n to num_transactions().
+  FlatView Prefix(std::size_t n) const;
+
+  /// True when the view spans the whole database it was built from.
+  bool IsFullView() const { return num_transactions_ == storage_->full_size; }
+
+ private:
+  struct Storage {
+    std::size_t num_items = 0;
+    std::size_t full_size = 0;  ///< transactions in the source database
+
+    // Horizontal CSR.
+    std::vector<std::size_t> txn_offsets;  ///< size full_size + 1
+    std::vector<ProbItem> units;
+
+    // Vertical CSR: postings of item i live in
+    // [item_offsets[i], item_offsets[i+1]) of the two arrays below,
+    // sorted by ascending tid.
+    std::vector<std::size_t> item_offsets;  ///< size num_items + 1
+    std::vector<TransactionId> posting_tids;
+    std::vector<double> posting_probs;
+
+    // Full-database per-item moments.
+    std::vector<double> item_esup;
+    std::vector<double> item_sq_sum;
+  };
+
+  FlatView(std::shared_ptr<const Storage> storage, std::size_t n)
+      : storage_(std::move(storage)), num_transactions_(n) {}
+
+  /// Postings of `item` cut to tids < num_transactions_.
+  std::pair<std::size_t, std::size_t> PostingRange(ItemId item) const;
+
+  std::shared_ptr<const Storage> storage_;
+  std::size_t num_transactions_ = 0;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_CORE_FLAT_VIEW_H_

@@ -1,6 +1,7 @@
 #include "core/miner.h"
 
 #include <cmath>
+#include <string>
 
 namespace ufim {
 
@@ -28,6 +29,43 @@ std::size_t ProbabilisticParams::MinSupportCount(
   if (msc < 1) msc = 1;
   if (msc > num_transactions) msc = num_transactions;
   return msc;
+}
+
+std::string_view TaskKindName(const MiningTask& task) {
+  return std::holds_alternative<ExpectedSupportParams>(task)
+             ? "expected-support"
+             : "probabilistic";
+}
+
+Result<MiningResult> Miner::Mine(const UncertainDatabase& db,
+                                 const MiningTask& task) const {
+  return Mine(FlatView(db), task);
+}
+
+namespace {
+
+Status UnsupportedTask(const Miner& miner, const MiningTask& task) {
+  return Status::InvalidArgument(std::string(miner.name()) +
+                                 " does not support " +
+                                 std::string(TaskKindName(task)) + " tasks");
+}
+
+}  // namespace
+
+Result<MiningResult> ExpectedSupportMiner::Mine(const FlatView& view,
+                                                const MiningTask& task) const {
+  if (const auto* params = std::get_if<ExpectedSupportParams>(&task)) {
+    return MineExpected(view, *params);
+  }
+  return UnsupportedTask(*this, task);
+}
+
+Result<MiningResult> ProbabilisticMiner::Mine(const FlatView& view,
+                                              const MiningTask& task) const {
+  if (const auto* params = std::get_if<ProbabilisticParams>(&task)) {
+    return MineProbabilistic(view, *params);
+  }
+  return UnsupportedTask(*this, task);
 }
 
 }  // namespace ufim

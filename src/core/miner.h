@@ -1,10 +1,14 @@
 #ifndef UFIM_CORE_MINER_H_
 #define UFIM_CORE_MINER_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string_view>
+#include <variant>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "core/flat_view.h"
 #include "core/mining_result.h"
 #include "core/uncertain_database.h"
 
@@ -35,39 +39,121 @@ struct ProbabilisticParams {
   std::size_t MinSupportCount(std::size_t num_transactions) const;
 };
 
-/// Interface of the expected-support-based miners (UApriori, UFP-growth,
-/// UH-Mine). Implementations are stateless across calls: `Mine` may be
-/// invoked repeatedly with different databases.
-class ExpectedSupportMiner {
- public:
-  virtual ~ExpectedSupportMiner() = default;
+/// One mining request: either of the paper's two problem definitions.
+/// The unified `Miner` facade dispatches on the active alternative, so
+/// drivers (CLI, experiment runner, benches) need a single code path.
+using MiningTask = std::variant<ExpectedSupportParams, ProbabilisticParams>;
 
-  /// Algorithm name as used in the paper ("UApriori", ...).
+/// "expected-support" or "probabilistic" — for diagnostics.
+std::string_view TaskKindName(const MiningTask& task);
+
+/// Tuning knobs shared across miners. Defaults mirror the optimized
+/// configurations the paper's study used.
+struct MinerOptions {
+  /// UApriori/PDUApriori: enable mid-scan decremental pruning [17, 18].
+  bool decremental_pruning = true;
+  /// DC: operand size above which the conquer step uses FFT convolution.
+  std::size_t dc_fft_threshold = 64;
+  /// MCSampling: possible worlds sampled per candidate.
+  std::size_t mc_samples = 1024;
+  /// MCSampling: RNG seed (results are deterministic in it).
+  std::uint64_t mc_seed = 0xC0FFEE;
+};
+
+/// The unified mining interface: every algorithm in the repo — the three
+/// expected-support miners, the exact DP/DC family, the approximate
+/// probabilistic miners and the brute-force oracles — is a `Miner` that
+/// consumes a columnar `FlatView` and a `MiningTask`.
+///
+/// Implementations are stateless across calls: `Mine` may be invoked
+/// repeatedly with different views.
+class Miner {
+ public:
+  virtual ~Miner() = default;
+
+  /// Algorithm name as used in the paper ("UApriori", "DCB", ...).
   virtual std::string_view name() const = 0;
+
+  /// True when this miner can execute the active alternative of `task`.
+  virtual bool Supports(const MiningTask& task) const = 0;
+
+  /// True for algorithms whose reported frequentness is exact under the
+  /// task they support (all expected-support miners; DP/DC among the
+  /// probabilistic ones).
+  virtual bool is_exact() const = 0;
+
+  /// Runs the task over a prebuilt columnar view. Returns
+  /// InvalidArgument when `Supports(task)` is false.
+  virtual Result<MiningResult> Mine(const FlatView& view,
+                                    const MiningTask& task) const = 0;
+
+  /// Convenience: builds the FlatView internally. Prefer the view
+  /// overload when mining the same database repeatedly.
+  Result<MiningResult> Mine(const UncertainDatabase& db,
+                            const MiningTask& task) const;
+};
+
+/// Adapter base of the expected-support-based miners (UApriori,
+/// UFP-growth, UH-Mine, brute force). Subclasses implement
+/// `MineExpected`; the `MiningTask` dispatch and the typed convenience
+/// overloads live here.
+class ExpectedSupportMiner : public Miner {
+ public:
+  bool Supports(const MiningTask& task) const final {
+    return std::holds_alternative<ExpectedSupportParams>(task);
+  }
+  bool is_exact() const override { return true; }
+
+  Result<MiningResult> Mine(const FlatView& view,
+                            const MiningTask& task) const final;
+  using Miner::Mine;
+
+  /// Typed entry points (tests and legacy call sites).
+  Result<MiningResult> Mine(const FlatView& view,
+                            const ExpectedSupportParams& params) const {
+    return MineExpected(view, params);
+  }
+  Result<MiningResult> Mine(const UncertainDatabase& db,
+                            const ExpectedSupportParams& params) const {
+    return MineExpected(FlatView(db), params);
+  }
 
   /// Finds all itemsets with esup(X) >= N * params.min_esup. Every
   /// returned itemset carries (expected_support, variance); variance is
   /// reported because it is free to accumulate and is exactly what turns
   /// these miners into approximate probabilistic miners (§3.3).
-  virtual Result<MiningResult> Mine(const UncertainDatabase& db,
-                                    const ExpectedSupportParams& params) const = 0;
+  virtual Result<MiningResult> MineExpected(
+      const FlatView& view, const ExpectedSupportParams& params) const = 0;
 };
 
-/// Interface of the probabilistic miners — exact (DP, DC) and approximate
-/// (PDUApriori, NDUApriori, NDUH-Mine).
-class ProbabilisticMiner {
+/// Adapter base of the probabilistic miners — exact (DP, DC) and
+/// approximate (PDUApriori, NDUApriori, NDUH-Mine, MCSampling).
+class ProbabilisticMiner : public Miner {
  public:
-  virtual ~ProbabilisticMiner() = default;
-
-  virtual std::string_view name() const = 0;
+  bool Supports(const MiningTask& task) const final {
+    return std::holds_alternative<ProbabilisticParams>(task);
+  }
 
   /// True for DP/DC (exact frequent probabilities), false for the
   /// distribution-approximation algorithms.
-  virtual bool is_exact() const = 0;
+  bool is_exact() const override = 0;
+
+  Result<MiningResult> Mine(const FlatView& view,
+                            const MiningTask& task) const final;
+  using Miner::Mine;
+
+  Result<MiningResult> Mine(const FlatView& view,
+                            const ProbabilisticParams& params) const {
+    return MineProbabilistic(view, params);
+  }
+  Result<MiningResult> Mine(const UncertainDatabase& db,
+                            const ProbabilisticParams& params) const {
+    return MineProbabilistic(FlatView(db), params);
+  }
 
   /// Finds all itemsets with Pr(sup(X) >= N*min_sup) > pft.
-  virtual Result<MiningResult> Mine(const UncertainDatabase& db,
-                                    const ProbabilisticParams& params) const = 0;
+  virtual Result<MiningResult> MineProbabilistic(
+      const FlatView& view, const ProbabilisticParams& params) const = 0;
 };
 
 }  // namespace ufim

@@ -1,58 +1,40 @@
 #include "core/miner_factory.h"
 
-#include "algo/brute_force.h"
-#include "algo/exact_dc.h"
-#include "algo/exact_dp.h"
-#include "algo/mc_sampling.h"
-#include "algo/ndu_apriori.h"
-#include "algo/nduh_mine.h"
-#include "algo/pdu_apriori.h"
-#include "algo/uapriori.h"
-#include "algo/ufp_growth.h"
-#include "algo/uh_mine.h"
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 namespace ufim {
 
+namespace {
+
+/// Downcasts a registry-made miner to its family base. The registry
+/// invariant (entry.family matches the concrete base class) makes the
+/// static_cast sound. A missing registration means the enum, ToString
+/// and UFIM_REGISTER_MINER name drifted apart — abort with a message
+/// rather than hand the "never fails" callers a null pointer.
+template <typename BaseT>
+std::unique_ptr<BaseT> CreateAs(std::string_view name,
+                                const MinerOptions& options) {
+  std::unique_ptr<Miner> miner = MinerRegistry::Global().Create(name, options);
+  if (miner == nullptr) {
+    std::fprintf(stderr, "ufim: algorithm '%s' is not registered\n",
+                 std::string(name).c_str());
+    std::abort();
+  }
+  return std::unique_ptr<BaseT>(static_cast<BaseT*>(miner.release()));
+}
+
+}  // namespace
+
 std::unique_ptr<ExpectedSupportMiner> CreateExpectedSupportMiner(
     ExpectedAlgorithm algorithm, const MinerOptions& options) {
-  switch (algorithm) {
-    case ExpectedAlgorithm::kUApriori:
-      return std::make_unique<UApriori>(options.decremental_pruning);
-    case ExpectedAlgorithm::kUFPGrowth:
-      return std::make_unique<UFPGrowth>();
-    case ExpectedAlgorithm::kUHMine:
-      return std::make_unique<UHMine>();
-    case ExpectedAlgorithm::kBruteForce:
-      return std::make_unique<BruteForceExpected>();
-  }
-  return nullptr;
+  return CreateAs<ExpectedSupportMiner>(ToString(algorithm), options);
 }
 
 std::unique_ptr<ProbabilisticMiner> CreateProbabilisticMiner(
     ProbabilisticAlgorithm algorithm, const MinerOptions& options) {
-  switch (algorithm) {
-    case ProbabilisticAlgorithm::kDPNB:
-      return std::make_unique<ExactDP>(/*use_chernoff_pruning=*/false);
-    case ProbabilisticAlgorithm::kDPB:
-      return std::make_unique<ExactDP>(/*use_chernoff_pruning=*/true);
-    case ProbabilisticAlgorithm::kDCNB:
-      return std::make_unique<ExactDC>(/*use_chernoff_pruning=*/false,
-                                       options.dc_fft_threshold);
-    case ProbabilisticAlgorithm::kDCB:
-      return std::make_unique<ExactDC>(/*use_chernoff_pruning=*/true,
-                                       options.dc_fft_threshold);
-    case ProbabilisticAlgorithm::kPDUApriori:
-      return std::make_unique<PDUApriori>();
-    case ProbabilisticAlgorithm::kNDUApriori:
-      return std::make_unique<NDUApriori>();
-    case ProbabilisticAlgorithm::kNDUHMine:
-      return std::make_unique<NDUHMine>();
-    case ProbabilisticAlgorithm::kMCSampling:
-      return std::make_unique<MCSampling>(options.mc_samples, options.mc_seed);
-    case ProbabilisticAlgorithm::kBruteForce:
-      return std::make_unique<BruteForceProbabilistic>();
-  }
-  return nullptr;
+  return CreateAs<ProbabilisticMiner>(ToString(algorithm), options);
 }
 
 std::string_view ToString(ExpectedAlgorithm algorithm) {

@@ -6,8 +6,15 @@
 #include <vector>
 
 #include "core/miner.h"
+#include "core/miner_registry.h"
 
 namespace ufim {
+
+/// Enum-keyed convenience layer over `MinerRegistry` for callers that
+/// want a closed algorithm list (benches, tests reproducing the paper's
+/// fixed experimental arms). New algorithms register themselves with the
+/// registry (see miner_registry.h) and need no edits here; the enums
+/// exist purely to spell the paper's arms in code.
 
 /// The three expected-support-based algorithms of the paper's §3.1
 /// (+ the exhaustive reference used by tests).
@@ -33,26 +40,14 @@ enum class ProbabilisticAlgorithm {
   kBruteForce,
 };
 
-/// Tuning knobs shared across factories. Defaults mirror the optimized
-/// configurations the paper's study used.
-struct MinerOptions {
-  /// UApriori/PDUApriori: enable mid-scan decremental pruning [17, 18].
-  bool decremental_pruning = true;
-  /// DC: operand size above which the conquer step uses FFT convolution.
-  std::size_t dc_fft_threshold = 64;
-  /// MCSampling: possible worlds sampled per candidate.
-  std::size_t mc_samples = 1024;
-  /// MCSampling: RNG seed (results are deterministic in it).
-  std::uint64_t mc_seed = 0xC0FFEE;
-};
-
-/// Constructs a miner; never fails (the enums are closed).
+/// Constructs a miner via the registry; never fails (the enums are
+/// closed and every named algorithm self-registers).
 std::unique_ptr<ExpectedSupportMiner> CreateExpectedSupportMiner(
     ExpectedAlgorithm algorithm, const MinerOptions& options = {});
 std::unique_ptr<ProbabilisticMiner> CreateProbabilisticMiner(
     ProbabilisticAlgorithm algorithm, const MinerOptions& options = {});
 
-/// Display names matching the paper's figures.
+/// Display names matching the paper's figures (and the registry keys).
 std::string_view ToString(ExpectedAlgorithm algorithm);
 std::string_view ToString(ProbabilisticAlgorithm algorithm);
 

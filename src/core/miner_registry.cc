@@ -1,0 +1,61 @@
+#include "core/miner_registry.h"
+
+#include <algorithm>
+
+namespace ufim {
+
+MinerRegistry& MinerRegistry::Global() {
+  // Function-local static: constructed on first use, so registrations
+  // from other translation units' static initializers are safe.
+  static MinerRegistry* registry = new MinerRegistry();
+  return *registry;
+}
+
+bool MinerRegistry::Register(MinerEntry entry) {
+  for (MinerEntry& existing : entries_) {
+    if (existing.name == entry.name) {
+      existing = std::move(entry);
+      return true;
+    }
+  }
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+const MinerEntry* MinerRegistry::Find(std::string_view name) const {
+  for (const MinerEntry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Miner> MinerRegistry::Create(std::string_view name,
+                                             const MinerOptions& options) const {
+  const MinerEntry* entry = Find(name);
+  if (entry == nullptr) return nullptr;
+  return entry->make(options);
+}
+
+std::vector<std::string> MinerRegistry::Names(bool production_only) const {
+  std::vector<std::string> out;
+  for (const MinerEntry& entry : entries_) {
+    if (production_only && !entry.production) continue;
+    out.push_back(entry.name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> MinerRegistry::NamesOf(TaskFamily family,
+                                                bool production_only) const {
+  std::vector<std::string> out;
+  for (const MinerEntry& entry : entries_) {
+    if (entry.family != family) continue;
+    if (production_only && !entry.production) continue;
+    out.push_back(entry.name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ufim

@@ -1,0 +1,80 @@
+#ifndef UFIM_CORE_MINER_REGISTRY_H_
+#define UFIM_CORE_MINER_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/miner.h"
+
+namespace ufim {
+
+/// Which of the paper's two problem definitions a registered miner
+/// answers (mirrors Miner::Supports, queryable without instantiation).
+enum class TaskFamily {
+  kExpectedSupport,
+  kProbabilistic,
+};
+
+/// Registration record of one algorithm. Exactness is not duplicated
+/// here — query `Miner::is_exact()` on an instance.
+struct MinerEntry {
+  std::string name;    ///< canonical name; must equal Miner::name()
+  TaskFamily family = TaskFamily::kExpectedSupport;
+  bool production = true;  ///< false for test oracles (brute force)
+  std::function<std::unique_ptr<Miner>(const MinerOptions&)> make;
+};
+
+/// Name-keyed registry of all mining algorithms. Algorithms register
+/// themselves from their own translation units via UFIM_REGISTER_MINER,
+/// so adding a new miner never touches factory code.
+class MinerRegistry {
+ public:
+  /// The process-wide registry.
+  static MinerRegistry& Global();
+
+  /// Registers an entry; returns true. Registering a duplicate name is a
+  /// programming error and replaces the previous entry (last wins, which
+  /// keeps static-init order irrelevant for well-formed code).
+  bool Register(MinerEntry entry);
+
+  /// Looks an algorithm up by canonical name; nullptr when unknown.
+  const MinerEntry* Find(std::string_view name) const;
+
+  /// Instantiates an algorithm by name; nullptr when unknown.
+  std::unique_ptr<Miner> Create(std::string_view name,
+                                const MinerOptions& options = {}) const;
+
+  /// All registered names, sorted. `production_only` drops test oracles.
+  std::vector<std::string> Names(bool production_only = false) const;
+
+  /// Registered names of one family, sorted; `production_only` likewise.
+  std::vector<std::string> NamesOf(TaskFamily family,
+                                   bool production_only = false) const;
+
+ private:
+  std::vector<MinerEntry> entries_;
+};
+
+/// Registers `name` with the global registry at static-initialization
+/// time. Use in the algorithm's .cc:
+///
+///   UFIM_REGISTER_MINER("UApriori", TaskFamily::kExpectedSupport,
+///                       /*production=*/true,
+///                       [](const MinerOptions& o) {
+///                         return std::make_unique<UApriori>(o.decremental_pruning);
+///                       });
+#define UFIM_REGISTER_MINER(name, family, production, factory)     \
+  namespace {                                                      \
+  const bool UFIM_REGISTRY_CONCAT_(ufim_registered_, __LINE__) =   \
+      ::ufim::MinerRegistry::Global().Register(                    \
+          ::ufim::MinerEntry{name, family, production, factory});  \
+  }
+#define UFIM_REGISTRY_CONCAT_(a, b) UFIM_REGISTRY_CONCAT_IMPL_(a, b)
+#define UFIM_REGISTRY_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace ufim
+
+#endif  // UFIM_CORE_MINER_REGISTRY_H_

@@ -7,27 +7,21 @@
 namespace ufim {
 
 UncertainDatabase::UncertainDatabase(std::vector<Transaction> transactions)
-    : transactions_(std::move(transactions)) {}
-
-void UncertainDatabase::Add(Transaction t) {
-  transactions_.push_back(std::move(t));
-  num_items_valid_ = false;
+    : transactions_(std::move(transactions)) {
+  for (const Transaction& t : transactions_) NoteTransaction(t);
 }
 
-std::size_t UncertainDatabase::num_items() const {
-  if (!num_items_valid_) {
-    ItemId max_id = 0;
-    bool any = false;
-    for (const Transaction& t : transactions_) {
-      if (!t.empty()) {
-        any = true;
-        max_id = std::max(max_id, t.units().back().item);
-      }
-    }
-    cached_num_items_ = any ? static_cast<std::size_t>(max_id) + 1 : 0;
-    num_items_valid_ = true;
+void UncertainDatabase::Add(Transaction t) {
+  NoteTransaction(t);
+  transactions_.push_back(std::move(t));
+}
+
+void UncertainDatabase::NoteTransaction(const Transaction& t) {
+  if (!t.empty()) {
+    // Units are sorted, so back() is the transaction's largest item.
+    num_items_ = std::max(num_items_,
+                          static_cast<std::size_t>(t.units().back().item) + 1);
   }
-  return cached_num_items_;
 }
 
 DatabaseStats UncertainDatabase::ComputeStats() const {

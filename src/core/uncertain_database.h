@@ -45,11 +45,13 @@ class UncertainDatabase {
     return transactions_.end();
   }
 
-  /// Appends a transaction (invalidates cached stats).
+  /// Appends a transaction (updates cached stats incrementally).
   void Add(Transaction t);
 
   /// One past the largest item id present (0 for an empty database).
-  std::size_t num_items() const;
+  /// Maintained eagerly by the constructor and `Add`, so concurrent const
+  /// readers (parallel miners) never race on a lazy cache.
+  std::size_t num_items() const { return num_items_; }
 
   /// Computes summary statistics with one pass.
   DatabaseStats ComputeStats() const;
@@ -77,9 +79,11 @@ class UncertainDatabase {
   Status Validate() const;
 
  private:
+  /// Folds `t` into the eagerly maintained stats (currently num_items_).
+  void NoteTransaction(const Transaction& t);
+
   std::vector<Transaction> transactions_;
-  mutable std::size_t cached_num_items_ = 0;
-  mutable bool num_items_valid_ = false;
+  std::size_t num_items_ = 0;
 };
 
 }  // namespace ufim

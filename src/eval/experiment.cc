@@ -7,13 +7,12 @@ namespace ufim {
 
 namespace {
 
-template <typename MinerT, typename ParamsT>
-Result<ExperimentMeasurement> RunOne(const MinerT& miner,
-                                     const UncertainDatabase& db,
-                                     const ParamsT& params) {
+template <typename DataT>
+Result<ExperimentMeasurement> RunOne(const Miner& miner, const DataT& data,
+                                     const MiningTask& task) {
   ScopedPeakMemory mem;
   Stopwatch watch;
-  Result<MiningResult> mined = miner.Mine(db, params);
+  Result<MiningResult> mined = miner.Mine(data, task);
   if (!mined.ok()) return mined.status();
   ExperimentMeasurement m;
   m.millis = watch.ElapsedMillis();
@@ -27,16 +26,27 @@ Result<ExperimentMeasurement> RunOne(const MinerT& miner,
 
 }  // namespace
 
+Result<ExperimentMeasurement> RunExperiment(const Miner& miner,
+                                            const FlatView& view,
+                                            const MiningTask& task) {
+  return RunOne(miner, view, task);
+}
+
+Result<ExperimentMeasurement> RunExperiment(const Miner& miner,
+                                            const UncertainDatabase& db,
+                                            const MiningTask& task) {
+  return RunOne(miner, db, task);
+}
+
 Result<ExperimentMeasurement> RunExpectedExperiment(
     const ExpectedSupportMiner& miner, const UncertainDatabase& db,
     const ExpectedSupportParams& params) {
-  return RunOne(miner, db, params);
+  return RunExperiment(miner, db, MiningTask(params));
 }
 
 Result<ExperimentMeasurement> RunProbabilisticExperiment(
     const ProbabilisticMiner& miner, const UncertainDatabase& db,
     const ProbabilisticParams& params) {
-  return RunOne(miner, db, params);
+  return RunExperiment(miner, db, MiningTask(params));
 }
-
 }  // namespace ufim

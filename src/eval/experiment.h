@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "core/flat_view.h"
 #include "core/miner.h"
 #include "core/mining_result.h"
 #include "core/uncertain_database.h"
@@ -21,7 +22,18 @@ struct ExperimentMeasurement {
   MiningResult result;  ///< full result, for accuracy post-processing
 };
 
-/// Runs `miner` once under the stopwatch and the peak-memory scope.
+/// Runs `miner` once on `task` under the stopwatch and the peak-memory
+/// scope. The view overload excludes FlatView construction from the
+/// timing (the view is built once per sweep); the database overload
+/// times it as part of the run.
+Result<ExperimentMeasurement> RunExperiment(const Miner& miner,
+                                            const FlatView& view,
+                                            const MiningTask& task);
+Result<ExperimentMeasurement> RunExperiment(const Miner& miner,
+                                            const UncertainDatabase& db,
+                                            const MiningTask& task);
+
+/// Typed conveniences retained for the per-definition sweeps.
 Result<ExperimentMeasurement> RunExpectedExperiment(
     const ExpectedSupportMiner& miner, const UncertainDatabase& db,
     const ExpectedSupportParams& params);

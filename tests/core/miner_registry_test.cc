@@ -1,0 +1,143 @@
+#include "core/miner_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/miner_factory.h"
+#include "gen/benchmark_datasets.h"
+
+namespace ufim {
+namespace {
+
+std::vector<std::string_view> EveryFactoryName() {
+  std::vector<std::string_view> names;
+  for (ExpectedAlgorithm algo :
+       {ExpectedAlgorithm::kUApriori, ExpectedAlgorithm::kUFPGrowth,
+        ExpectedAlgorithm::kUHMine, ExpectedAlgorithm::kBruteForce}) {
+    names.push_back(ToString(algo));
+  }
+  for (ProbabilisticAlgorithm algo :
+       {ProbabilisticAlgorithm::kDPNB, ProbabilisticAlgorithm::kDPB,
+        ProbabilisticAlgorithm::kDCNB, ProbabilisticAlgorithm::kDCB,
+        ProbabilisticAlgorithm::kPDUApriori, ProbabilisticAlgorithm::kNDUApriori,
+        ProbabilisticAlgorithm::kNDUHMine, ProbabilisticAlgorithm::kMCSampling,
+        ProbabilisticAlgorithm::kBruteForce}) {
+    names.push_back(ToString(algo));
+  }
+  return names;
+}
+
+TEST(MinerRegistryTest, RoundTripsEveryFactoryName) {
+  for (std::string_view name : EveryFactoryName()) {
+    const MinerEntry* entry = MinerRegistry::Global().Find(name);
+    ASSERT_NE(entry, nullptr) << name;
+    EXPECT_EQ(entry->name, name);
+    std::unique_ptr<Miner> miner = MinerRegistry::Global().Create(name);
+    ASSERT_NE(miner, nullptr) << name;
+    EXPECT_EQ(miner->name(), name);
+    // The registered family must agree with what the miner accepts.
+    const bool expects_esup =
+        entry->family == TaskFamily::kExpectedSupport;
+    EXPECT_EQ(miner->Supports(MiningTask(ExpectedSupportParams{})),
+              expects_esup)
+        << name;
+    EXPECT_EQ(miner->Supports(MiningTask(ProbabilisticParams{})),
+              !expects_esup)
+        << name;
+  }
+}
+
+TEST(MinerRegistryTest, UnknownNameIsNull) {
+  EXPECT_EQ(MinerRegistry::Global().Find("NoSuchMiner"), nullptr);
+  EXPECT_EQ(MinerRegistry::Global().Create("NoSuchMiner"), nullptr);
+}
+
+TEST(MinerRegistryTest, ProductionNamesExcludeBruteForce) {
+  const std::vector<std::string> production =
+      MinerRegistry::Global().Names(/*production_only=*/true);
+  EXPECT_EQ(std::count(production.begin(), production.end(),
+                       "BruteForceExpected"),
+            0);
+  EXPECT_EQ(std::count(production.begin(), production.end(),
+                       "BruteForceProbabilistic"),
+            0);
+  // 3 expected-support + 4 exact + 3 approximate + MCSampling = 11
+  // production algorithms.
+  EXPECT_EQ(production.size(), 11u);
+  EXPECT_EQ(MinerRegistry::Global()
+                .NamesOf(TaskFamily::kExpectedSupport, /*production_only=*/true)
+                .size(),
+            3u);
+  EXPECT_EQ(MinerRegistry::Global()
+                .NamesOf(TaskFamily::kProbabilistic, /*production_only=*/true)
+                .size(),
+            8u);
+}
+
+TEST(MinerRegistryTest, UnifiedFacadeDispatchesOnTask) {
+  UncertainDatabase db = MakePaperTable1();
+  FlatView view(db);
+  std::unique_ptr<Miner> miner = MinerRegistry::Global().Create("UApriori");
+  ASSERT_NE(miner, nullptr);
+
+  ExpectedSupportParams params;
+  params.min_esup = 0.5;
+  auto ok = miner->Mine(view, MiningTask(params));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 2u);  // {A}, {C} per paper Example 1
+
+  // The wrong task family is rejected, not silently coerced.
+  auto wrong = miner->Mine(view, MiningTask(ProbabilisticParams{}));
+  EXPECT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MinerRegistryTest, EveryMinerRunsThroughUnifiedFacadeOverFlatView) {
+  UncertainDatabase db = MakePaperTable1();
+  FlatView view(db);
+  for (std::string_view name : EveryFactoryName()) {
+    const MinerEntry* entry = MinerRegistry::Global().Find(name);
+    ASSERT_NE(entry, nullptr) << name;
+    MiningTask task;
+    if (entry->family == TaskFamily::kExpectedSupport) {
+      ExpectedSupportParams params;
+      params.min_esup = 0.3;
+      task = params;
+    } else {
+      ProbabilisticParams params;
+      params.min_sup = 0.4;
+      params.pft = 0.5;
+      task = params;
+    }
+    auto result = MinerRegistry::Global().Create(name)->Mine(view, task);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_GT(result->size(), 0u) << name;
+  }
+}
+
+TEST(MinerRegistryTest, SelfRegistrationAcceptsNewAlgorithms) {
+  // A miner registered at runtime is immediately creatable by name —
+  // the plug-in path a new algorithm's translation unit uses.
+  class Stub final : public ExpectedSupportMiner {
+   public:
+    std::string_view name() const override { return "StubMiner"; }
+    Result<MiningResult> MineExpected(
+        const FlatView&, const ExpectedSupportParams&) const override {
+      return MiningResult();
+    }
+  };
+  MinerRegistry::Global().Register(
+      MinerEntry{"StubMiner", TaskFamily::kExpectedSupport,
+                 /*production=*/false,
+                 [](const MinerOptions&) { return std::make_unique<Stub>(); }});
+  std::unique_ptr<Miner> miner = MinerRegistry::Global().Create("StubMiner");
+  ASSERT_NE(miner, nullptr);
+  EXPECT_EQ(miner->name(), "StubMiner");
+  auto result = miner->Mine(FlatView(MakePaperTable1()),
+                            MiningTask(ExpectedSupportParams{}));
+  EXPECT_TRUE(result.ok());
+}
+
+}  // namespace
+}  // namespace ufim

@@ -37,7 +37,9 @@ TEST(QuestGeneratorTest, TransactionsAreSortedDistinctAndInRange) {
     ASSERT_FALSE(txn.empty());
     for (std::size_t i = 0; i < txn.size(); ++i) {
       EXPECT_LT(txn[i], cfg.num_items);
-      if (i > 0) EXPECT_LT(txn[i - 1], txn[i]);
+      if (i > 0) {
+        EXPECT_LT(txn[i - 1], txn[i]);
+      }
     }
   }
 }

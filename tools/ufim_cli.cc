@@ -14,7 +14,8 @@
 #include <optional>
 #include <string>
 
-#include "core/miner_factory.h"
+#include "core/flat_view.h"
+#include "core/miner_registry.h"
 #include "core/postprocess.h"
 #include "eval/experiment.h"
 #include "gen/benchmark_datasets.h"
@@ -32,10 +33,19 @@ int Usage() {
   ufim_cli stats <path>
   ufim_cli mine <path> --algorithm <name> (--min-esup <r> | --min-sup <r> [--pft <p>])
            [--top <k>] [--closed] [--maximal] [--rules <min_conf>]
-
-algorithms: UApriori UFP-growth UH-Mine | DPNB DPB DCNB DCB
-            PDUApriori NDUApriori NDUH-Mine MCSampling
 )");
+  // The algorithm list comes from the registry, so newly registered
+  // miners show up here without CLI edits.
+  auto print_family = [](const char* label, TaskFamily family) {
+    std::fprintf(stderr, "%s:", label);
+    for (const std::string& name :
+         MinerRegistry::Global().NamesOf(family, /*production_only=*/true)) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+  };
+  print_family("expected-support algorithms", TaskFamily::kExpectedSupport);
+  print_family("probabilistic algorithms   ", TaskFamily::kProbabilistic);
   return 2;
 }
 
@@ -44,13 +54,15 @@ struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> flags;
 
+  // GCC 12 raises -Wrestrict false positives on the std::string
+  // assignments below when Parse is inlined into main (GCC bug 105329).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
   static std::optional<Args> Parse(int argc, char** argv) {
     Args out;
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) == 0) {
-        // (iterator-range copy sidesteps GCC 12's -Wrestrict false
-        // positive on substr, bug 105329)
         std::string key(arg.begin() + 2, arg.end());
         bool is_switch = key == "closed" || key == "maximal";
         if (is_switch) {
@@ -67,6 +79,7 @@ struct Args {
     }
     return out;
   }
+#pragma GCC diagnostic pop
 
   const char* Get(const std::string& key) const {
     auto it = flags.find(key);
@@ -155,25 +168,6 @@ int Stats(const Args& args) {
   return 0;
 }
 
-std::optional<ExpectedAlgorithm> ExpectedByName(const std::string& name) {
-  if (name == "UApriori") return ExpectedAlgorithm::kUApriori;
-  if (name == "UFP-growth") return ExpectedAlgorithm::kUFPGrowth;
-  if (name == "UH-Mine") return ExpectedAlgorithm::kUHMine;
-  return std::nullopt;
-}
-
-std::optional<ProbabilisticAlgorithm> ProbabilisticByName(const std::string& name) {
-  if (name == "DPNB") return ProbabilisticAlgorithm::kDPNB;
-  if (name == "DPB") return ProbabilisticAlgorithm::kDPB;
-  if (name == "DCNB") return ProbabilisticAlgorithm::kDCNB;
-  if (name == "DCB") return ProbabilisticAlgorithm::kDCB;
-  if (name == "PDUApriori") return ProbabilisticAlgorithm::kPDUApriori;
-  if (name == "NDUApriori") return ProbabilisticAlgorithm::kNDUApriori;
-  if (name == "NDUH-Mine") return ProbabilisticAlgorithm::kNDUHMine;
-  if (name == "MCSampling") return ProbabilisticAlgorithm::kMCSampling;
-  return std::nullopt;
-}
-
 void PrintResult(const MiningResult& result, const Args& args, double millis) {
   MiningResult shown = result;
   if (args.Get("closed") != nullptr) shown = FilterClosed(shown);
@@ -204,23 +198,24 @@ int Mine(const Args& args) {
   }
   const std::string algo_name = args.Get("algorithm");
 
-  if (auto expected = ExpectedByName(algo_name); expected.has_value()) {
+  // One code path for both problem definitions: look the algorithm up in
+  // the registry, assemble the matching MiningTask, run it through the
+  // unified Miner facade over a FlatView built once.
+  const MinerEntry* entry = MinerRegistry::Global().Find(algo_name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algo_name.c_str());
+    return Usage();
+  }
+  MiningTask task;
+  if (entry->family == TaskFamily::kExpectedSupport) {
     if (args.Get("min-esup") == nullptr) {
       std::fprintf(stderr, "%s needs --min-esup\n", algo_name.c_str());
       return Usage();
     }
     ExpectedSupportParams params;
     params.min_esup = args.GetDouble("min-esup", 0.5);
-    auto miner = CreateExpectedSupportMiner(*expected);
-    auto m = RunExpectedExperiment(*miner, *db, params);
-    if (!m.ok()) {
-      std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
-      return 1;
-    }
-    PrintResult(m->result, args, m->millis);
-    return 0;
-  }
-  if (auto prob = ProbabilisticByName(algo_name); prob.has_value()) {
+    task = params;
+  } else {
     if (args.Get("min-sup") == nullptr) {
       std::fprintf(stderr, "%s needs --min-sup\n", algo_name.c_str());
       return Usage();
@@ -228,17 +223,17 @@ int Mine(const Args& args) {
     ProbabilisticParams params;
     params.min_sup = args.GetDouble("min-sup", 0.5);
     params.pft = args.GetDouble("pft", 0.9);
-    auto miner = CreateProbabilisticMiner(*prob);
-    auto m = RunProbabilisticExperiment(*miner, *db, params);
-    if (!m.ok()) {
-      std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
-      return 1;
-    }
-    PrintResult(m->result, args, m->millis);
-    return 0;
+    task = params;
   }
-  std::fprintf(stderr, "unknown algorithm '%s'\n", algo_name.c_str());
-  return Usage();
+  auto miner = MinerRegistry::Global().Create(algo_name);
+  FlatView view(*db);
+  auto m = RunExperiment(*miner, view, task);
+  if (!m.ok()) {
+    std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+    return 1;
+  }
+  PrintResult(m->result, args, m->millis);
+  return 0;
 }
 
 int Main(int argc, char** argv) {
