@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 #include "prob/chernoff.h"
 
 namespace ufim {
@@ -106,16 +108,84 @@ void JoinCandidate(const FlatView& view, const Itemset& candidate,
   stats.esup = esup.value();
 }
 
-/// Probe sweep over the view's flat horizontal arrays: one pass through
-/// the contiguous unit arrays, candidates bucketed by first item and
-/// probed against a dense per-transaction probability array. Same
-/// algorithm as the row-scan baseline, but every read is sequential over
-/// FlatView storage instead of chasing per-Transaction vectors. Wins
-/// when the candidate set is dense (level 2 of a low-threshold run).
+/// Reusable scratch of one in-flight probe-sweep shard. Dense arrays are
+/// allocated once per wave slot and reset sparsely (via the touched
+/// list) after each merge, so per-shard cost scales with the shard's
+/// actual contributions, not with the candidate count.
+struct SweepSlot {
+  std::vector<KahanSum> esup;               ///< dense, n_cands
+  std::vector<double> sq_sum;               ///< dense, n_cands
+  std::vector<std::vector<double>> probs;   ///< dense when collecting
+  std::vector<char> seen;                   ///< dense touched marker
+  std::vector<std::uint32_t> touched;       ///< candidates hit, unsorted
+  std::vector<double> probe;                ///< dense, n_items
+
+  SweepSlot(std::size_t n_cands, std::size_t n_items, bool collect_probs)
+      : esup(n_cands), sq_sum(n_cands, 0.0), seen(n_cands, 0),
+        probe(n_items, 0.0) {
+    if (collect_probs) probs.resize(n_cands);
+  }
+};
+
+/// One probe-sweep shard: evaluates every still-active candidate over
+/// the view's transactions [lo, hi) (view-relative offsets) into
+/// `slot`, recording which candidates were touched. Identical inner
+/// loop to the row-scan baseline, but every read is sequential over
+/// FlatView storage.
+void SweepShard(const FlatView& view, const std::vector<Itemset>& candidates,
+                const std::vector<std::vector<std::uint32_t>>& buckets,
+                const std::vector<char>& active, bool collect_probs,
+                std::size_t lo, std::size_t hi, SweepSlot& slot) {
+  const TransactionId first = view.begin_tid();
+  for (std::size_t ti = lo; ti < hi; ++ti) {
+    const TransactionId tid = first + static_cast<TransactionId>(ti);
+    const std::span<const ProbItem> units = view.TransactionUnits(tid);
+    for (const ProbItem& u : units) slot.probe[u.item] = u.prob;
+    for (const ProbItem& u : units) {
+      for (std::uint32_t c : buckets[u.item]) {
+        if (!active[c]) continue;
+        double prod = u.prob;
+        const std::vector<ItemId>& members = candidates[c].items();
+        for (std::size_t k = 1; k < members.size(); ++k) {
+          const double p = slot.probe[members[k]];
+          if (p == 0.0) {
+            prod = 0.0;
+            break;
+          }
+          prod *= p;
+        }
+        if (prod > 0.0) {
+          if (!slot.seen[c]) {
+            slot.seen[c] = 1;
+            slot.touched.push_back(c);
+          }
+          slot.esup[c].Add(prod);
+          slot.sq_sum[c] += prod * prod;
+          if (collect_probs) slot.probs[c].push_back(prod);
+        }
+      }
+    }
+    for (const ProbItem& u : units) slot.probe[u.item] = 0.0;
+  }
+}
+
+/// Probe sweep over the view's flat horizontal arrays: candidates
+/// bucketed by first item and probed against a dense per-transaction
+/// probability array, one shard of transactions at a time. Wins over
+/// per-candidate joins when the candidate set is dense (level 2 of a
+/// low-threshold run).
+///
+/// The shard decomposition is a pure function of the view size — never
+/// of `num_threads` — and per-candidate shard partials are merged in
+/// ascending shard order, so the result is bit-identical at every
+/// thread count. Threads only decide how many shards of one wave are in
+/// flight at once (which also bounds the transient partial-stats
+/// buffers to one wave's worth).
 std::vector<CandidateStats> ProbeSweep(const FlatView& view,
                                        const std::vector<Itemset>& candidates,
                                        bool collect_probs,
-                                       double decremental_threshold) {
+                                       double decremental_threshold,
+                                       std::size_t num_threads) {
   const std::size_t n_items = view.num_items();
   const std::size_t n_cands = candidates.size();
   std::vector<CandidateStats> stats(n_cands);
@@ -126,42 +196,82 @@ std::vector<CandidateStats> ProbeSweep(const FlatView& view,
         static_cast<std::uint32_t>(c));
   }
 
+  // Fixed-size transaction shards. Up to kMaxShards * kShardTxns
+  // transactions, shards hold ~kShardTxns transactions (the ceiling
+  // division spreads the remainder), so the single-thread wave checks
+  // decremental pruning at roughly the old sequential sweep's
+  // every-512-txn cadence; beyond that the kMaxShards clamp (which
+  // keeps the per-candidate merge fan-in bounded) grows the shards, and
+  // with them the interval between decremental checks — a work
+  // trade-off only, never a correctness one.
+  constexpr std::size_t kShardTxns = 512;
+  constexpr std::size_t kMaxShards = 256;
+  const std::size_t n_txn = view.num_transactions();
+  const std::size_t num_shards =
+      std::clamp<std::size_t>((n_txn + kShardTxns - 1) / kShardTxns, 1,
+                              kMaxShards);
+
   std::vector<KahanSum> esup(n_cands);
   std::vector<char> active(n_cands, 1);
   const bool decremental = decremental_threshold >= 0.0;
-  constexpr std::size_t kSweepPeriod = 512;
 
-  std::vector<double> probe(n_items, 0.0);
-
-  const std::size_t n_txn = view.num_transactions();
-  for (std::size_t ti = 0; ti < n_txn; ++ti) {
-    const TransactionId tid = static_cast<TransactionId>(ti);
-    const std::span<const ProbItem> units = view.TransactionUnits(tid);
-    for (const ProbItem& u : units) probe[u.item] = u.prob;
-    for (const ProbItem& u : units) {
-      for (std::uint32_t c : buckets[u.item]) {
-        if (!active[c]) continue;
-        double prod = u.prob;
-        const std::vector<ItemId>& members = candidates[c].items();
-        for (std::size_t k = 1; k < members.size(); ++k) {
-          const double p = probe[members[k]];
-          if (p == 0.0) {
-            prod = 0.0;
-            break;
-          }
-          prod *= p;
+  const std::size_t wave =
+      std::max<std::size_t>(std::min(num_threads, num_shards), 1);
+  std::vector<SweepSlot> slots;
+  slots.reserve(wave);
+  for (std::size_t j = 0; j < wave; ++j) {
+    slots.emplace_back(n_cands, n_items, collect_probs);
+  }
+  for (std::size_t base = 0; base < num_shards; base += wave) {
+    const std::size_t batch = std::min(wave, num_shards - base);
+    ParallelFor(batch, num_threads, [&](std::size_t j) {
+      const std::size_t s = base + j;
+      SweepShard(view, candidates, buckets, active, collect_probs,
+                 s * n_txn / num_shards, (s + 1) * n_txn / num_shards,
+                 slots[j]);
+    });
+    // Ordered merge: shard s is always folded in before shard s+1, in
+    // ascending candidate order, and only candidates the shard actually
+    // touched are folded (a pure function of the data) — so the
+    // floating-point op sequence per candidate is shard-structured and
+    // thread-count-independent. A sparse shard merges via its sorted
+    // touched list; a dense one scans the flags directly (sorting a
+    // touched list that covers most candidates costs more than the
+    // scan). Either walk folds the same set in the same ascending
+    // order, and the density cutoff depends only on the data, so the
+    // choice never perturbs results. Resetting entries as they merge
+    // keeps slot reuse allocation-free.
+    for (std::size_t j = 0; j < batch; ++j) {
+      SweepSlot& slot = slots[j];
+      auto fold = [&](std::size_t c) {
+        esup[c].Add(slot.esup[c].value());
+        stats[c].sq_sum += slot.sq_sum[c];
+        slot.esup[c] = KahanSum();
+        slot.sq_sum[c] = 0.0;
+        slot.seen[c] = 0;
+        if (collect_probs) {
+          stats[c].probs.insert(stats[c].probs.end(), slot.probs[c].begin(),
+                                slot.probs[c].end());
+          slot.probs[c].clear();
         }
-        if (prod > 0.0) {
-          esup[c].Add(prod);
-          stats[c].sq_sum += prod * prod;
-          if (collect_probs) stats[c].probs.push_back(prod);
+      };
+      if (slot.touched.size() * 8 < n_cands) {
+        std::sort(slot.touched.begin(), slot.touched.end());
+        for (std::uint32_t c : slot.touched) fold(c);
+      } else {
+        for (std::size_t c = 0; c < n_cands; ++c) {
+          if (slot.seen[c]) fold(c);
         }
       }
+      slot.touched.clear();
     }
-    for (const ProbItem& u : units) probe[u.item] = 0.0;
-
-    if (decremental && (ti + 1) % kSweepPeriod == 0) {
-      const double remaining = static_cast<double>(n_txn - ti - 1);
+    // Decremental deactivation between waves. The check granularity (and
+    // with it the partial sums of *abandoned* candidates) coarsens with
+    // the wave width; candidates that reach the threshold are never
+    // abandoned and accumulate over every shard identically.
+    if (decremental && base + batch < num_shards) {
+      const std::size_t done = (base + batch) * n_txn / num_shards;
+      const double remaining = static_cast<double>(n_txn - done);
       for (std::size_t c = 0; c < n_cands; ++c) {
         if (active[c] && esup[c].value() + remaining < decremental_threshold) {
           active[c] = 0;
@@ -178,8 +288,10 @@ std::vector<CandidateStats> ProbeSweep(const FlatView& view,
 std::vector<CandidateStats> EvaluateCandidates(const FlatView& view,
                                                const std::vector<Itemset>& candidates,
                                                bool collect_probs,
-                                               double decremental_threshold) {
+                                               double decremental_threshold,
+                                               std::size_t num_threads) {
   if (candidates.empty()) return {};
+  if (num_threads == 0) num_threads = HardwareThreads();
 
   // Strategy selection by estimated work. A posting join touches the
   // driver (shortest) posting list per candidate, with a binary-search
@@ -209,14 +321,19 @@ std::vector<CandidateStats> EvaluateCandidates(const FlatView& view,
   join_cost *= scale;
   sweep_cost = sweep_cost * scale + static_cast<double>(view.num_units());
   if (join_cost >= sweep_cost) {
-    return ProbeSweep(view, candidates, collect_probs, decremental_threshold);
+    return ProbeSweep(view, candidates, collect_probs, decremental_threshold,
+                      num_threads);
   }
 
+  // Posting-join path: partitioned by candidate — each candidate's join
+  // runs whole on one thread, so per-candidate accumulation (and the
+  // decremental abandonment schedule) is exactly the sequential one at
+  // every thread count.
   std::vector<CandidateStats> stats(candidates.size());
-  for (std::size_t c = 0; c < candidates.size(); ++c) {
+  ParallelFor(candidates.size(), num_threads, [&](std::size_t c) {
     JoinCandidate(view, candidates[c], collect_probs, decremental_threshold,
                   stats[c]);
-  }
+  });
   return stats;
 }
 
@@ -302,13 +419,42 @@ std::vector<CandidateStats> EvaluateCandidatesRowScan(
 
 namespace {
 
+/// Verdict of the per-candidate frequency judge, with the counter deltas
+/// it incurred. Counters are carried out-of-band (instead of mutated
+/// inside the judge) so judging can run in parallel and still aggregate
+/// deterministically in candidate order.
+struct JudgeOutcome {
+  std::optional<FrequentItemset> fi;
+  bool chernoff_pruned = false;
+  bool exact_evaluated = false;
+};
+
+using JudgeFn = std::function<JudgeOutcome(const Itemset&, CandidateStats&)>;
+
+/// Applies `judge` to every candidate. With `judge_threads > 1` the
+/// calls run via ParallelFor — each candidate judged whole on one thread
+/// and written to its own slot, so the outcome vector is identical to
+/// the serial pass for any thread-safe judge.
+std::vector<JudgeOutcome> JudgeAll(const std::vector<Itemset>& candidates,
+                                   std::vector<CandidateStats>& stats,
+                                   const JudgeFn& judge,
+                                   std::size_t judge_threads) {
+  std::vector<JudgeOutcome> outcomes(candidates.size());
+  ParallelFor(candidates.size(), judge_threads, [&](std::size_t c) {
+    outcomes[c] = judge(candidates[c], stats[c]);
+  });
+  return outcomes;
+}
+
 /// Shared level-wise loop. `judge` decides frequency and produces the
-/// result annotation for one candidate given its scan statistics;
-/// returning nullopt marks the candidate infrequent.
+/// result annotation for one candidate given its scan statistics; an
+/// empty outcome marks the candidate infrequent. `num_threads`
+/// parallelizes support counting, `judge_threads` the judging (> 1 only
+/// for thread-safe judges).
 std::vector<FrequentItemset> LevelWiseLoop(
-    const FlatView& view,
-    const std::function<std::optional<FrequentItemset>(const Itemset&, CandidateStats&)>& judge,
-    bool collect_probs, double decremental_threshold, MiningCounters* counters) {
+    const FlatView& view, const JudgeFn& judge, bool collect_probs,
+    double decremental_threshold, MiningCounters* counters,
+    std::size_t num_threads, std::size_t judge_threads) {
   std::vector<FrequentItemset> results;
 
   // Level 1: items, straight off the view's cached moments; the per-item
@@ -319,19 +465,33 @@ std::vector<FrequentItemset> LevelWiseLoop(
     counters->candidates_generated += item_stats.size();
   }
   std::vector<Itemset> level;
-  for (const ItemStats& is : item_stats) {
-    Itemset single{is.item};
-    CandidateStats cs;
-    cs.esup = is.esup;
-    cs.sq_sum = is.sq_sum;
-    if (collect_probs) {
-      const std::span<const double> probs = view.PostingProbs(is.item);
-      cs.probs.assign(probs.begin(), probs.end());
+  {
+    std::vector<Itemset> singles;
+    std::vector<CandidateStats> stats;
+    singles.reserve(item_stats.size());
+    stats.reserve(item_stats.size());
+    for (const ItemStats& is : item_stats) {
+      singles.push_back(Itemset{is.item});
+      CandidateStats cs;
+      cs.esup = is.esup;
+      cs.sq_sum = is.sq_sum;
+      if (collect_probs) {
+        const std::span<const double> probs = view.PostingProbs(is.item);
+        cs.probs.assign(probs.begin(), probs.end());
+      }
+      stats.push_back(std::move(cs));
     }
-    std::optional<FrequentItemset> fi = judge(single, cs);
-    if (fi.has_value()) {
-      level.push_back(single);
-      results.push_back(std::move(*fi));
+    std::vector<JudgeOutcome> outcomes =
+        JudgeAll(singles, stats, judge, judge_threads);
+    for (std::size_t c = 0; c < singles.size(); ++c) {
+      if (counters != nullptr) {
+        counters->candidates_pruned_chernoff += outcomes[c].chernoff_pruned;
+        counters->exact_probability_evaluations += outcomes[c].exact_evaluated;
+      }
+      if (outcomes[c].fi.has_value()) {
+        level.push_back(singles[c]);
+        results.push_back(std::move(*outcomes[c].fi));
+      }
     }
   }
   std::sort(level.begin(), level.end());
@@ -349,13 +509,19 @@ std::vector<FrequentItemset> LevelWiseLoop(
       counters->candidates_generated += candidates.size();
     }
     std::vector<CandidateStats> stats =
-        EvaluateCandidates(view, candidates, collect_probs, decremental_threshold);
+        EvaluateCandidates(view, candidates, collect_probs,
+                           decremental_threshold, num_threads);
+    std::vector<JudgeOutcome> outcomes =
+        JudgeAll(candidates, stats, judge, judge_threads);
     std::vector<Itemset> next;
     for (std::size_t c = 0; c < candidates.size(); ++c) {
-      std::optional<FrequentItemset> fi = judge(candidates[c], stats[c]);
-      if (fi.has_value()) {
+      if (counters != nullptr) {
+        counters->candidates_pruned_chernoff += outcomes[c].chernoff_pruned;
+        counters->exact_probability_evaluations += outcomes[c].exact_evaluated;
+      }
+      if (outcomes[c].fi.has_value()) {
         next.push_back(candidates[c]);
-        results.push_back(std::move(*fi));
+        results.push_back(std::move(*outcomes[c].fi));
       }
     }
     std::sort(next.begin(), next.end());
@@ -369,10 +535,12 @@ std::vector<FrequentItemset> LevelWiseLoop(
 std::vector<FrequentItemset> MineAprioriGeneric(const FlatView& view,
                                                 const AprioriCallbacks& callbacks,
                                                 double decremental_threshold,
-                                                MiningCounters* counters) {
+                                                MiningCounters* counters,
+                                                std::size_t num_threads) {
   auto judge = [&callbacks](const Itemset& itemset,
-                            CandidateStats& cs) -> std::optional<FrequentItemset> {
-    if (!callbacks.is_frequent(cs.esup, cs.sq_sum)) return std::nullopt;
+                            CandidateStats& cs) -> JudgeOutcome {
+    JudgeOutcome out;
+    if (!callbacks.is_frequent(cs.esup, cs.sq_sum)) return out;
     FrequentItemset fi;
     fi.itemset = itemset;
     fi.expected_support = cs.esup;
@@ -380,50 +548,58 @@ std::vector<FrequentItemset> MineAprioriGeneric(const FlatView& view,
     if (callbacks.frequent_probability) {
       fi.frequent_probability = callbacks.frequent_probability(cs.esup, cs.sq_sum);
     }
-    return fi;
+    out.fi = std::move(fi);
+    return out;
   };
+  // Judging stays on the calling thread: AprioriCallbacks carry no
+  // thread-safety contract, and the predicates are O(1) anyway.
   return LevelWiseLoop(view, judge, /*collect_probs=*/false, decremental_threshold,
-                       counters);
+                       counters, num_threads, /*judge_threads=*/1);
 }
 
 std::vector<FrequentItemset> MineAprioriGeneric(const UncertainDatabase& db,
                                                 const AprioriCallbacks& callbacks,
                                                 double decremental_threshold,
-                                                MiningCounters* counters) {
+                                                MiningCounters* counters,
+                                                std::size_t num_threads) {
   return MineAprioriGeneric(FlatView(db), callbacks, decremental_threshold,
-                            counters);
+                            counters, num_threads);
 }
 
 std::vector<FrequentItemset> MineProbabilisticApriori(
     const FlatView& view, std::size_t msc, double pft,
     const std::function<double(const std::vector<double>&, std::size_t)>& tail_fn,
-    bool use_chernoff, MiningCounters* counters) {
-  auto judge = [&](const Itemset& itemset,
-                   CandidateStats& cs) -> std::optional<FrequentItemset> {
+    bool use_chernoff, MiningCounters* counters, std::size_t num_threads,
+    bool parallel_tails) {
+  auto judge = [&](const Itemset& itemset, CandidateStats& cs) -> JudgeOutcome {
+    JudgeOutcome out;
     if (use_chernoff && ChernoffCertifiesInfrequent(cs.esup, msc, pft)) {
-      if (counters != nullptr) ++counters->candidates_pruned_chernoff;
-      return std::nullopt;
+      out.chernoff_pruned = true;
+      return out;
     }
-    if (counters != nullptr) ++counters->exact_probability_evaluations;
+    out.exact_evaluated = true;
     const double tail = tail_fn(cs.probs, msc);
-    if (!(tail > pft)) return std::nullopt;
+    if (!(tail > pft)) return out;
     FrequentItemset fi;
     fi.itemset = itemset;
     fi.expected_support = cs.esup;
     fi.variance = cs.esup - cs.sq_sum;
     fi.frequent_probability = tail;
-    return fi;
+    out.fi = std::move(fi);
+    return out;
   };
   return LevelWiseLoop(view, judge, /*collect_probs=*/true,
-                       /*decremental_threshold=*/-1.0, counters);
+                       /*decremental_threshold=*/-1.0, counters, num_threads,
+                       /*judge_threads=*/parallel_tails ? num_threads : 1);
 }
 
 std::vector<FrequentItemset> MineProbabilisticApriori(
     const UncertainDatabase& db, std::size_t msc, double pft,
     const std::function<double(const std::vector<double>&, std::size_t)>& tail_fn,
-    bool use_chernoff, MiningCounters* counters) {
+    bool use_chernoff, MiningCounters* counters, std::size_t num_threads,
+    bool parallel_tails) {
   return MineProbabilisticApriori(FlatView(db), msc, pft, tail_fn, use_chernoff,
-                                  counters);
+                                  counters, num_threads, parallel_tails);
 }
 
 }  // namespace ufim

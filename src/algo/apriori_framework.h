@@ -25,6 +25,14 @@ namespace ufim {
 /// replacing the row-oriented probe-array scan. The row scan survives as
 /// `EvaluateCandidatesRowScan` — the baseline the equivalence tests and
 /// the FlatView bench compare against.
+///
+/// Counting is parallel when `num_threads > 1`, and deterministically so:
+/// the posting-join path partitions by candidate (each candidate's join
+/// runs whole on one thread), the probe sweep partitions transactions
+/// into *fixed* shards — a function of the view size, never of the
+/// thread count — whose per-candidate partials are merged in ascending
+/// shard order. Results are therefore bit-identical at every thread
+/// count, including the `num_threads = 1` sequential fallback.
 
 /// Accumulated statistics for one candidate after a database scan.
 struct CandidateStats {
@@ -68,14 +76,22 @@ std::vector<Itemset> GenerateCandidates(const std::vector<Itemset>& frequent_k,
 /// algorithms).
 ///
 /// `decremental_threshold`, when >= 0, enables UApriori's decremental
-/// pruning: periodically during the join, a candidate whose optimistic
-/// bound esup_so_far + (driver postings remaining) can no longer reach
-/// the threshold is abandoned. Abandoned candidates report whatever they
-/// accumulated; they are guaranteed infrequent.
+/// pruning: periodically during the join (or between probe-sweep
+/// shards), a candidate whose optimistic bound esup_so_far + (transactions
+/// remaining) can no longer reach the threshold is abandoned. Abandoned
+/// candidates report whatever they accumulated; they are guaranteed
+/// infrequent. In the sweep, the deactivation schedule coarsens with the
+/// thread count, so only abandoned (infrequent) candidates may report
+/// thread-count-dependent partial sums — candidates that reach the
+/// threshold are never abandoned and stay bit-identical.
+///
+/// `num_threads`: 0 means all hardware threads, 1 (the default) the
+/// sequential baseline.
 std::vector<CandidateStats> EvaluateCandidates(const FlatView& view,
                                                const std::vector<Itemset>& candidates,
                                                bool collect_probs,
-                                               double decremental_threshold = -1.0);
+                                               double decremental_threshold = -1.0,
+                                               std::size_t num_threads = 1);
 
 /// Row-oriented convenience overload for one-shot callers: delegates to
 /// the row-scan baseline rather than paying a full index build per call.
@@ -108,26 +124,41 @@ struct AprioriCallbacks {
 /// esup/variance (+ optional frequent probability) and are canonically
 /// sorted by the caller if needed. `decremental_threshold` as above
 /// (only meaningful when the predicate is an esup threshold).
+/// `num_threads` parallelizes candidate counting; the callbacks are
+/// always invoked from the calling thread, so they need not be
+/// thread-safe.
 std::vector<FrequentItemset> MineAprioriGeneric(const FlatView& view,
                                                 const AprioriCallbacks& callbacks,
                                                 double decremental_threshold,
-                                                MiningCounters* counters);
+                                                MiningCounters* counters,
+                                                std::size_t num_threads = 1);
 std::vector<FrequentItemset> MineAprioriGeneric(const UncertainDatabase& db,
                                                 const AprioriCallbacks& callbacks,
                                                 double decremental_threshold,
-                                                MiningCounters* counters);
+                                                MiningCounters* counters,
+                                                std::size_t num_threads = 1);
 
 /// The exact probabilistic variant: per candidate, first the O(1)
 /// Chernoff test on esup (when `use_chernoff`), then the exact tail
 /// Pr(sup >= msc) via `tail_fn` (DP or DC). Frequent iff tail > pft.
+///
+/// `num_threads` parallelizes candidate counting, and — when
+/// `parallel_tails` is set — the per-candidate tail evaluations as well,
+/// which dominate DP/DC runtime. Set `parallel_tails` only for a
+/// `tail_fn` that is safe to call concurrently (a pure function of its
+/// arguments, like the DP and DC convolvers); stateful estimators such
+/// as MCSampling's shared-RNG sampler must leave it false. Tail values
+/// are pure per candidate, so parallel evaluation stays bit-identical.
 std::vector<FrequentItemset> MineProbabilisticApriori(
     const FlatView& view, std::size_t msc, double pft,
     const std::function<double(const std::vector<double>&, std::size_t)>& tail_fn,
-    bool use_chernoff, MiningCounters* counters);
+    bool use_chernoff, MiningCounters* counters, std::size_t num_threads = 1,
+    bool parallel_tails = false);
 std::vector<FrequentItemset> MineProbabilisticApriori(
     const UncertainDatabase& db, std::size_t msc, double pft,
     const std::function<double(const std::vector<double>&, std::size_t)>& tail_fn,
-    bool use_chernoff, MiningCounters* counters);
+    bool use_chernoff, MiningCounters* counters, std::size_t num_threads = 1,
+    bool parallel_tails = false);
 
 }  // namespace ufim
 

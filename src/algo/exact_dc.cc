@@ -19,7 +19,8 @@ Result<MiningResult> ExactDC::MineProbabilistic(
       [fft_threshold](const std::vector<double>& probs, std::size_t k) {
         return PoissonBinomialTailDC(probs, k, fft_threshold);
       },
-      use_chernoff_, &result.counters());
+      use_chernoff_, &result.counters(), num_threads_,
+      /*parallel_tails=*/true);
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
@@ -30,7 +31,7 @@ UFIM_REGISTER_MINER("DCNB", TaskFamily::kProbabilistic,
                     [](const MinerOptions& options) {
                       return std::make_unique<ExactDC>(
                           /*use_chernoff_pruning=*/false,
-                          options.dc_fft_threshold);
+                          options.dc_fft_threshold, options.num_threads);
                     })
 
 UFIM_REGISTER_MINER("DCB", TaskFamily::kProbabilistic,
@@ -38,7 +39,7 @@ UFIM_REGISTER_MINER("DCB", TaskFamily::kProbabilistic,
                     [](const MinerOptions& options) {
                       return std::make_unique<ExactDC>(
                           /*use_chernoff_pruning=*/true,
-                          options.dc_fft_threshold);
+                          options.dc_fft_threshold, options.num_threads);
                     })
 
 }  // namespace ufim

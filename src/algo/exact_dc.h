@@ -17,8 +17,14 @@ namespace ufim {
 /// `use_chernoff_pruning` selects between DCB and DCNB.
 class ExactDC final : public ProbabilisticMiner {
  public:
-  explicit ExactDC(bool use_chernoff_pruning, std::size_t fft_threshold = 64)
-      : use_chernoff_(use_chernoff_pruning), fft_threshold_(fft_threshold) {}
+  /// `num_threads` parallelizes both candidate counting and the
+  /// per-candidate DC tail evaluations (the dominant cost); results are
+  /// bit-identical (see MinerOptions::num_threads).
+  explicit ExactDC(bool use_chernoff_pruning, std::size_t fft_threshold = 64,
+                   std::size_t num_threads = 1)
+      : use_chernoff_(use_chernoff_pruning),
+        fft_threshold_(fft_threshold),
+        num_threads_(num_threads) {}
 
   std::string_view name() const override { return use_chernoff_ ? "DCB" : "DCNB"; }
   bool is_exact() const override { return true; }
@@ -30,6 +36,7 @@ class ExactDC final : public ProbabilisticMiner {
  private:
   bool use_chernoff_;
   std::size_t fft_threshold_;
+  std::size_t num_threads_;
 };
 
 }  // namespace ufim

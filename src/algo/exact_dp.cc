@@ -18,7 +18,8 @@ Result<MiningResult> ExactDP::MineProbabilistic(
       [](const std::vector<double>& probs, std::size_t k) {
         return PoissonBinomialTailDP(probs, k);
       },
-      use_chernoff_, &result.counters());
+      use_chernoff_, &result.counters(), num_threads_,
+      /*parallel_tails=*/true);
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
@@ -26,16 +27,18 @@ Result<MiningResult> ExactDP::MineProbabilistic(
 
 UFIM_REGISTER_MINER("DPNB", TaskFamily::kProbabilistic,
                     /*production=*/true,
-                    [](const MinerOptions&) {
+                    [](const MinerOptions& options) {
                       return std::make_unique<ExactDP>(
-                          /*use_chernoff_pruning=*/false);
+                          /*use_chernoff_pruning=*/false,
+                          options.num_threads);
                     })
 
 UFIM_REGISTER_MINER("DPB", TaskFamily::kProbabilistic,
                     /*production=*/true,
-                    [](const MinerOptions&) {
+                    [](const MinerOptions& options) {
                       return std::make_unique<ExactDP>(
-                          /*use_chernoff_pruning=*/true);
+                          /*use_chernoff_pruning=*/true,
+                          options.num_threads);
                     })
 
 }  // namespace ufim

@@ -14,8 +14,11 @@ namespace ufim {
 /// Chernoff-bound filter of Lemma 1) and DPNB (without).
 class ExactDP final : public ProbabilisticMiner {
  public:
-  explicit ExactDP(bool use_chernoff_pruning)
-      : use_chernoff_(use_chernoff_pruning) {}
+  /// `num_threads` parallelizes both candidate counting and the
+  /// per-candidate DP tail evaluations (the dominant cost); results are
+  /// bit-identical (see MinerOptions::num_threads).
+  explicit ExactDP(bool use_chernoff_pruning, std::size_t num_threads = 1)
+      : use_chernoff_(use_chernoff_pruning), num_threads_(num_threads) {}
 
   std::string_view name() const override { return use_chernoff_ ? "DPB" : "DPNB"; }
   bool is_exact() const override { return true; }
@@ -26,6 +29,7 @@ class ExactDP final : public ProbabilisticMiner {
 
  private:
   bool use_chernoff_;
+  std::size_t num_threads_;
 };
 
 }  // namespace ufim

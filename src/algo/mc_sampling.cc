@@ -41,9 +41,10 @@ Result<MiningResult> MCSampling::MineProbabilistic(
     }
     return static_cast<double>(hits) / static_cast<double>(samples);
   };
-  std::vector<FrequentItemset> found =
-      MineProbabilisticApriori(view, msc, params.pft, tail_estimator,
-                               /*use_chernoff=*/true, &result.counters());
+  std::vector<FrequentItemset> found = MineProbabilisticApriori(
+      view, msc, params.pft, tail_estimator,
+      /*use_chernoff=*/true, &result.counters(), num_threads_,
+      /*parallel_tails=*/false);
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
@@ -52,8 +53,9 @@ Result<MiningResult> MCSampling::MineProbabilistic(
 UFIM_REGISTER_MINER("MCSampling", TaskFamily::kProbabilistic,
                     /*production=*/true,
                     [](const MinerOptions& options) {
-                      return std::make_unique<MCSampling>(options.mc_samples,
-                                                          options.mc_seed);
+                      return std::make_unique<MCSampling>(
+                          options.mc_samples, options.mc_seed,
+                          options.num_threads);
                     })
 
 }  // namespace ufim

@@ -19,9 +19,14 @@ namespace ufim {
 /// contrasts it with the moment-based approximations.
 class MCSampling final : public ProbabilisticMiner {
  public:
+  /// `num_threads` parallelizes candidate counting only: the tail
+  /// estimator draws from one shared RNG stream, whose sequential
+  /// consumption order is part of the deterministic contract, so the
+  /// sampling itself never runs concurrently.
   explicit MCSampling(std::size_t num_samples = 1024,
-                      std::uint64_t seed = 0xC0FFEE)
-      : num_samples_(num_samples), seed_(seed) {}
+                      std::uint64_t seed = 0xC0FFEE,
+                      std::size_t num_threads = 1)
+      : num_samples_(num_samples), seed_(seed), num_threads_(num_threads) {}
 
   std::string_view name() const override { return "MCSampling"; }
   bool is_exact() const override { return false; }
@@ -33,6 +38,7 @@ class MCSampling final : public ProbabilisticMiner {
  private:
   std::size_t num_samples_;
   std::uint64_t seed_;
+  std::size_t num_threads_;
 };
 
 }  // namespace ufim

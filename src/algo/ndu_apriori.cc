@@ -24,7 +24,8 @@ Result<MiningResult> NDUApriori::MineProbabilistic(
     return NormalApproxFrequentProbability(esup, esup - sq_sum, msc);
   };
   std::vector<FrequentItemset> found = MineAprioriGeneric(
-      view, callbacks, /*decremental_threshold=*/-1.0, &result.counters());
+      view, callbacks, /*decremental_threshold=*/-1.0, &result.counters(),
+      num_threads_);
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
@@ -32,8 +33,8 @@ Result<MiningResult> NDUApriori::MineProbabilistic(
 
 UFIM_REGISTER_MINER("NDUApriori", TaskFamily::kProbabilistic,
                     /*production=*/true,
-                    [](const MinerOptions&) {
-                      return std::make_unique<NDUApriori>();
+                    [](const MinerOptions& options) {
+                      return std::make_unique<NDUApriori>(options.num_threads);
                     })
 
 }  // namespace ufim

@@ -15,7 +15,10 @@ namespace ufim {
 /// frequent probability of every result.
 class NDUApriori final : public ProbabilisticMiner {
  public:
-  NDUApriori() = default;
+  /// `num_threads` parallelizes candidate counting (see
+  /// MinerOptions::num_threads); results are bit-identical.
+  explicit NDUApriori(std::size_t num_threads = 1)
+      : num_threads_(num_threads) {}
 
   std::string_view name() const override { return "NDUApriori"; }
   bool is_exact() const override { return false; }
@@ -23,6 +26,9 @@ class NDUApriori final : public ProbabilisticMiner {
   Result<MiningResult> MineProbabilistic(
       const FlatView& view,
       const ProbabilisticParams& params) const override;
+
+ private:
+  std::size_t num_threads_;
 };
 
 }  // namespace ufim

@@ -21,7 +21,7 @@ Result<MiningResult> PDUApriori::MineProbabilistic(
   };
   std::vector<FrequentItemset> found = MineAprioriGeneric(
       view, callbacks, /*decremental_threshold=*/lambda_star,
-      &result.counters());
+      &result.counters(), num_threads_);
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
@@ -29,8 +29,8 @@ Result<MiningResult> PDUApriori::MineProbabilistic(
 
 UFIM_REGISTER_MINER("PDUApriori", TaskFamily::kProbabilistic,
                     /*production=*/true,
-                    [](const MinerOptions&) {
-                      return std::make_unique<PDUApriori>();
+                    [](const MinerOptions& options) {
+                      return std::make_unique<PDUApriori>(options.num_threads);
                     })
 
 }  // namespace ufim

@@ -17,7 +17,10 @@ namespace ufim {
 /// probability values ("it cannot return the frequent probability").
 class PDUApriori final : public ProbabilisticMiner {
  public:
-  PDUApriori() = default;
+  /// `num_threads` parallelizes candidate counting (see
+  /// MinerOptions::num_threads); results are bit-identical.
+  explicit PDUApriori(std::size_t num_threads = 1)
+      : num_threads_(num_threads) {}
 
   std::string_view name() const override { return "PDUApriori"; }
   bool is_exact() const override { return false; }
@@ -25,6 +28,9 @@ class PDUApriori final : public ProbabilisticMiner {
   Result<MiningResult> MineProbabilistic(
       const FlatView& view,
       const ProbabilisticParams& params) const override;
+
+ private:
+  std::size_t num_threads_;
 };
 
 }  // namespace ufim

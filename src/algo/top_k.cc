@@ -1,10 +1,13 @@
 #include "algo/top_k.h"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
+#include <string>
 
 #include "algo/apriori_framework.h"
 #include "common/math_util.h"
+#include "core/miner_registry.h"
 
 namespace ufim {
 
@@ -137,5 +140,22 @@ Result<MiningResult> MineTopKExpected(const UncertainDatabase& db,
                                       std::size_t k) {
   return MineTopKExpected(FlatView(db), k);
 }
+
+Result<MiningResult> TopKMiner::Mine(const FlatView& view,
+                                     const MiningTask& task) const {
+  const auto* params = std::get_if<TopKParams>(&task);
+  if (params == nullptr) {
+    return Status::InvalidArgument("TopK does not support " +
+                                   std::string(TaskKindName(task)) + " tasks");
+  }
+  UFIM_RETURN_IF_ERROR(params->Validate());
+  return MineTopKExpected(view, params->k);
+}
+
+UFIM_REGISTER_MINER("TopK", TaskFamily::kTopK,
+                    /*production=*/true,
+                    [](const MinerOptions&) {
+                      return std::make_unique<TopKMiner>();
+                    })
 
 }  // namespace ufim

@@ -27,6 +27,27 @@ Result<MiningResult> MineTopKExpected(const FlatView& view, std::size_t k);
 Result<MiningResult> MineTopKExpected(const UncertainDatabase& db,
                                       std::size_t k);
 
+/// The `Miner` facade over MineTopKExpected: answers `TopKParams` tasks,
+/// registered as "TopK" so the CLI, experiment runner and benches reach
+/// threshold-free mining through the same registry path as every other
+/// algorithm.
+class TopKMiner final : public Miner {
+ public:
+  TopKMiner() = default;
+
+  std::string_view name() const override { return "TopK"; }
+  bool Supports(const MiningTask& task) const override {
+    return std::holds_alternative<TopKParams>(task);
+  }
+  /// Exact: the dynamic bound prunes only subtrees that provably cannot
+  /// enter the top k.
+  bool is_exact() const override { return true; }
+
+  Result<MiningResult> Mine(const FlatView& view,
+                            const MiningTask& task) const override;
+  using Miner::Mine;
+};
+
 }  // namespace ufim
 
 #endif  // UFIM_ALGO_TOP_K_H_

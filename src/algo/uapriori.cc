@@ -20,7 +20,7 @@ Result<MiningResult> UApriori::MineExpected(
   std::vector<FrequentItemset> found =
       MineAprioriGeneric(view, callbacks,
                          decremental_pruning_ ? threshold : -1.0,
-                         &result.counters());
+                         &result.counters(), num_threads_);
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
@@ -30,7 +30,7 @@ UFIM_REGISTER_MINER("UApriori", TaskFamily::kExpectedSupport,
                     /*production=*/true,
                     [](const MinerOptions& options) {
                       return std::make_unique<UApriori>(
-                          options.decremental_pruning);
+                          options.decremental_pruning, options.num_threads);
                     })
 
 }  // namespace ufim

@@ -17,9 +17,13 @@ namespace ufim {
 class UApriori final : public ExpectedSupportMiner {
  public:
   /// `decremental_pruning` mirrors the optimized implementation used in
-  /// the paper's study; disable it for ablation.
-  explicit UApriori(bool decremental_pruning = true)
-      : decremental_pruning_(decremental_pruning) {}
+  /// the paper's study; disable it for ablation. `num_threads`
+  /// parallelizes candidate counting (see MinerOptions::num_threads);
+  /// results are bit-identical at every setting.
+  explicit UApriori(bool decremental_pruning = true,
+                    std::size_t num_threads = 1)
+      : decremental_pruning_(decremental_pruning),
+        num_threads_(num_threads) {}
 
   std::string_view name() const override { return "UApriori"; }
 
@@ -29,6 +33,7 @@ class UApriori final : public ExpectedSupportMiner {
 
  private:
   bool decremental_pruning_;
+  std::size_t num_threads_;
 };
 
 }  // namespace ufim

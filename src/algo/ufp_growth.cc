@@ -139,10 +139,9 @@ Result<MiningResult> UFPGrowth::MineExpected(
   ++result.counters().database_scans;
   UFPTree tree(rank_to_item.size());
   std::vector<UFPTree::PathUnit> path;
-  for (std::size_t ti = 0; ti < view.num_transactions(); ++ti) {
+  for (TransactionId ti = view.begin_tid(); ti < view.end_tid(); ++ti) {
     path.clear();
-    for (const ProbItem& u :
-         view.TransactionUnits(static_cast<TransactionId>(ti))) {
+    for (const ProbItem& u : view.TransactionUnits(ti)) {
       const std::uint32_t rank = item_to_rank[u.item];
       if (rank != UINT32_MAX) path.push_back(UFPTree::PathUnit{rank, u.prob});
     }

@@ -33,10 +33,9 @@ UHStructEngine::UHStructEngine(const FlatView& view, Hooks hooks)
   // itemset exactly once). Reads the view's flat horizontal arrays.
   txn_offsets_.push_back(0);
   std::vector<Unit> scratch;
-  for (std::size_t ti = 0; ti < view.num_transactions(); ++ti) {
+  for (TransactionId ti = view.begin_tid(); ti < view.end_tid(); ++ti) {
     scratch.clear();
-    for (const ProbItem& u :
-         view.TransactionUnits(static_cast<TransactionId>(ti))) {
+    for (const ProbItem& u : view.TransactionUnits(ti)) {
       const std::uint32_t rank = item_to_rank[u.item];
       if (rank != UINT32_MAX) scratch.push_back(Unit{rank, u.prob});
     }

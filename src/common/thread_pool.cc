@@ -1,0 +1,117 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace ufim {
+
+namespace {
+
+/// Set while a ThreadPool worker is running its loop; lets ParallelFor
+/// detect nested invocations and fall back to serial execution.
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+std::size_t HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(num_threads, 1);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue before honoring stop_ so ~ThreadPool never
+      // abandons a future someone is waiting on.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task stores any exception in the future
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked on purpose: worker threads must outlive every static whose
+  // destructor might still submit, and process exit reclaims them.
+  static ThreadPool* pool = new ThreadPool(HardwareThreads());
+  return *pool;
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+void ParallelFor(std::size_t n, std::size_t num_threads,
+                 const std::function<void(std::size_t)>& body) {
+  if (num_threads == 0) num_threads = HardwareThreads();
+  const std::size_t chunks = std::min(num_threads, n);
+  if (chunks <= 1 || ThreadPool::InWorker()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  ThreadPool& pool = ThreadPool::Global();
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks - 1);
+  std::exception_ptr first_error;
+  // Submission itself can throw (allocation); from here to the drain
+  // loop nothing may leave this frame while a submitted chunk might
+  // still touch `body`.
+  try {
+    for (std::size_t c = 1; c < chunks; ++c) {
+      const std::size_t lo = c * n / chunks;
+      const std::size_t hi = (c + 1) * n / chunks;
+      pending.push_back(pool.Submit([&body, lo, hi] {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      }));
+    }
+    const std::size_t hi0 = n / chunks;
+    for (std::size_t i = 0; i < hi0; ++i) body(i);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  // Wait for every submitted chunk before rethrowing: `body` and its
+  // captures must stay alive until no worker can touch them.
+  for (std::future<void>& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ufim

@@ -1,0 +1,91 @@
+#ifndef UFIM_COMMON_THREAD_POOL_H_
+#define UFIM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ufim {
+
+/// Number of hardware threads, clamped to at least 1 (the standard
+/// permits std::thread::hardware_concurrency() == 0).
+std::size_t HardwareThreads();
+
+/// A fixed-size pool of worker threads draining one shared FIFO queue.
+/// Deliberately work-stealing-free: the mining workloads it serves are
+/// pre-partitioned into a handful of coarse contiguous chunks, so a
+/// single locked queue is contention-free in practice and keeps the
+/// execution order easy to reason about (determinism of the parallel
+/// counting paths is argued from the partitioning, not the scheduler).
+///
+/// Tasks must not block on other tasks of the same pool; `ParallelFor`
+/// preserves that invariant by running nested invocations inline on the
+/// calling worker instead of re-submitting (see below).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn`; the future observes completion and rethrows any
+  /// exception the task raised. Safe to call from inside a task (the
+  /// nested task is queued normally; nothing in the pool ever waits on
+  /// another task, so this cannot deadlock).
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// The process-wide pool, sized to HardwareThreads(), created on first
+  /// use and kept alive for the process lifetime. All `ParallelFor`
+  /// calls share it; per-call `num_threads` caps how many of its workers
+  /// one call occupies.
+  static ThreadPool& Global();
+
+  /// True when the calling thread is a worker of any ThreadPool.
+  static bool InWorker();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for every i in [0, n), partitioned into at most
+/// `num_threads` contiguous chunks (chunk c covers [c*n/k, (c+1)*n/k)).
+/// The calling thread executes the first chunk itself; the rest run on
+/// the global pool. Blocks until every index completed.
+///
+/// Determinism: the chunk decomposition is a pure function of (n,
+/// num_threads) and every index is executed by exactly one thread, so
+/// any per-index state is computed exactly as in the serial loop. The
+/// parallel counting kernels get bit-identical results by partitioning
+/// work so that no floating-point reduction crosses a chunk boundary.
+///
+/// num_threads == 0 means HardwareThreads(). num_threads <= 1, n <= 1,
+/// or a call from inside a pool worker (a nested ParallelFor) all run
+/// the plain serial loop — nested parallelism degrades to sequential
+/// execution instead of deadlocking on a saturated pool.
+///
+/// If one or more bodies throw, the remaining chunks still run to
+/// completion and the exception of the lowest-numbered failing chunk is
+/// rethrown in the caller.
+void ParallelFor(std::size_t n, std::size_t num_threads,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace ufim
+
+#endif  // UFIM_COMMON_THREAD_POOL_H_

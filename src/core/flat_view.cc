@@ -52,12 +52,13 @@ FlatView::FlatView(const UncertainDatabase& db) {
     s->item_esup[i] = esup[i].value();
   }
 
-  num_transactions_ = s->full_size;
+  begin_ = 0;
+  end_ = s->full_size;
   storage_ = std::move(s);
 }
 
 std::size_t FlatView::num_units() const {
-  return storage_->txn_offsets[num_transactions_];
+  return storage_->txn_offsets[end_] - storage_->txn_offsets[begin_];
 }
 
 double FlatView::Probability(TransactionId t, ItemId item) const {
@@ -72,14 +73,21 @@ double FlatView::Probability(TransactionId t, ItemId item) const {
 std::pair<std::size_t, std::size_t> FlatView::PostingRange(ItemId item) const {
   const Storage& s = *storage_;
   if (item >= s.num_items) return {0, 0};
-  const std::size_t begin = s.item_offsets[item];
+  std::size_t begin = s.item_offsets[item];
   std::size_t end = s.item_offsets[item + 1];
-  if (num_transactions_ < s.full_size) {
-    // Sliced view: cut where tids reach the slice boundary.
+  // Sliced view: cut where the ascending tids cross each slice boundary.
+  if (begin_ > 0) {
+    begin = static_cast<std::size_t>(
+        std::lower_bound(s.posting_tids.begin() + begin,
+                         s.posting_tids.begin() + end,
+                         static_cast<TransactionId>(begin_)) -
+        s.posting_tids.begin());
+  }
+  if (end_ < s.full_size) {
     end = static_cast<std::size_t>(
         std::lower_bound(s.posting_tids.begin() + begin,
                          s.posting_tids.begin() + end,
-                         static_cast<TransactionId>(num_transactions_)) -
+                         static_cast<TransactionId>(end_)) -
         s.posting_tids.begin());
   }
   return {begin, end};
@@ -136,8 +144,13 @@ std::vector<double> FlatView::ContainmentProbabilities(
   return out;
 }
 
-FlatView FlatView::Prefix(std::size_t n) const {
-  return FlatView(storage_, std::min(n, num_transactions_));
+FlatView FlatView::Slice(std::size_t lo, std::size_t hi) const {
+  const std::size_t n = num_transactions();
+  lo = std::min(lo, n);
+  hi = std::min(std::max(hi, lo), n);
+  return FlatView(storage_, begin_ + lo, begin_ + hi);
 }
+
+FlatView FlatView::Prefix(std::size_t n) const { return Slice(0, n); }
 
 }  // namespace ufim

@@ -32,9 +32,16 @@ namespace ufim {
 /// level-1 pass of every miner is O(num_items) array reads.
 ///
 /// A view is cheap to copy: copies share the underlying arrays.
-/// `Prefix(n)` returns an O(1) slice restricted to the first `n`
-/// transactions (the scalability-sweep access pattern); vertical accessors
-/// of a sliced view locate their cut by binary search on the tid arrays.
+/// `Slice(lo, hi)` returns an O(1) view of a contiguous transaction
+/// range (`Prefix(n)` is `Slice(0, n)`) — the access pattern of the
+/// scalability sweeps and of per-shard parallel mining; vertical
+/// accessors of a sliced view locate their cuts by binary search on the
+/// tid arrays.
+///
+/// Transaction ids are *global* throughout: `TransactionUnits` and
+/// `Probability` take ids of the source database, and posting arrays
+/// hold global ids, so ids agree across every slice of one database.
+/// Iterate a view's transactions as `[begin_tid(), end_tid())`.
 class FlatView {
  public:
   FlatView() : FlatView(UncertainDatabase()) {}
@@ -43,9 +50,14 @@ class FlatView {
   /// a reference to `db`; it owns its arrays.
   explicit FlatView(const UncertainDatabase& db);
 
-  std::size_t num_transactions() const { return num_transactions_; }
+  std::size_t num_transactions() const { return end_ - begin_; }
   std::size_t num_items() const { return storage_->num_items; }
-  bool empty() const { return num_transactions_ == 0; }
+  bool empty() const { return begin_ == end_; }
+
+  /// First transaction id in the view (inclusive).
+  TransactionId begin_tid() const { return static_cast<TransactionId>(begin_); }
+  /// One past the last transaction id in the view.
+  TransactionId end_tid() const { return static_cast<TransactionId>(end_); }
 
   /// Total probabilistic units in the viewed transactions.
   std::size_t num_units() const;
@@ -84,7 +96,7 @@ class FlatView {
   // --- Cached item moments ----------------------------------------------
 
   /// Σ_t Pr(item ∈ T_t) over the viewed transactions. O(1) on a full
-  /// view; O(slice length) on a prefix slice.
+  /// view; O(slice length) on a slice.
   double ItemExpectedSupport(ItemId item) const;
 
   /// Σ_t Pr(item ∈ T_t)² likewise.
@@ -181,12 +193,20 @@ class FlatView {
 
   // --- Slicing -----------------------------------------------------------
 
-  /// View over the first `n` transactions. O(1): shares all arrays with
-  /// this view. Clamps n to num_transactions().
+  /// View over transactions [lo, hi) *of this view* (offsets are
+  /// view-relative, so slices compose; the resulting view still reports
+  /// global transaction ids). O(1): shares all arrays with this view.
+  /// `lo` and `hi` are clamped to [0, num_transactions()] and to each
+  /// other (hi < lo yields an empty view at lo).
+  FlatView Slice(std::size_t lo, std::size_t hi) const;
+
+  /// View over the first `n` transactions: `Slice(0, n)`.
   FlatView Prefix(std::size_t n) const;
 
   /// True when the view spans the whole database it was built from.
-  bool IsFullView() const { return num_transactions_ == storage_->full_size; }
+  bool IsFullView() const {
+    return begin_ == 0 && end_ == storage_->full_size;
+  }
 
  private:
   struct Storage {
@@ -209,14 +229,16 @@ class FlatView {
     std::vector<double> item_sq_sum;
   };
 
-  FlatView(std::shared_ptr<const Storage> storage, std::size_t n)
-      : storage_(std::move(storage)), num_transactions_(n) {}
+  FlatView(std::shared_ptr<const Storage> storage, std::size_t begin,
+           std::size_t end)
+      : storage_(std::move(storage)), begin_(begin), end_(end) {}
 
-  /// Postings of `item` cut to tids < num_transactions_.
+  /// Postings of `item` cut to tids in [begin_, end_).
   std::pair<std::size_t, std::size_t> PostingRange(ItemId item) const;
 
   std::shared_ptr<const Storage> storage_;
-  std::size_t num_transactions_ = 0;
+  std::size_t begin_ = 0;  ///< first viewed transaction (global id)
+  std::size_t end_ = 0;    ///< one past the last viewed transaction
 };
 
 }  // namespace ufim

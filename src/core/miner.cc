@@ -31,10 +31,21 @@ std::size_t ProbabilisticParams::MinSupportCount(
   return msc;
 }
 
+Status TopKParams::Validate() const {
+  if (k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  return Status::OK();
+}
+
 std::string_view TaskKindName(const MiningTask& task) {
-  return std::holds_alternative<ExpectedSupportParams>(task)
-             ? "expected-support"
-             : "probabilistic";
+  if (std::holds_alternative<ExpectedSupportParams>(task)) {
+    return "expected-support";
+  }
+  if (std::holds_alternative<ProbabilisticParams>(task)) {
+    return "probabilistic";
+  }
+  return "top-k";
 }
 
 Result<MiningResult> Miner::Mine(const UncertainDatabase& db,

@@ -39,17 +39,35 @@ struct ProbabilisticParams {
   std::size_t MinSupportCount(std::size_t num_transactions) const;
 };
 
-/// One mining request: either of the paper's two problem definitions.
-/// The unified `Miner` facade dispatches on the active alternative, so
-/// drivers (CLI, experiment runner, benches) need a single code path.
-using MiningTask = std::variant<ExpectedSupportParams, ProbabilisticParams>;
+/// Parameters of threshold-free top-k mining: the k itemsets with the
+/// highest expected support (no frequency threshold to tune).
+struct TopKParams {
+  /// Number of itemsets to return, >= 1.
+  std::size_t k = 10;
 
-/// "expected-support" or "probabilistic" — for diagnostics.
+  Status Validate() const;
+};
+
+/// One mining request: the paper's two problem definitions plus the
+/// threshold-free top-k variant. The unified `Miner` facade dispatches
+/// on the active alternative, so drivers (CLI, experiment runner,
+/// benches) need a single code path.
+using MiningTask =
+    std::variant<ExpectedSupportParams, ProbabilisticParams, TopKParams>;
+
+/// "expected-support", "probabilistic" or "top-k" — for diagnostics.
 std::string_view TaskKindName(const MiningTask& task);
 
 /// Tuning knobs shared across miners. Defaults mirror the optimized
 /// configurations the paper's study used.
 struct MinerOptions {
+  /// Worker threads for the parallel counting/evaluation paths: 1 (the
+  /// default) is the sequential baseline, 0 means all hardware threads.
+  /// Results are bit-identical at every setting (the parallel kernels
+  /// use deterministic partitioning and reduction orders); the
+  /// pattern-growth miners (UFP-growth, UH-Mine, NDUH-Mine) and the DFS
+  /// searches currently ignore the knob and run sequentially.
+  std::size_t num_threads = 1;
   /// UApriori/PDUApriori: enable mid-scan decremental pruning [17, 18].
   bool decremental_pruning = true;
   /// DC: operand size above which the conquer step uses FFT convolution.

@@ -11,11 +11,13 @@
 
 namespace ufim {
 
-/// Which of the paper's two problem definitions a registered miner
-/// answers (mirrors Miner::Supports, queryable without instantiation).
+/// Which task alternative a registered miner answers (mirrors
+/// Miner::Supports, queryable without instantiation): the paper's two
+/// problem definitions plus threshold-free top-k.
 enum class TaskFamily {
   kExpectedSupport,
   kProbabilistic,
+  kTopK,
 };
 
 /// Registration record of one algorithm. Exactness is not duplicated

@@ -1,0 +1,126 @@
+#include "core/sharded_miner.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/thread_pool.h"
+
+namespace ufim {
+
+ShardedMiner::ShardedMiner(std::unique_ptr<Miner> inner,
+                           std::size_t num_shards, std::size_t num_threads)
+    : inner_(std::move(inner)),
+      name_("Sharded(" + std::string(inner_->name()) + ")"),
+      num_shards_(std::max<std::size_t>(num_shards, 1)),
+      num_threads_(num_threads == 0 ? HardwareThreads() : num_threads) {}
+
+bool ShardedMiner::Supports(const MiningTask& task) const {
+  // Only expected support is additive across shards; see class comment.
+  return std::holds_alternative<ExpectedSupportParams>(task) &&
+         inner_->Supports(task);
+}
+
+Result<MiningResult> ShardedMiner::Mine(const FlatView& view,
+                                        const MiningTask& task) const {
+  const auto* params = std::get_if<ExpectedSupportParams>(&task);
+  if (params == nullptr || !inner_->Supports(task)) {
+    return Status::InvalidArgument(
+        name_ + " supports expected-support tasks of its inner miner only");
+  }
+  UFIM_RETURN_IF_ERROR(params->Validate());
+
+  const std::size_t n_txn = view.num_transactions();
+  const std::size_t shards = std::min(num_shards_, std::max<std::size_t>(n_txn, 1));
+  if (shards <= 1) return inner_->Mine(view, task);
+
+  // Phase 1: mine every shard independently at the same min_esup ratio.
+  // Shard boundaries are a pure function of (n_txn, shards), so the
+  // candidate union — and with it the final answer — is reproducible.
+  std::vector<Result<MiningResult>> local;
+  local.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    local.push_back(Status::Internal("shard not mined"));
+  }
+  ParallelFor(shards, num_threads_, [&](std::size_t s) {
+    const FlatView shard =
+        view.Slice(s * n_txn / shards, (s + 1) * n_txn / shards);
+    local[s] = inner_->Mine(shard, task);
+  });
+
+  MiningResult result;
+  std::unordered_set<Itemset, ItemsetHash> seen;
+  std::vector<Itemset> singles;
+  std::vector<Itemset> larger;
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (!local[s].ok()) return local[s].status();
+    // Counters aggregate the work done across all shards plus the merge
+    // pass below — the uniform work measures stay meaningful.
+    MiningCounters& agg = result.counters();
+    const MiningCounters& sc = local[s]->counters();
+    agg.candidates_generated += sc.candidates_generated;
+    agg.candidates_pruned_apriori += sc.candidates_pruned_apriori;
+    agg.candidates_pruned_chernoff += sc.candidates_pruned_chernoff;
+    agg.exact_probability_evaluations += sc.exact_probability_evaluations;
+    agg.database_scans += sc.database_scans;
+    for (const FrequentItemset& fi : local[s]->itemsets()) {
+      if (seen.insert(fi.itemset).second) {
+        (fi.itemset.size() == 1 ? singles : larger).push_back(fi.itemset);
+      }
+    }
+  }
+  // Canonical candidate order keeps the recount (and any strategy the
+  // kernels pick) independent of shard completion order.
+  std::sort(singles.begin(), singles.end());
+  std::sort(larger.begin(), larger.end());
+
+  // Phase 2: exact recount of the union over the full view. Singletons
+  // come straight off the view's cached moments (exactly what the
+  // level-1 pass of every miner reports); larger sets are posting joins
+  // partitioned by candidate, so the ascending-tid Kahan accumulation is
+  // the sequential one regardless of thread count.
+  const double threshold = params->min_esup * static_cast<double>(n_txn);
+  ++result.counters().database_scans;
+  result.counters().candidates_generated += singles.size() + larger.size();
+
+  for (const Itemset& s : singles) {
+    const ItemId item = s.items().front();
+    const double esup = view.ItemExpectedSupport(item);
+    if (esup >= threshold) {
+      FrequentItemset fi;
+      fi.itemset = s;
+      fi.expected_support = esup;
+      fi.variance = esup - view.ItemSquaredSum(item);
+      result.Add(std::move(fi));
+    }
+  }
+
+  std::vector<std::pair<double, double>> moments(larger.size());
+  ParallelFor(larger.size(), num_threads_, [&](std::size_t c) {
+    KahanSum esup;
+    double sq_sum = 0.0;
+    view.JoinPostings(larger[c], [&](std::size_t, std::size_t, TransactionId,
+                                     double prod) {
+      esup.Add(prod);
+      sq_sum += prod * prod;
+      return true;
+    });
+    moments[c] = {esup.value(), sq_sum};
+  });
+  for (std::size_t c = 0; c < larger.size(); ++c) {
+    if (moments[c].first >= threshold) {
+      FrequentItemset fi;
+      fi.itemset = larger[c];
+      fi.expected_support = moments[c].first;
+      fi.variance = moments[c].first - moments[c].second;
+      result.Add(std::move(fi));
+    }
+  }
+  result.SortCanonical();
+  return result;
+}
+
+}  // namespace ufim

@@ -1,0 +1,76 @@
+#ifndef UFIM_CORE_SHARDED_MINER_H_
+#define UFIM_CORE_SHARDED_MINER_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/miner.h"
+
+namespace ufim {
+
+/// Shard-partitioned execution driver: runs any expected-support miner
+/// per contiguous transaction shard and merges to the *exact* global
+/// answer — the classic SON (partition) scheme, carried by FlatView's
+/// O(1) `Slice` views instead of data copies.
+///
+/// Phase 1 mines every shard independently (in parallel, up to
+/// `num_threads` shards in flight) with the same min_esup *ratio*; the
+/// shard thresholds ratio * |shard| sum to the global threshold, so by
+/// pigeonhole every globally frequent itemset is locally frequent in at
+/// least one shard — the union of shard results is a complete candidate
+/// superset. Phase 2 recounts that union over the full view (cached
+/// item moments for singletons, the parallel counting kernels for
+/// larger sets) and keeps exactly the itemsets meeting the global
+/// threshold, with their exact full-database moments: no approximation
+/// enters at any point, whatever the shard count.
+///
+/// Determinism: shard boundaries depend only on (view size, num_shards),
+/// the candidate union is canonically sorted before recounting, and the
+/// recount is partitioned by candidate — so for a fixed shard count the
+/// result is bit-identical across thread counts and across runs. Against
+/// the unsharded run of the same miner, the recount's ascending-tid
+/// posting joins can differ from a probe-sweep accumulation in the final
+/// ulp; the reported itemset set matches unless an expected support sits
+/// exactly on the threshold at that last ulp.
+///
+/// Only expected-support tasks are supported: expected support is
+/// additive across shards, which is what makes the local-threshold
+/// union argument sound. Probabilistic frequentness is not additive —
+/// a probabilistic task is rejected as InvalidArgument rather than
+/// answered approximately.
+class ShardedMiner final : public Miner {
+ public:
+  /// Wraps `inner` (an expected-support miner; typically registry-made).
+  /// `num_shards` contiguous transaction shards (clamped to the view
+  /// size; <= 1 degenerates to a plain delegated run). `num_threads` as
+  /// in MinerOptions: concurrency for shard mining and the recount, 0
+  /// meaning all hardware threads.
+  ShardedMiner(std::unique_ptr<Miner> inner, std::size_t num_shards,
+               std::size_t num_threads = 1);
+
+  /// "Sharded(<inner name>)".
+  std::string_view name() const override { return name_; }
+
+  bool Supports(const MiningTask& task) const override;
+
+  /// The merge is exact, so exactness is the inner miner's.
+  bool is_exact() const override { return inner_->is_exact(); }
+
+  Result<MiningResult> Mine(const FlatView& view,
+                            const MiningTask& task) const override;
+  using Miner::Mine;
+
+  std::size_t num_shards() const { return num_shards_; }
+
+ private:
+  std::unique_ptr<Miner> inner_;
+  std::string name_;
+  std::size_t num_shards_;
+  std::size_t num_threads_;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_CORE_SHARDED_MINER_H_

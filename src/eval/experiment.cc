@@ -1,5 +1,11 @@
 #include "eval/experiment.h"
 
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/miner_registry.h"
+#include "core/sharded_miner.h"
 #include "eval/memory_tracker.h"
 #include "eval/stopwatch.h"
 
@@ -36,6 +42,22 @@ Result<ExperimentMeasurement> RunExperiment(const Miner& miner,
                                             const UncertainDatabase& db,
                                             const MiningTask& task) {
   return RunOne(miner, db, task);
+}
+
+Result<ExperimentMeasurement> RunRegisteredExperiment(
+    std::string_view algorithm, const FlatView& view, const MiningTask& task,
+    const MinerOptions& options, std::size_t num_shards) {
+  std::unique_ptr<Miner> miner =
+      MinerRegistry::Global().Create(algorithm, options);
+  if (miner == nullptr) {
+    return Status::NotFound("algorithm '" + std::string(algorithm) +
+                            "' is not registered");
+  }
+  if (num_shards > 1) {
+    miner = std::make_unique<ShardedMiner>(std::move(miner), num_shards,
+                                           options.num_threads);
+  }
+  return RunExperiment(*miner, view, task);
 }
 
 Result<ExperimentMeasurement> RunExpectedExperiment(

@@ -2,6 +2,7 @@
 #define UFIM_EVAL_EXPERIMENT_H_
 
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 #include "core/flat_view.h"
@@ -32,6 +33,16 @@ Result<ExperimentMeasurement> RunExperiment(const Miner& miner,
 Result<ExperimentMeasurement> RunExperiment(const Miner& miner,
                                             const UncertainDatabase& db,
                                             const MiningTask& task);
+
+/// Registry-driven variant: instantiates `algorithm` with `options`
+/// (the experiment-runner config — num_threads and the per-algorithm
+/// knobs) and optionally wraps it in a ShardedMiner (`num_shards > 1`)
+/// before running. NotFound for unregistered names. This is the single
+/// entry point the CLI and sweep drivers use, so every experiment
+/// accepts the same execution configuration.
+Result<ExperimentMeasurement> RunRegisteredExperiment(
+    std::string_view algorithm, const FlatView& view, const MiningTask& task,
+    const MinerOptions& options = {}, std::size_t num_shards = 1);
 
 /// Typed conveniences retained for the per-definition sweeps.
 Result<ExperimentMeasurement> RunExpectedExperiment(

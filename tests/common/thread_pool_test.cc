@@ -1,0 +1,172 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ufim {
+namespace {
+
+TEST(HardwareThreadsTest, AtLeastOne) { EXPECT_GE(HardwareThreads(), 1u); }
+
+TEST(ThreadPoolTest, SubmitRunsTasksAndFuturesObserveCompletion) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroRequestedThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  auto f = pool.Submit([] {});
+  f.get();
+}
+
+TEST(ThreadPoolTest, SubmitExceptionSurfacesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives the throwing task; the pool is still usable.
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromWorkerCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  // A task that submits more tasks into its own pool: the queue accepts
+  // them and nothing in the pool waits on another task, so this cannot
+  // deadlock even with every worker busy.
+  std::vector<std::future<void>> inner;
+  std::mutex mu;
+  pool.Submit([&] {
+      for (int i = 0; i < 8; ++i) {
+        std::lock_guard<std::mutex> lock(mu);
+        inner.push_back(pool.Submit([&inner_runs] { ++inner_runs; }));
+      }
+    }).get();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto& f : inner) f.get();
+  }
+  EXPECT_EQ(inner_runs.load(), 8);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }  // ~ThreadPool must not abandon queued tasks
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 5u, 16u}) {
+    constexpr std::size_t kN = 997;  // prime: uneven chunk boundaries
+    std::vector<std::atomic<int>> hits(kN);
+    ParallelFor(kN, threads, [&hits](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, HandlesEdgeSizes) {
+  int runs = 0;
+  ParallelFor(0, 4, [&runs](std::size_t) { ++runs; });
+  EXPECT_EQ(runs, 0);
+  ParallelFor(1, 4, [&runs](std::size_t) { ++runs; });
+  EXPECT_EQ(runs, 1);
+  // num_threads = 0 means hardware concurrency.
+  std::atomic<int> par_runs{0};
+  ParallelFor(10, 0, [&par_runs](std::size_t) { ++par_runs; });
+  EXPECT_EQ(par_runs.load(), 10);
+}
+
+TEST(ParallelForTest, ReusableAcrossManyRounds) {
+  // Exercises pool reuse: repeated fork-joins over the shared global
+  // pool must neither leak tasks nor lose indices.
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    ParallelFor(100, 4, [&sum](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950u) << "round " << round;
+  }
+}
+
+TEST(ParallelForTest, ExceptionPropagatesAfterAllChunksFinish) {
+  std::vector<std::atomic<int>> ran(100);
+  auto run = [&ran] {
+    ParallelFor(100, 4, [&ran](std::size_t i) {
+      ++ran[i];
+      if (i == 37) throw std::invalid_argument("bad index");
+    });
+  };
+  EXPECT_THROW(run(), std::invalid_argument);
+  // The throwing chunk stops at the bad index; every *other* chunk runs
+  // to completion (the caller blocks until all chunks finished, so no
+  // worker can touch the shared state after the rethrow). Chunk c of 4
+  // covers [c*100/4, (c+1)*100/4): index 37 lives in [25, 50).
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (i < 25 || i >= 50) {
+      EXPECT_EQ(ran[i].load(), 1) << i;
+    } else if (i <= 37) {
+      EXPECT_EQ(ran[i].load(), 1) << i;
+    } else {
+      EXPECT_EQ(ran[i].load(), 0) << i;
+    }
+  }
+  // The global pool survives for later calls.
+  std::atomic<int> after{0};
+  ParallelFor(10, 4, [&after](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ParallelForTest, NestedParallelForRunsSerialAndCompletes) {
+  // A body that itself calls ParallelFor: the inner call detects it is
+  // on a pool worker and degrades to the serial loop instead of
+  // deadlocking on a saturated pool.
+  std::vector<std::atomic<int>> hits(64);
+  ParallelFor(8, 4, [&hits](std::size_t outer) {
+    ParallelFor(8, 4, [&hits, outer](std::size_t inner) {
+      ++hits[outer * 8 + inner];
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, ChunkingIsContiguous) {
+  // Each index is executed by exactly one thread and chunks are
+  // contiguous: record the executing thread per index and check that
+  // equal-thread runs form intervals.
+  constexpr std::size_t kN = 256;
+  std::vector<std::thread::id> owner(kN);
+  ParallelFor(kN, 4, [&owner](std::size_t i) {
+    owner[i] = std::this_thread::get_id();
+  });
+  std::size_t switches = 0;
+  for (std::size_t i = 1; i < kN; ++i) {
+    if (owner[i] != owner[i - 1]) ++switches;
+  }
+  EXPECT_LE(switches, 3u);  // at most num_chunks - 1 boundaries
+}
+
+}  // namespace
+}  // namespace ufim

@@ -35,6 +35,22 @@ TEST(ProbabilisticParamsTest, ValidatesRanges) {
   EXPECT_FALSE(p.Validate().ok());
 }
 
+TEST(TopKParamsTest, ValidatesK) {
+  TopKParams p;
+  EXPECT_TRUE(p.Validate().ok());  // default k = 10
+  p.k = 1;
+  EXPECT_TRUE(p.Validate().ok());
+  p.k = 0;
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MiningTaskTest, TaskKindNamesAllAlternatives) {
+  EXPECT_EQ(TaskKindName(MiningTask(ExpectedSupportParams{})),
+            "expected-support");
+  EXPECT_EQ(TaskKindName(MiningTask(ProbabilisticParams{})), "probabilistic");
+  EXPECT_EQ(TaskKindName(MiningTask(TopKParams{})), "top-k");
+}
+
 TEST(ProbabilisticParamsTest, MinSupportCountCeilsAndClamps) {
   ProbabilisticParams p;
   p.min_sup = 0.5;

@@ -62,9 +62,9 @@ TEST(MinerRegistryTest, ProductionNamesExcludeBruteForce) {
   EXPECT_EQ(std::count(production.begin(), production.end(),
                        "BruteForceProbabilistic"),
             0);
-  // 3 expected-support + 4 exact + 3 approximate + MCSampling = 11
-  // production algorithms.
-  EXPECT_EQ(production.size(), 11u);
+  // 3 expected-support + 4 exact + 3 approximate + MCSampling + TopK =
+  // 12 production algorithms.
+  EXPECT_EQ(production.size(), 12u);
   EXPECT_EQ(MinerRegistry::Global()
                 .NamesOf(TaskFamily::kExpectedSupport, /*production_only=*/true)
                 .size(),
@@ -73,6 +73,36 @@ TEST(MinerRegistryTest, ProductionNamesExcludeBruteForce) {
                 .NamesOf(TaskFamily::kProbabilistic, /*production_only=*/true)
                 .size(),
             8u);
+  EXPECT_EQ(MinerRegistry::Global()
+                .NamesOf(TaskFamily::kTopK, /*production_only=*/true)
+                .size(),
+            1u);
+}
+
+TEST(MinerRegistryTest, TopKIsAFirstClassMiner) {
+  const MinerEntry* entry = MinerRegistry::Global().Find("TopK");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->family, TaskFamily::kTopK);
+  std::unique_ptr<Miner> miner = MinerRegistry::Global().Create("TopK");
+  ASSERT_NE(miner, nullptr);
+  EXPECT_TRUE(miner->Supports(MiningTask(TopKParams{})));
+  EXPECT_FALSE(miner->Supports(MiningTask(ExpectedSupportParams{})));
+  EXPECT_FALSE(miner->Supports(MiningTask(ProbabilisticParams{})));
+  EXPECT_TRUE(miner->is_exact());
+
+  FlatView view((MakePaperTable1()));
+  TopKParams params;
+  params.k = 2;
+  auto result = miner->Mine(view, MiningTask(params));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  // Descending expected support: {C} 2.6 then {A} 2.1 (paper Example 1).
+  EXPECT_NEAR((*result)[0].expected_support, 2.6, 1e-12);
+  EXPECT_NEAR((*result)[1].expected_support, 2.1, 1e-12);
+
+  auto wrong = miner->Mine(view, MiningTask(ExpectedSupportParams{}));
+  EXPECT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(MinerRegistryTest, UnifiedFacadeDispatchesOnTask) {

@@ -1,0 +1,198 @@
+// Parallel-vs-sequential equivalence: every registered algorithm must
+// produce results *identical* to its num_threads = 1 run at any thread
+// count — not approximately equal. The parallel kernels promise
+// deterministic partitioning (posting joins split by candidate, probe
+// sweeps merged in fixed shard order, tail evaluations judged per
+// candidate), so these tests compare doubles with EXPECT_EQ.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "algo/apriori_framework.h"
+#include "core/flat_view.h"
+#include "core/miner_registry.h"
+#include "testing/random_db.h"
+
+namespace ufim {
+namespace {
+
+using testing_util::MakeRandomDatabase;
+using testing_util::RandomDbSpec;
+
+constexpr std::size_t kThreadCounts[] = {2, 8};
+
+MiningTask TaskFor(TaskFamily family) {
+  switch (family) {
+    case TaskFamily::kExpectedSupport: {
+      ExpectedSupportParams params;
+      params.min_esup = 0.12;
+      return params;
+    }
+    case TaskFamily::kProbabilistic: {
+      ProbabilisticParams params;
+      params.min_sup = 0.25;
+      params.pft = 0.6;
+      return params;
+    }
+    case TaskFamily::kTopK: {
+      TopKParams params;
+      params.k = 12;
+      return params;
+    }
+  }
+  return ExpectedSupportParams{};
+}
+
+void ExpectIdentical(const MiningResult& actual, const MiningResult& expect,
+                     const std::string& label) {
+  ASSERT_EQ(actual.size(), expect.size()) << label;
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(actual[i].itemset, expect[i].itemset) << label;
+    EXPECT_EQ(actual[i].expected_support, expect[i].expected_support)
+        << label << " " << expect[i].itemset.ToString();
+    EXPECT_EQ(actual[i].variance, expect[i].variance)
+        << label << " " << expect[i].itemset.ToString();
+    ASSERT_EQ(actual[i].frequent_probability.has_value(),
+              expect[i].frequent_probability.has_value())
+        << label;
+    if (expect[i].frequent_probability.has_value()) {
+      EXPECT_EQ(*actual[i].frequent_probability,
+                *expect[i].frequent_probability)
+          << label << " " << expect[i].itemset.ToString();
+    }
+  }
+}
+
+/// Runs every registered algorithm (production and oracle) on `db` at
+/// 1, 2 and 8 threads and requires bit-identical results — including
+/// identical work counters, since the parallel paths must not change
+/// what is evaluated, only where.
+void CheckAllMiners(const UncertainDatabase& db, const std::string& tag) {
+  FlatView view(db);
+  for (const std::string& name : MinerRegistry::Global().Names()) {
+    const MinerEntry* entry = MinerRegistry::Global().Find(name);
+    ASSERT_NE(entry, nullptr);
+    const MiningTask task = TaskFor(entry->family);
+
+    MinerOptions baseline_options;
+    baseline_options.num_threads = 1;
+    auto baseline = MinerRegistry::Global()
+                        .Create(name, baseline_options)
+                        ->Mine(view, task);
+    ASSERT_TRUE(baseline.ok()) << name << ": " << baseline.status().ToString();
+
+    for (std::size_t threads : kThreadCounts) {
+      MinerOptions options;
+      options.num_threads = threads;
+      auto parallel =
+          MinerRegistry::Global().Create(name, options)->Mine(view, task);
+      ASSERT_TRUE(parallel.ok()) << name;
+      const std::string label =
+          tag + "/" + name + "@" + std::to_string(threads);
+      ExpectIdentical(parallel.value(), baseline.value(), label);
+      EXPECT_EQ(parallel->counters().candidates_generated,
+                baseline->counters().candidates_generated)
+          << label;
+      EXPECT_EQ(parallel->counters().candidates_pruned_chernoff,
+                baseline->counters().candidates_pruned_chernoff)
+          << label;
+      EXPECT_EQ(parallel->counters().exact_probability_evaluations,
+                baseline->counters().exact_probability_evaluations)
+          << label;
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, AllMinersOnDenseRandomDatabase) {
+  CheckAllMiners(MakeRandomDatabase({.seed = 51,
+                                     .num_transactions = 60,
+                                     .num_items = 9,
+                                     .item_presence = 0.6}),
+                 "dense");
+}
+
+TEST(ParallelEquivalenceTest, AllMinersOnSparseRandomDatabase) {
+  CheckAllMiners(MakeRandomDatabase({.seed = 52,
+                                     .num_transactions = 90,
+                                     .num_items = 14,
+                                     .item_presence = 0.25}),
+                 "sparse");
+}
+
+TEST(ParallelEquivalenceTest, AllMinersOnLowProbabilityDatabase) {
+  CheckAllMiners(MakeRandomDatabase({.seed = 53,
+                                     .num_transactions = 70,
+                                     .num_items = 10,
+                                     .item_presence = 0.5,
+                                     .min_prob = 0.05,
+                                     .max_prob = 0.4}),
+                 "low-prob");
+}
+
+TEST(ParallelEquivalenceTest, EvaluateCandidatesExactAcrossThreadCounts) {
+  // Kernel-level check, both strategies: many candidates (the cost model
+  // may sweep) and few (it joins). Decremental pruning off — with it on,
+  // only abandoned infrequent candidates may legally differ.
+  UncertainDatabase db = MakeRandomDatabase(
+      {.seed = 54, .num_transactions = 600, .num_items = 12});
+  FlatView view(db);
+  std::vector<Itemset> frequent;
+  for (ItemId i = 0; i < 12; ++i) frequent.push_back(Itemset{i});
+  std::vector<Itemset> pairs = GenerateCandidates(frequent, nullptr);
+  std::vector<Itemset> few(pairs.begin(), pairs.begin() + 5);
+
+  for (const std::vector<Itemset>* cands : {&pairs, &few}) {
+    auto baseline = EvaluateCandidates(view, *cands, /*collect_probs=*/true,
+                                       /*decremental_threshold=*/-1.0,
+                                       /*num_threads=*/1);
+    for (std::size_t threads : kThreadCounts) {
+      auto parallel = EvaluateCandidates(view, *cands, /*collect_probs=*/true,
+                                         /*decremental_threshold=*/-1.0,
+                                         threads);
+      ASSERT_EQ(parallel.size(), baseline.size());
+      for (std::size_t c = 0; c < baseline.size(); ++c) {
+        EXPECT_EQ(parallel[c].esup, baseline[c].esup)
+            << (*cands)[c].ToString() << " @" << threads;
+        EXPECT_EQ(parallel[c].sq_sum, baseline[c].sq_sum);
+        ASSERT_EQ(parallel[c].probs.size(), baseline[c].probs.size());
+        for (std::size_t i = 0; i < baseline[c].probs.size(); ++i) {
+          EXPECT_EQ(parallel[c].probs[i], baseline[c].probs[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, DecrementalPruningKeepsFrequentOnesExact) {
+  // With decremental pruning on, candidates that reach the threshold
+  // must still be exact at every thread count (abandoned ones are
+  // guaranteed infrequent and may carry partial sums).
+  UncertainDatabase db = MakeRandomDatabase(
+      {.seed = 55, .num_transactions = 800, .num_items = 10});
+  FlatView view(db);
+  std::vector<Itemset> frequent;
+  for (ItemId i = 0; i < 10; ++i) frequent.push_back(Itemset{i});
+  std::vector<Itemset> pairs = GenerateCandidates(frequent, nullptr);
+
+  const double threshold = 0.2 * static_cast<double>(view.num_transactions());
+  auto full = EvaluateCandidates(view, pairs, /*collect_probs=*/false,
+                                 /*decremental_threshold=*/-1.0, 1);
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    auto pruned = EvaluateCandidates(view, pairs, /*collect_probs=*/false,
+                                     threshold, threads);
+    ASSERT_EQ(pruned.size(), full.size());
+    for (std::size_t c = 0; c < full.size(); ++c) {
+      if (full[c].esup >= threshold) {
+        EXPECT_EQ(pruned[c].esup, full[c].esup)
+            << pairs[c].ToString() << " @" << threads;
+      } else {
+        EXPECT_LE(pruned[c].esup, full[c].esup + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ufim

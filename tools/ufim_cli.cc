@@ -7,6 +7,9 @@
 //   ufim_cli mine data.udb --algorithm UApriori --min-esup 0.01
 //   ufim_cli mine data.udb --algorithm DCB --min-sup 0.05 --pft 0.9
 //       --top 20 --rules 0.8
+//   ufim_cli mine data.udb --algorithm TopK --k 20
+//   ufim_cli mine data.udb --algorithm UApriori --min-esup 0.01
+//       --threads 8 --shards 4
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,8 +34,16 @@ int Usage() {
            --n <transactions> [--prob gaussian:<mean>,<var> | zipf:<skew>]
            [--seed <s>] --out <path>
   ufim_cli stats <path>
-  ufim_cli mine <path> --algorithm <name> (--min-esup <r> | --min-sup <r> [--pft <p>])
+  ufim_cli mine <path> --algorithm <name>
+           (--min-esup <r> | --min-sup <r> [--pft <p>] | --k <n>)
+           [--threads <t>] [--shards <s>]
            [--top <k>] [--closed] [--maximal] [--rules <min_conf>]
+
+  --threads: worker threads for the parallel counting paths
+             (default: hardware concurrency; results are identical at
+             every setting). --shards: partition the database into <s>
+             transaction shards mined independently and merged exactly
+             (expected-support algorithms only).
 )");
   // The algorithm list comes from the registry, so newly registered
   // miners show up here without CLI edits.
@@ -46,6 +57,7 @@ int Usage() {
   };
   print_family("expected-support algorithms", TaskFamily::kExpectedSupport);
   print_family("probabilistic algorithms   ", TaskFamily::kProbabilistic);
+  print_family("top-k algorithms           ", TaskFamily::kTopK);
   return 2;
 }
 
@@ -215,7 +227,7 @@ int Mine(const Args& args) {
     ExpectedSupportParams params;
     params.min_esup = args.GetDouble("min-esup", 0.5);
     task = params;
-  } else {
+  } else if (entry->family == TaskFamily::kProbabilistic) {
     if (args.Get("min-sup") == nullptr) {
       std::fprintf(stderr, "%s needs --min-sup\n", algo_name.c_str());
       return Usage();
@@ -224,10 +236,27 @@ int Mine(const Args& args) {
     params.min_sup = args.GetDouble("min-sup", 0.5);
     params.pft = args.GetDouble("pft", 0.9);
     task = params;
+  } else {
+    if (args.Get("k") == nullptr) {
+      std::fprintf(stderr, "%s needs --k\n", algo_name.c_str());
+      return Usage();
+    }
+    TopKParams params;
+    params.k = args.GetSize("k", 10);
+    task = params;
   }
-  auto miner = MinerRegistry::Global().Create(algo_name);
+
+  // Execution configuration: every algorithm, threaded and optionally
+  // sharded, goes through the same registry-driven experiment path.
+  MinerOptions options;
+  options.num_threads = args.GetSize("threads", 0);  // 0 = all hardware threads
+  const std::size_t num_shards = args.GetSize("shards", 1);
+  if (num_shards > 1 && entry->family != TaskFamily::kExpectedSupport) {
+    std::fprintf(stderr, "--shards applies to expected-support algorithms only\n");
+    return Usage();
+  }
   FlatView view(*db);
-  auto m = RunExperiment(*miner, view, task);
+  auto m = RunRegisteredExperiment(algo_name, view, task, options, num_shards);
   if (!m.ok()) {
     std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
     return 1;
