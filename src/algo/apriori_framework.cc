@@ -79,33 +79,54 @@ std::vector<Itemset> GenerateCandidates(const std::vector<Itemset>& frequent_k,
 namespace {
 
 /// Joins one candidate's posting arrays through the shared FlatView
-/// kernel, filling `stats` with esup / Σp² (+ probs when requested).
-/// `decremental_threshold >= 0` abandons the join once even one unit of
-/// probability per remaining driver posting cannot reach the threshold.
+/// batch kernel, filling `stats` with esup / Σp² (+ probs when
+/// requested). `decremental_threshold >= 0` abandons the join, at batch
+/// granularity, once even one unit of probability per remaining driver
+/// posting cannot reach the threshold — the batch boundaries are a pure
+/// function of the driver length, so the abandonment schedule (and with
+/// it the partial sums of abandoned candidates) is identical at every
+/// thread count and under every intersect kernel.
 void JoinCandidate(const FlatView& view, const Itemset& candidate,
                    bool collect_probs, double decremental_threshold,
-                   CandidateStats& stats) {
+                   JoinScratch& scratch, CandidateStats& stats) {
   const bool decremental = decremental_threshold >= 0.0;
-  constexpr std::size_t kSweepPeriod = 256;
 
   KahanSum esup;
-  std::size_t last_check = 0;
-  view.JoinPostings(candidate, [&](std::size_t driver_pos,
-                                   std::size_t driver_len, TransactionId,
-                                   double prod) {
-    if (decremental && driver_pos - last_check >= kSweepPeriod) {
-      last_check = driver_pos;
+  bool reserved = false;
+  view.JoinPostingsBatched(candidate, scratch, [&](const JoinBatch& batch) {
+    if (collect_probs && !reserved) {
+      // The join emits at most one probability per driver (shortest
+      // member) posting; reserving that upper bound on the first batch
+      // kills the push_back reallocation churn of the exact-algorithm
+      // levels.
+      stats.probs.reserve(batch.driver_len);
+      reserved = true;
+    }
+    for (const double prod : batch.prods) {
+      esup.Add(prod);
+      stats.sq_sum += prod * prod;
+    }
+    if (collect_probs) {
+      stats.probs.insert(stats.probs.end(), batch.prods.begin(),
+                         batch.prods.end());
+    }
+    if (decremental && batch.driver_done < batch.driver_len) {
       // Each remaining driver posting contributes at most 1 to esup.
       const double optimistic =
-          esup.value() + static_cast<double>(driver_len - driver_pos);
+          esup.value() +
+          static_cast<double>(batch.driver_len - batch.driver_done);
       if (optimistic < decremental_threshold) return false;
     }
-    esup.Add(prod);
-    stats.sq_sum += prod * prod;
-    if (collect_probs) stats.probs.push_back(prod);
     return true;
   });
   stats.esup = esup.value();
+  // The driver-length reserve is an upper bound; on sparse joins most
+  // of it goes unused, and stats outlives the join inside the caller's
+  // whole result vector — trim badly over-reserved candidates so the
+  // retained footprint tracks actual matches.
+  if (collect_probs && stats.probs.capacity() > 2 * stats.probs.size()) {
+    stats.probs.shrink_to_fit();
+  }
 }
 
 /// Reusable scratch of one in-flight probe-sweep shard. Dense arrays are
@@ -132,8 +153,31 @@ struct SweepSlot {
 /// `slot`, recording which candidates were touched. Identical inner
 /// loop to the row-scan baseline, but every read is sequential over
 /// FlatView storage.
+/// First-item candidate buckets in CSR layout: candidates whose first
+/// member is item i live in cands[offsets[i] .. offsets[i+1]). One flat
+/// array keeps the per-unit probe loop walking contiguous memory
+/// instead of chasing a vector-of-vectors indirection per transaction
+/// unit.
+struct CandidateBuckets {
+  std::vector<std::uint32_t> offsets;  ///< size n_items + 1
+  std::vector<std::uint32_t> cands;    ///< candidate ids, ascending per bucket
+
+  CandidateBuckets(const std::vector<Itemset>& candidates,
+                   std::size_t n_items) {
+    offsets.assign(n_items + 1, 0);
+    for (const Itemset& c : candidates) ++offsets[c.items().front() + 1];
+    for (std::size_t i = 0; i < n_items; ++i) offsets[i + 1] += offsets[i];
+    cands.resize(candidates.size());
+    std::vector<std::uint32_t> fill(offsets.begin(), offsets.end() - 1);
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      cands[fill[candidates[c].items().front()]++] =
+          static_cast<std::uint32_t>(c);
+    }
+  }
+};
+
 void SweepShard(const FlatView& view, const std::vector<Itemset>& candidates,
-                const std::vector<std::vector<std::uint32_t>>& buckets,
+                const CandidateBuckets& buckets,
                 const std::vector<char>& active, bool collect_probs,
                 std::size_t lo, std::size_t hi, SweepSlot& slot) {
   const TransactionId first = view.begin_tid();
@@ -142,7 +186,9 @@ void SweepShard(const FlatView& view, const std::vector<Itemset>& candidates,
     const std::span<const ProbItem> units = view.TransactionUnits(tid);
     for (const ProbItem& u : units) slot.probe[u.item] = u.prob;
     for (const ProbItem& u : units) {
-      for (std::uint32_t c : buckets[u.item]) {
+      const std::uint32_t bucket_end = buckets.offsets[u.item + 1];
+      for (std::uint32_t bi = buckets.offsets[u.item]; bi < bucket_end; ++bi) {
+        const std::uint32_t c = buckets.cands[bi];
         if (!active[c]) continue;
         double prod = u.prob;
         const std::vector<ItemId>& members = candidates[c].items();
@@ -190,11 +236,7 @@ std::vector<CandidateStats> ProbeSweep(const FlatView& view,
   const std::size_t n_cands = candidates.size();
   std::vector<CandidateStats> stats(n_cands);
 
-  std::vector<std::vector<std::uint32_t>> buckets(n_items);
-  for (std::size_t c = 0; c < n_cands; ++c) {
-    buckets[candidates[c].items().front()].push_back(
-        static_cast<std::uint32_t>(c));
-  }
+  const CandidateBuckets buckets(candidates, n_items);
 
   // Fixed-size transaction shards. Up to kMaxShards * kShardTxns
   // transactions, shards hold ~kShardTxns transactions (the ceiling
@@ -326,14 +368,23 @@ std::vector<CandidateStats> EvaluateCandidates(const FlatView& view,
   }
 
   // Posting-join path: partitioned by candidate — each candidate's join
-  // runs whole on one thread, so per-candidate accumulation (and the
+  // runs whole on one worker, so per-candidate accumulation (and the
   // decremental abandonment schedule) is exactly the sequential one at
-  // every thread count.
+  // every thread count. Workers are dealt contiguous candidate chunks
+  // so each can reuse one JoinScratch across its whole share (the batch
+  // kernel allocates nothing after the first join).
   std::vector<CandidateStats> stats(candidates.size());
-  ParallelFor(candidates.size(), num_threads, [&](std::size_t c) {
-    JoinCandidate(view, candidates[c], collect_probs, decremental_threshold,
-                  stats[c]);
-  });
+  std::vector<JoinScratch> scratches(
+      ParallelChunkCount(candidates.size(), num_threads));
+  ParallelForChunks(
+      candidates.size(), num_threads,
+      [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+        JoinScratch& scratch = scratches[chunk];
+        for (std::size_t c = lo; c < hi; ++c) {
+          JoinCandidate(view, candidates[c], collect_probs,
+                        decremental_threshold, scratch, stats[c]);
+        }
+      });
   return stats;
 }
 

@@ -30,14 +30,23 @@ struct Containment {
   }
 };
 
-/// Extends `base` with `item` via the shared list×postings join: keeps
-/// transactions where `item` also occurs, multiplying probabilities.
-Containment Extend(const FlatView& view, const Containment& base, ItemId item) {
+/// Extends `base` with `item` via the shared list×postings batch join:
+/// keeps transactions where `item` also occurs, multiplying
+/// probabilities. `scratch` is reused across the whole DFS; the matches
+/// are materialized into the returned containment before the caller
+/// joins again.
+Containment Extend(const FlatView& view, const Containment& base, ItemId item,
+                   JoinScratch& scratch) {
+  const FlatView::ListMatches matches =
+      view.JoinWithPostings(base.tids, item, scratch);
   Containment out;
-  view.JoinWithPostings(base.tids, item, [&](std::size_t i, double p) {
+  out.tids.reserve(matches.size());
+  out.probs.reserve(matches.size());
+  for (std::size_t k = 0; k < matches.size(); ++k) {
+    const std::size_t i = matches.seq_indices[k];
     out.tids.push_back(base.tids[i]);
-    out.probs.push_back(base.probs[i] * p);
-  });
+    out.probs.push_back(base.probs[i] * matches.probs[k]);
+  }
   return out;
 }
 
@@ -84,12 +93,14 @@ Result<MiningResult> BruteForceExpected::MineExpected(
     Itemset itemset;
     Containment cont;
   };
+  JoinScratch scratch;
   auto dfs = [&](auto&& self, const Frame& frame) -> void {
     for (ItemId next = frame.itemset.empty() ? 0 : frame.itemset.items().back() + 1;
          next < n_items; ++next) {
       result.counters().candidates_generated++;
-      Containment ext = frame.itemset.empty() ? SingleItem(view, next)
-                                              : Extend(view, frame.cont, next);
+      Containment ext = frame.itemset.empty()
+                            ? SingleItem(view, next)
+                            : Extend(view, frame.cont, next, scratch);
       const double esup = ext.Esup();
       if (esup < threshold) continue;
       Frame child{frame.itemset.empty() ? Itemset{next}
@@ -119,12 +130,14 @@ Result<MiningResult> BruteForceProbabilistic::MineProbabilistic(
     Itemset itemset;
     Containment cont;
   };
+  JoinScratch scratch;
   auto dfs = [&](auto&& self, const Frame& frame) -> void {
     for (ItemId next = frame.itemset.empty() ? 0 : frame.itemset.items().back() + 1;
          next < n_items; ++next) {
       result.counters().candidates_generated++;
-      Containment ext = frame.itemset.empty() ? SingleItem(view, next)
-                                              : Extend(view, frame.cont, next);
+      Containment ext = frame.itemset.empty()
+                            ? SingleItem(view, next)
+                            : Extend(view, frame.cont, next, scratch);
       if (ext.probs.size() < msc) continue;  // support can never reach msc
       result.counters().exact_probability_evaluations++;
       const double tail = TailFromPmf(FullPmf(ext.probs), msc);

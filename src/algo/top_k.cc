@@ -43,6 +43,9 @@ struct SearchContext {
   std::vector<std::uint32_t> pos_of;
   MinHeap heap;
   MiningCounters counters;
+  /// Shared by every extension join in the DFS: the batch kernel's
+  /// buffers grow once and are reused down the whole search.
+  JoinScratch scratch;
 };
 
 void Offer(SearchContext& ctx, Itemset itemset, double esup, double sq_sum) {
@@ -67,18 +70,26 @@ void Dfs(SearchContext& ctx, const Itemset& prefix, const Containment& cont,
   for (std::uint32_t p = last_pos + 1; p < ctx.order.size(); ++p) {
     const ItemId item = ctx.order[p];
     ++ctx.counters.candidates_generated;
+    // Batch join: one vectorized intersection, then a gather over the
+    // match columns (materialized into `ext` before the recursion below
+    // reuses the scratch).
+    const FlatView::ListMatches matches =
+        view.JoinWithPostings(cont.tids, item, ctx.scratch);
+    // Itemsets that never co-occur are not results.
+    if (matches.size() == 0) continue;
     Containment ext;
+    ext.tids.reserve(matches.size());
+    ext.probs.reserve(matches.size());
     KahanSum esup;
     double sq_sum = 0.0;
-    view.JoinWithPostings(cont.tids, item, [&](std::size_t i, double p) {
-      const double joint = cont.probs[i] * p;
+    for (std::size_t k = 0; k < matches.size(); ++k) {
+      const std::size_t i = matches.seq_indices[k];
+      const double joint = cont.probs[i] * matches.probs[k];
       ext.tids.push_back(cont.tids[i]);
       ext.probs.push_back(joint);
       esup.Add(joint);
       sq_sum += joint * joint;
-    });
-    // Itemsets that never co-occur are not results.
-    if (ext.tids.empty()) continue;
+    }
     // Anti-monotonicity: nothing below this node can beat the bound.
     if (esup.value() <= Bound(ctx)) continue;
     Itemset extended = prefix.Union(item);

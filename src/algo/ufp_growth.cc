@@ -126,30 +126,29 @@ Result<MiningResult> UFPGrowth::MineExpected(
     return a.item < b.item;
   });
   std::vector<ItemId> rank_to_item;
-  std::vector<std::uint32_t> item_to_rank(view.num_items(), UINT32_MAX);
-  for (std::size_t r = 0; r < kept.size(); ++r) {
-    rank_to_item.push_back(kept[r].item);
-    item_to_rank[kept[r].item] = static_cast<std::uint32_t>(r);
-    // 1-itemset results are emitted by MineTree from the global tree
-    // (whose per-rank moments equal the item-level moments exactly).
-  }
+  rank_to_item.reserve(kept.size());
+  // 1-itemset results are emitted by MineTree from the global tree
+  // (whose per-rank moments equal the item-level moments exactly).
+  for (const ItemStats& is : kept) rank_to_item.push_back(is.item);
 
   // Pass 2: build the global UFP-tree over the frequent items from the
-  // view's flat horizontal arrays.
+  // view's vertical rank projection — reads only the kept items'
+  // posting arrays, and rows arrive rank-sorted, so insertion needs no
+  // per-transaction filter or sort.
   ++result.counters().database_scans;
+  const FlatView::RankProjection projection =
+      view.ProjectOntoRanks(rank_to_item);
   UFPTree tree(rank_to_item.size());
   std::vector<UFPTree::PathUnit> path;
-  for (TransactionId ti = view.begin_tid(); ti < view.end_tid(); ++ti) {
+  for (std::size_t t = 0; t + 1 < projection.txn_offsets.size(); ++t) {
+    const std::uint32_t end = projection.txn_offsets[t + 1];
+    std::uint32_t u = projection.txn_offsets[t];
+    if (u == end) continue;
     path.clear();
-    for (const ProbItem& u : view.TransactionUnits(ti)) {
-      const std::uint32_t rank = item_to_rank[u.item];
-      if (rank != UINT32_MAX) path.push_back(UFPTree::PathUnit{rank, u.prob});
+    for (; u < end; ++u) {
+      path.push_back(
+          UFPTree::PathUnit{projection.units[u].rank, projection.units[u].prob});
     }
-    if (path.empty()) continue;
-    std::sort(path.begin(), path.end(),
-              [](const UFPTree::PathUnit& a, const UFPTree::PathUnit& b) {
-                return a.rank < b.rank;
-              });
     tree.InsertPath(path, 1.0, 1.0);
   }
 

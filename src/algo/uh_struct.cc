@@ -21,30 +21,18 @@ UHStructEngine::UHStructEngine(const FlatView& view, Hooks hooks)
     if (a.esup != b.esup) return a.esup > b.esup;
     return a.item < b.item;
   });
-  std::vector<std::uint32_t> item_to_rank(view.num_items(), UINT32_MAX);
   rank_to_item_.reserve(kept.size());
-  for (std::size_t r = 0; r < kept.size(); ++r) {
-    rank_to_item_.push_back(kept[r].item);
-    item_to_rank[kept[r].item] = static_cast<std::uint32_t>(r);
-  }
+  for (const ItemStats& is : kept) rank_to_item_.push_back(is.item);
 
   // Project transactions onto the kept items, re-labelled by rank and
-  // sorted by rank (so "extensions after position" enumerates each
-  // itemset exactly once). Reads the view's flat horizontal arrays.
-  txn_offsets_.push_back(0);
-  std::vector<Unit> scratch;
-  for (TransactionId ti = view.begin_tid(); ti < view.end_tid(); ++ti) {
-    scratch.clear();
-    for (const ProbItem& u : view.TransactionUnits(ti)) {
-      const std::uint32_t rank = item_to_rank[u.item];
-      if (rank != UINT32_MAX) scratch.push_back(Unit{rank, u.prob});
-    }
-    if (scratch.empty()) continue;  // contributes to no frequent itemset
-    std::sort(scratch.begin(), scratch.end(),
-              [](const Unit& a, const Unit& b) { return a.rank < b.rank; });
-    units_.insert(units_.end(), scratch.begin(), scratch.end());
-    txn_offsets_.push_back(static_cast<std::uint32_t>(units_.size()));
-  }
+  // ascending by rank (so "extensions after position" enumerates each
+  // itemset exactly once). Built vertically off the kept items' posting
+  // arrays — reads only the kept units and needs no per-row sort.
+  // Transactions with no kept unit keep an empty row; they contribute
+  // to no prefix and cost nothing to skip.
+  FlatView::RankProjection projection = view.ProjectOntoRanks(rank_to_item_);
+  txn_offsets_ = std::move(projection.txn_offsets);
+  units_ = std::move(projection.units);
 
   esup_acc_.assign(rank_to_item_.size(), 0.0);
   sq_acc_.assign(rank_to_item_.size(), 0.0);
@@ -93,23 +81,46 @@ std::vector<FrequentItemset> UHStructEngine::Mine(MiningCounters* counters) {
     sq_acc_[r] = 0.0;
   }
 
+  // Root head table for every rank in one batched pass over the
+  // projection (the old shape rescanned every transaction once per
+  // rank — O(ranks × units)). A rank occurs at most once per
+  // transaction, so each unit is the root occurrence of its own rank.
+  // Kept as a CSR of unit *positions* (4 bytes per unit, vs a
+  // materialized Occurrence table at 16) so the peak stays close to
+  // the projection itself; each rank's occurrence list is expanded
+  // just before its recursion and freed right after. Positions ascend
+  // within a bucket, so every expanded list ascends by transaction.
+  std::vector<std::uint32_t> root_offsets(n_ranks + 1, 0);
+  for (const Unit& u : units_) ++root_offsets[u.rank + 1];
+  for (std::size_t r = 0; r < n_ranks; ++r) root_offsets[r + 1] += root_offsets[r];
+  std::vector<std::uint32_t> root_pos(units_.size());
+  {
+    std::vector<std::uint32_t> fill(root_offsets.begin(),
+                                    root_offsets.end() - 1);
+    for (std::uint32_t u = 0; u < units_.size(); ++u) {
+      root_pos[fill[units_[u].rank]++] = u;
+    }
+  }
+  // Row of unit `u`: the last row starting at or before it (empty rows
+  // share offsets; upper_bound skips past the ties).
+  auto txn_of = [this](std::uint32_t u) {
+    return static_cast<std::uint32_t>(
+        std::upper_bound(txn_offsets_.begin(), txn_offsets_.end(), u) -
+        txn_offsets_.begin() - 1);
+  };
+
   // For each frequent item (every rank, by construction), emit and grow.
   std::vector<std::uint32_t> prefix;
+  std::vector<Occurrence> occurrences;
   for (std::uint32_t r = 0; r < n_ranks; ++r) {
     if (counters != nullptr) ++counters->candidates_generated;
     prefix.assign(1, r);
     out.push_back(MakeResult(prefix, item_moments[r].first, item_moments[r].second));
-    // Occurrences of {r}: every transaction containing rank r.
-    std::vector<Occurrence> occurrences;
-    for (std::size_t t = 0; t + 1 < txn_offsets_.size(); ++t) {
-      for (std::uint32_t u = txn_offsets_[t]; u < txn_offsets_[t + 1]; ++u) {
-        if (units_[u].rank == r) {
-          occurrences.push_back(Occurrence{static_cast<std::uint32_t>(t), u + 1,
-                                           units_[u].prob});
-          break;
-        }
-        if (units_[u].rank > r) break;  // ranks are sorted within a txn
-      }
+    occurrences.clear();
+    occurrences.reserve(root_offsets[r + 1] - root_offsets[r]);
+    for (std::uint32_t k = root_offsets[r]; k < root_offsets[r + 1]; ++k) {
+      const std::uint32_t u = root_pos[k];
+      occurrences.push_back(Occurrence{txn_of(u), u + 1, units_[u].prob});
     }
     Recurse(prefix, occurrences, out, counters);
   }

@@ -55,10 +55,9 @@ class UHStructEngine {
 
  private:
   /// One projected unit: item rank (descending-esup order) + probability.
-  struct Unit {
-    std::uint32_t rank;
-    double prob;
-  };
+  /// The projection comes straight from FlatView's vertical rank
+  /// projection, arrays adopted without conversion.
+  using Unit = FlatView::RankUnit;
 
   /// One occurrence of the current prefix inside a projected transaction.
   struct Occurrence {

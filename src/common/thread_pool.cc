@@ -114,4 +114,19 @@ void ParallelFor(std::size_t n, std::size_t num_threads,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+std::size_t ParallelChunkCount(std::size_t n, std::size_t num_threads) {
+  if (num_threads == 0) num_threads = HardwareThreads();
+  return std::min(std::max<std::size_t>(num_threads, 1), n);
+}
+
+void ParallelForChunks(
+    std::size_t n, std::size_t num_threads,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  const std::size_t k = ParallelChunkCount(n, num_threads);
+  if (k == 0) return;
+  ParallelFor(k, num_threads, [&body, n, k](std::size_t chunk) {
+    body(chunk, chunk * n / k, (chunk + 1) * n / k);
+  });
+}
+
 }  // namespace ufim

@@ -136,11 +136,158 @@ double FlatView::ExpectedSupport(const Itemset& itemset) const {
 std::vector<double> FlatView::ContainmentProbabilities(
     const Itemset& itemset) const {
   std::vector<double> out;
-  JoinPostings(itemset, [&out](std::size_t, std::size_t, TransactionId,
-                               double prod) {
-    out.push_back(prod);
+  JoinScratch scratch;
+  JoinPostingsBatched(itemset, scratch, [&out](const JoinBatch& batch) {
+    out.insert(out.end(), batch.prods.begin(), batch.prods.end());
     return true;
   });
+  return out;
+}
+
+bool FlatView::BeginJoin(const Itemset& itemset, JoinScratch& s) const {
+  const std::vector<ItemId>& items = itemset.items();
+  if (items.empty()) return false;
+
+  // Driver = the shortest member posting list (first minimal index, the
+  // historical tie-break — results depend on it through the product
+  // order, so it must stay stable).
+  std::size_t driver = 0;
+  std::size_t shortest = PostingTids(items[0]).size();
+  for (std::size_t k = 1; k < items.size(); ++k) {
+    const std::size_t len = PostingTids(items[k]).size();
+    if (len < shortest) {
+      shortest = len;
+      driver = k;
+    }
+  }
+  if (shortest == 0) return false;
+
+  s.members_.clear();
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    if (k == driver) continue;
+    const std::span<const TransactionId> tids = PostingTids(items[k]);
+    s.members_.push_back(JoinScratch::Member{
+        tids.data(), PostingProbs(items[k]).data(), tids.size(), 0});
+  }
+  const std::span<const TransactionId> dtids = PostingTids(items[driver]);
+  s.driver_tids_ = dtids.data();
+  s.driver_probs_ = PostingProbs(items[driver]).data();
+  s.driver_len_ = dtids.size();
+  s.driver_pos_ = 0;
+  s.EnsureCapacity(kJoinBatchTids);
+  return true;
+}
+
+bool FlatView::NextJoinBatch(JoinScratch& s, JoinBatch& batch) const {
+  if (s.driver_pos_ >= s.driver_len_) return false;
+  const std::size_t lo = s.driver_pos_;
+  const std::size_t len = std::min(kJoinBatchTids, s.driver_len_ - lo);
+  s.driver_pos_ = lo + len;
+
+  batch.driver_done = s.driver_pos_;
+  batch.driver_len = s.driver_len_;
+
+  if (s.members_.empty()) {
+    // Single-item join: the batch is the driver slice itself, no copy.
+    batch.tids = {s.driver_tids_ + lo, len};
+    batch.prods = {s.driver_probs_ + lo, len};
+    return true;
+  }
+
+  // Phase 1+2 per member, in fixed member order: intersect the current
+  // survivor tids against the member's postings, then gather the
+  // member's probabilities into the running products. The first member
+  // reads from the driver arrays into the scratch columns; subsequent
+  // members compact in place (match positions ascend, so slot k is
+  // written from a slot >= k — forward-safe).
+  TransactionId* const st = s.tids_.data();
+  double* const sp = s.prods_.data();
+  const std::uint32_t* const ma = s.match_a_.data();
+  const std::uint32_t* const mb = s.match_b_.data();
+  std::size_t survivors;
+  {
+    JoinScratch::Member& m = s.members_[0];
+    survivors = IntersectIndices(s.driver_tids_ + lo, len, m.tids + m.pos,
+                                 m.len - m.pos, s.match_a_.data(),
+                                 s.match_b_.data());
+    const double* const mp = m.probs + m.pos;
+    for (std::size_t k = 0; k < survivors; ++k) {
+      st[k] = s.driver_tids_[lo + ma[k]];
+      sp[k] = s.driver_probs_[lo + ma[k]] * mp[mb[k]];
+    }
+  }
+  for (std::size_t mi = 1; mi < s.members_.size() && survivors > 0; ++mi) {
+    JoinScratch::Member& m = s.members_[mi];
+    const std::size_t n = IntersectIndices(st, survivors, m.tids + m.pos,
+                                           m.len - m.pos, s.match_a_.data(),
+                                           s.match_b_.data());
+    const double* const mp = m.probs + m.pos;
+    for (std::size_t k = 0; k < n; ++k) {
+      st[k] = st[ma[k]];
+      sp[k] = sp[ma[k]] * mp[mb[k]];
+    }
+    survivors = n;
+  }
+
+  // Advance every member past this batch's driver range: future driver
+  // tids are strictly greater, so postings <= the batch's last tid can
+  // never match again.
+  const TransactionId last_tid = s.driver_tids_[lo + len - 1];
+  for (JoinScratch::Member& m : s.members_) {
+    m.pos = static_cast<std::size_t>(
+        std::upper_bound(m.tids + m.pos, m.tids + m.len, last_tid) - m.tids);
+  }
+
+  batch.tids = {st, survivors};
+  batch.prods = {sp, survivors};
+  return true;
+}
+
+FlatView::ListMatches FlatView::JoinWithPostings(
+    std::span<const TransactionId> seq_tids, ItemId item,
+    JoinScratch& s) const {
+  const std::span<const TransactionId> tids = PostingTids(item);
+  const std::span<const double> probs = PostingProbs(item);
+  s.EnsureCapacity(std::min(seq_tids.size(), tids.size()));
+  const std::size_t n =
+      IntersectIndices(seq_tids.data(), seq_tids.size(), tids.data(),
+                       tids.size(), s.match_a_.data(), s.match_b_.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    s.prods_[k] = probs[s.match_b_[k]];
+  }
+  return ListMatches{{s.match_a_.data(), n}, {s.prods_.data(), n}};
+}
+
+FlatView::RankProjection FlatView::ProjectOntoRanks(
+    std::span<const ItemId> rank_to_item) const {
+  RankProjection out;
+  const std::size_t n_txn = num_transactions();
+  const TransactionId first = begin_tid();
+  out.txn_offsets.assign(n_txn + 1, 0);
+
+  // Counting pass (counts shifted by one so the in-place prefix sum
+  // below yields offsets directly).
+  for (const ItemId item : rank_to_item) {
+    for (const TransactionId t : PostingTids(item)) {
+      ++out.txn_offsets[t - first + 1];
+    }
+  }
+  for (std::size_t t = 0; t < n_txn; ++t) {
+    out.txn_offsets[t + 1] += out.txn_offsets[t];
+  }
+  out.units.resize(out.txn_offsets.back());
+
+  // Fill pass in ascending rank order: each row comes out rank-sorted
+  // by construction.
+  std::vector<std::uint32_t> fill(out.txn_offsets.begin(),
+                                  out.txn_offsets.end() - 1);
+  for (std::uint32_t r = 0; r < rank_to_item.size(); ++r) {
+    const std::span<const TransactionId> tids = PostingTids(rank_to_item[r]);
+    const std::span<const double> probs = PostingProbs(rank_to_item[r]);
+    for (std::size_t k = 0; k < tids.size(); ++k) {
+      out.units[fill[tids[k] - first]++] = RankUnit{r, probs[k]};
+    }
+  }
   return out;
 }
 

@@ -3,15 +3,82 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "core/itemset.h"
+#include "core/simd_intersect.h"
 #include "core/types.h"
 #include "core/uncertain_database.h"
 
 namespace ufim {
+
+class FlatView;
+
+/// Reusable scratch for the batch posting-join kernels: the member
+/// cursor table, the intersection index buffers, and the survivor
+/// (tid, product) columns. One instance per worker; buffers grow to the
+/// largest join seen and are reused, so the steady-state hot loop
+/// allocates nothing (this is where the old per-call `cursors` vector
+/// went).
+class JoinScratch {
+ public:
+  JoinScratch() = default;
+
+  // The scratch carries raw pointers into a FlatView between
+  // BeginJoin/NextJoinBatch calls; copying mid-join would be a bug, and
+  // workers each own one anyway.
+  JoinScratch(const JoinScratch&) = delete;
+  JoinScratch& operator=(const JoinScratch&) = delete;
+  JoinScratch(JoinScratch&&) = default;
+  JoinScratch& operator=(JoinScratch&&) = default;
+
+ private:
+  friend class FlatView;
+
+  struct Member {
+    const TransactionId* tids = nullptr;
+    const double* probs = nullptr;
+    std::size_t len = 0;
+    std::size_t pos = 0;  ///< consumed prefix, advanced batch by batch
+  };
+
+  void EnsureCapacity(std::size_t n) {
+    if (match_a_.size() < n) {
+      match_a_.resize(n);
+      match_b_.resize(n);
+      tids_.resize(n);
+      prods_.resize(n);
+    }
+  }
+
+  // In-flight join state (set by FlatView::BeginJoin).
+  const TransactionId* driver_tids_ = nullptr;
+  const double* driver_probs_ = nullptr;
+  std::size_t driver_len_ = 0;
+  std::size_t driver_pos_ = 0;
+  std::vector<Member> members_;
+
+  // Batch buffers: match positions from the intersect kernel plus the
+  // survivor columns compacted in place as members fold in.
+  std::vector<std::uint32_t> match_a_;
+  std::vector<std::uint32_t> match_b_;
+  std::vector<TransactionId> tids_;
+  std::vector<double> prods_;
+};
+
+/// One batch of posting-join survivors: the transactions (within one
+/// driver-posting batch) that contain the whole itemset, with their
+/// containment products. Spans point into the scratch (or the view's
+/// storage for single-item joins) and are valid until the next batch.
+struct JoinBatch {
+  std::span<const TransactionId> tids;  ///< matching transactions, ascending
+  std::span<const double> prods;        ///< Pr(X ⊆ T), parallel to tids
+  std::size_t driver_done = 0;  ///< driver postings consumed incl. this batch
+  std::size_t driver_len = 0;   ///< total driver postings
+};
 
 /// Immutable columnar index over an `UncertainDatabase`, built once and
 /// shared by every miner.
@@ -112,84 +179,79 @@ class FlatView {
   /// `UncertainDatabase::ContainmentProbabilities`.
   std::vector<double> ContainmentProbabilities(const Itemset& itemset) const;
 
-  /// The shared posting merge-join kernel: visits every transaction
-  /// containing all of `itemset`, ascending, with prod = Pr(X ⊆ T).
-  /// Drives from the shortest member posting list and advances the other
-  /// members' cursors monotonically by binary search. `sink` is called as
-  /// sink(driver_pos, driver_len, tid, prod) on each match — driver_pos /
-  /// driver_len expose join progress for optimistic-bound pruning (each
-  /// remaining driver posting contributes at most 1 to esup) — and
-  /// returns false to abandon the join.
+  /// Driver postings per join batch. A pure function of nothing — a
+  /// constant — so the batch boundaries (and with them any
+  /// between-batch pruning schedule a consumer builds on top) are
+  /// identical at every thread count and under every intersect kernel.
+  static constexpr std::size_t kJoinBatchTids = 1024;
+
+  /// The shared posting merge-join kernel, batch form. Drives from the
+  /// shortest member posting list, `kJoinBatchTids` postings at a time;
+  /// per batch it (1) intersects the driver tids against each remaining
+  /// member's postings through `IntersectIndices` (galloping / SIMD per
+  /// the runtime dispatch), compacting the survivor list, and (2)
+  /// gathers member probabilities into the running products in fixed
+  /// member order — so the float evaluation order, and with it every
+  /// result bit, is independent of the kernel that ran the set logic.
+  ///
+  /// `sink(const JoinBatch&)` is called once per batch (matches in
+  /// ascending tid order across batches) and returns false to abandon
+  /// the join — the optimistic-bound hook for decremental pruning: each
+  /// unseen driver posting contributes at most 1 to expected support.
   ///
   /// Every posting-join consumer (candidate evaluation, containment
-  /// queries, the brute-force and top-k searches) routes through this or
-  /// `JoinWithPostings` so join semantics can never diverge per miner.
-  template <typename Sink>
-  void JoinPostings(const Itemset& itemset, Sink&& sink) const {
-    const std::vector<ItemId>& items = itemset.items();
-    if (items.empty()) return;
-
-    std::size_t driver = 0;
-    std::size_t shortest = PostingTids(items[0]).size();
-    for (std::size_t k = 1; k < items.size(); ++k) {
-      const std::size_t len = PostingTids(items[k]).size();
-      if (len < shortest) {
-        shortest = len;
-        driver = k;
-      }
-    }
-    if (shortest == 0) return;
-
-    struct Cursor {
-      std::span<const TransactionId> tids;
-      std::span<const double> probs;
-      std::size_t pos;
-    };
-    std::vector<Cursor> cursors;
-    cursors.reserve(items.size() - 1);
-    for (std::size_t k = 0; k < items.size(); ++k) {
-      if (k == driver) continue;
-      cursors.push_back(Cursor{PostingTids(items[k]), PostingProbs(items[k]), 0});
-    }
-
-    const std::span<const TransactionId> dtids = PostingTids(items[driver]);
-    const std::span<const double> dprobs = PostingProbs(items[driver]);
-    for (std::size_t i = 0; i < dtids.size(); ++i) {
-      const TransactionId tid = dtids[i];
-      double prod = dprobs[i];
-      bool all = true;
-      for (Cursor& c : cursors) {
-        c.pos = static_cast<std::size_t>(
-            std::lower_bound(c.tids.begin() + c.pos, c.tids.end(), tid) -
-            c.tids.begin());
-        if (c.pos == c.tids.size() || c.tids[c.pos] != tid) {
-          all = false;
-          break;
-        }
-        prod *= c.probs[c.pos];
-      }
-      if (all && !sink(i, dtids.size(), tid, prod)) return;
+  /// queries, the sharded recount, the brute-force and top-k searches)
+  /// routes through this or `JoinWithPostings` so join semantics can
+  /// never diverge per miner.
+  template <typename BatchSink>
+  void JoinPostingsBatched(const Itemset& itemset, JoinScratch& scratch,
+                           BatchSink&& sink) const {
+    if (!BeginJoin(itemset, scratch)) return;
+    JoinBatch batch;
+    while (NextJoinBatch(scratch, batch)) {
+      if (!sink(batch)) return;
     }
   }
 
-  /// The list×postings variant of the kernel: merge-joins an ascending
+  /// Matches of the list×postings join variant. Spans point into the
+  /// scratch and are valid until its next use.
+  struct ListMatches {
+    std::span<const std::uint32_t> seq_indices;  ///< positions in seq_tids
+    std::span<const double> probs;               ///< item's probability per match
+    std::size_t size() const { return probs.size(); }
+  };
+
+  /// The list×postings variant of the kernel: intersects an ascending
   /// tid sequence (typically a prefix itemset's containment) with
-  /// `item`'s postings, calling sink(seq_index, posting_prob) per match.
-  template <typename Sink>
-  void JoinWithPostings(std::span<const TransactionId> seq_tids, ItemId item,
-                        Sink&& sink) const {
-    const std::span<const TransactionId> tids = PostingTids(item);
-    const std::span<const double> probs = PostingProbs(item);
-    std::size_t pos = 0;
-    for (std::size_t i = 0; i < seq_tids.size() && pos < tids.size(); ++i) {
-      pos = static_cast<std::size_t>(
-          std::lower_bound(tids.begin() + pos, tids.end(), seq_tids[i]) -
-          tids.begin());
-      if (pos < tids.size() && tids[pos] == seq_tids[i]) {
-        sink(i, probs[pos]);
-      }
-    }
-  }
+  /// `item`'s postings in one vectorized pass and gathers the matching
+  /// posting probabilities.
+  ListMatches JoinWithPostings(std::span<const TransactionId> seq_tids,
+                               ItemId item, JoinScratch& scratch) const;
+
+  // --- Rank projection (pattern-growth builders) -------------------------
+
+  /// One unit of a rank-projected transaction.
+  struct RankUnit {
+    std::uint32_t rank = 0;
+    double prob = 0.0;
+  };
+
+  /// CSR of the viewed transactions projected onto a frequent-item
+  /// ranking: row t (view-relative) holds transaction begin_tid()+t's
+  /// kept units, re-labelled by rank and ascending by rank. Rows of
+  /// transactions with no kept item are empty.
+  struct RankProjection {
+    std::vector<std::uint32_t> txn_offsets;  ///< size num_transactions()+1
+    std::vector<RankUnit> units;
+  };
+
+  /// Projects the view onto `rank_to_item` (rank r ↦ rank_to_item[r]).
+  /// Built vertically — a counting pass plus a fill pass over the kept
+  /// items' posting arrays in rank order — so it reads only the kept
+  /// units and each row comes out rank-sorted with no per-row sort; the
+  /// UFP-tree and UH-Struct builders consume this instead of filtering
+  /// the horizontal layout row by row.
+  RankProjection ProjectOntoRanks(std::span<const ItemId> rank_to_item) const;
 
   // --- Slicing -----------------------------------------------------------
 
@@ -235,6 +297,16 @@ class FlatView {
 
   /// Postings of `item` cut to tids in [begin_, end_).
   std::pair<std::size_t, std::size_t> PostingRange(ItemId item) const;
+
+  /// Sets up `scratch` for a batched join of `itemset` (driver
+  /// selection, member cursor table). False when the join is trivially
+  /// empty.
+  bool BeginJoin(const Itemset& itemset, JoinScratch& scratch) const;
+
+  /// Runs one driver batch of a join started by `BeginJoin`: intersect
+  /// against each member, gather probabilities, advance member cursors.
+  /// False when the driver is exhausted.
+  bool NextJoinBatch(JoinScratch& scratch, JoinBatch& batch) const;
 
   std::shared_ptr<const Storage> storage_;
   std::size_t begin_ = 0;  ///< first viewed transaction (global id)

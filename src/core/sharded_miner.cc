@@ -99,16 +99,24 @@ Result<MiningResult> ShardedMiner::Mine(const FlatView& view,
   }
 
   std::vector<std::pair<double, double>> moments(larger.size());
-  ParallelFor(larger.size(), num_threads_, [&](std::size_t c) {
-    KahanSum esup;
-    double sq_sum = 0.0;
-    view.JoinPostings(larger[c], [&](std::size_t, std::size_t, TransactionId,
-                                     double prod) {
-      esup.Add(prod);
-      sq_sum += prod * prod;
-      return true;
-    });
-    moments[c] = {esup.value(), sq_sum};
+  std::vector<JoinScratch> scratches(
+      ParallelChunkCount(larger.size(), num_threads_));
+  ParallelForChunks(larger.size(), num_threads_, [&](std::size_t chunk,
+                                                     std::size_t lo,
+                                                     std::size_t hi) {
+    JoinScratch& scratch = scratches[chunk];
+    for (std::size_t c = lo; c < hi; ++c) {
+      KahanSum esup;
+      double sq_sum = 0.0;
+      view.JoinPostingsBatched(larger[c], scratch, [&](const JoinBatch& b) {
+        for (const double prod : b.prods) {
+          esup.Add(prod);
+          sq_sum += prod * prod;
+        }
+        return true;
+      });
+      moments[c] = {esup.value(), sq_sum};
+    }
   });
   for (std::size_t c = 0; c < larger.size(); ++c) {
     if (moments[c].first >= threshold) {

@@ -1,0 +1,292 @@
+#include "core/simd_intersect.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#if defined(UFIM_ENABLE_SIMD) && defined(__x86_64__) && defined(__SSE2__)
+#define UFIM_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace ufim {
+
+namespace {
+
+/// Branchy two-pointer merge from the given cursors — the scalar kernel
+/// body, and the tail the vector kernels fall into when fewer than one
+/// block remains. `n` is the match count accumulated so far.
+std::size_t ScalarMergeFrom(const std::uint32_t* a, std::size_t na,
+                            const std::uint32_t* b, std::size_t nb,
+                            std::size_t i, std::size_t j, std::size_t n,
+                            std::uint32_t* out_a, std::uint32_t* out_b) {
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out_a[n] = static_cast<std::uint32_t>(i);
+      out_b[n] = static_cast<std::uint32_t>(j);
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+/// First index >= `from` with arr[index] >= key, by exponential probing
+/// from `from` followed by binary search inside the bracketed range —
+/// O(log distance) instead of O(log n), which is what makes repeated
+/// searches from a monotone cursor cheap.
+std::size_t GallopLowerBound(const std::uint32_t* arr, std::size_t n,
+                             std::size_t from, std::uint32_t key) {
+  if (from >= n || arr[from] >= key) return from;
+  // Invariant: arr[lo] < key.
+  std::size_t lo = from;
+  std::size_t step = 1;
+  while (lo + step < n && arr[lo + step] < key) {
+    lo += step;
+    step <<= 1;
+  }
+  std::size_t hi = std::min(lo + step, n);
+  ++lo;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (arr[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+#ifdef UFIM_SIMD_X86
+
+/// SSE baseline (x86-64 guarantees SSE2): each a-element is compared
+/// against 4 b-elements at once; b-blocks wholly below a[i] are skipped
+/// 4 at a time. Values are unique per list, so a block holds at most
+/// one match and the movemask identifies its lane directly.
+std::size_t IntersectSse(const std::uint32_t* a, std::size_t na,
+                         const std::uint32_t* b, std::size_t nb,
+                         std::uint32_t* out_a, std::uint32_t* out_b) {
+  std::size_t i = 0, j = 0, n = 0;
+  while (i < na && j + 4 <= nb) {
+    if (b[j + 3] < a[i]) {
+      j += 4;
+      continue;
+    }
+    const __m128i va = _mm_set1_epi32(static_cast<int>(a[i]));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    const int mask =
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(va, vb)));
+    if (mask != 0) {
+      out_a[n] = static_cast<std::uint32_t>(i);
+      out_b[n] = static_cast<std::uint32_t>(
+          j + static_cast<unsigned>(__builtin_ctz(static_cast<unsigned>(mask))));
+      ++n;
+    }
+    ++i;
+  }
+  return ScalarMergeFrom(a, na, b, nb, i, j, n, out_a, out_b);
+}
+
+/// AVX2 variant of the same blocked compare, 8 lanes per instruction.
+/// The target attribute keeps the rest of the build at the baseline ISA;
+/// callers must check CpuHasAvx2() first.
+__attribute__((target("avx2"))) std::size_t IntersectAvx2(
+    const std::uint32_t* a, std::size_t na, const std::uint32_t* b,
+    std::size_t nb, std::uint32_t* out_a, std::uint32_t* out_b) {
+  std::size_t i = 0, j = 0, n = 0;
+  while (i < na && j + 8 <= nb) {
+    if (b[j + 7] < a[i]) {
+      j += 8;
+      continue;
+    }
+    const __m256i va = _mm256_set1_epi32(static_cast<int>(a[i]));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    const int mask =
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vb)));
+    if (mask != 0) {
+      out_a[n] = static_cast<std::uint32_t>(i);
+      out_b[n] = static_cast<std::uint32_t>(
+          j + static_cast<unsigned>(__builtin_ctz(static_cast<unsigned>(mask))));
+      ++n;
+    }
+    ++i;
+  }
+  return ScalarMergeFrom(a, na, b, nb, i, j, n, out_a, out_b);
+}
+
+bool CpuHasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+#endif  // UFIM_SIMD_X86
+
+/// Forced-kernel state. -1 = not yet initialized; the first read seeds
+/// it from UFIM_INTERSECT (by CAS, so it can never overwrite an
+/// explicit SetIntersectKernel) and a forced path needs no code change.
+std::atomic<int> g_forced_kernel{-1};
+
+/// Length ratios beyond which galloping wins: the short side pays
+/// O(log skip) per element instead of scanning. Against the scalar
+/// merge that pays off early; the SIMD blocked compare skips the long
+/// side 8 lanes per cycle with sequential prefetch, so its measured
+/// crossover (bench_join_kernels) sits near three orders of magnitude.
+constexpr std::size_t kGallopSkewScalar = 32;
+constexpr std::size_t kGallopSkewSimd = 1024;
+/// Below this length the blocked-compare setup is not worth it.
+constexpr std::size_t kSimdMinLength = 16;
+
+}  // namespace
+
+std::size_t IntersectIndicesScalar(const std::uint32_t* a, std::size_t na,
+                                   const std::uint32_t* b, std::size_t nb,
+                                   std::uint32_t* out_a, std::uint32_t* out_b) {
+  return ScalarMergeFrom(a, na, b, nb, 0, 0, 0, out_a, out_b);
+}
+
+std::size_t IntersectIndicesGallop(const std::uint32_t* a, std::size_t na,
+                                   const std::uint32_t* b, std::size_t nb,
+                                   std::uint32_t* out_a, std::uint32_t* out_b) {
+  std::size_t n = 0;
+  if (na <= nb) {
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < na && j < nb; ++i) {
+      j = GallopLowerBound(b, nb, j, a[i]);
+      if (j < nb && b[j] == a[i]) {
+        out_a[n] = static_cast<std::uint32_t>(i);
+        out_b[n] = static_cast<std::uint32_t>(j);
+        ++n;
+        ++j;
+      }
+    }
+  } else {
+    std::size_t i = 0;
+    for (std::size_t j = 0; j < nb && i < na; ++j) {
+      i = GallopLowerBound(a, na, i, b[j]);
+      if (i < na && a[i] == b[j]) {
+        out_a[n] = static_cast<std::uint32_t>(i);
+        out_b[n] = static_cast<std::uint32_t>(j);
+        ++n;
+        ++i;
+      }
+    }
+  }
+  return n;
+}
+
+std::size_t IntersectIndicesSimd(const std::uint32_t* a, std::size_t na,
+                                 const std::uint32_t* b, std::size_t nb,
+                                 std::uint32_t* out_a, std::uint32_t* out_b) {
+#ifdef UFIM_SIMD_X86
+  // The blocked compare walks b vector-wide; keep the longer list on
+  // that side so the wide instructions do the bulk of the work.
+  if (na <= nb) {
+    return CpuHasAvx2() ? IntersectAvx2(a, na, b, nb, out_a, out_b)
+                        : IntersectSse(a, na, b, nb, out_a, out_b);
+  }
+  const std::size_t n = CpuHasAvx2()
+                            ? IntersectAvx2(b, nb, a, na, out_b, out_a)
+                            : IntersectSse(b, nb, a, na, out_b, out_a);
+  return n;
+#else
+  return IntersectIndicesScalar(a, na, b, nb, out_a, out_b);
+#endif
+}
+
+std::size_t IntersectIndices(const std::uint32_t* a, std::size_t na,
+                             const std::uint32_t* b, std::size_t nb,
+                             std::uint32_t* out_a, std::uint32_t* out_b) {
+  switch (ForcedIntersectKernel()) {
+    case IntersectKernel::kScalar:
+      return IntersectIndicesScalar(a, na, b, nb, out_a, out_b);
+    case IntersectKernel::kGallop:
+      return IntersectIndicesGallop(a, na, b, nb, out_a, out_b);
+    case IntersectKernel::kSimd:
+      return IntersectIndicesSimd(a, na, b, nb, out_a, out_b);
+    case IntersectKernel::kAuto:
+      break;
+  }
+  if (na == 0 || nb == 0) return 0;
+  const std::size_t shorter = std::min(na, nb);
+  const std::size_t longer = std::max(na, nb);
+  const bool simd = SimdIntersectAvailable();
+  if (longer >= (simd ? kGallopSkewSimd : kGallopSkewScalar) * shorter) {
+    return IntersectIndicesGallop(a, na, b, nb, out_a, out_b);
+  }
+  if (simd && longer >= kSimdMinLength) {
+    return IntersectIndicesSimd(a, na, b, nb, out_a, out_b);
+  }
+  return IntersectIndicesScalar(a, na, b, nb, out_a, out_b);
+}
+
+bool SimdIntersectAvailable() {
+#ifdef UFIM_SIMD_X86
+  return true;  // the SSE baseline is part of x86-64
+#else
+  return false;
+#endif
+}
+
+void SetIntersectKernel(IntersectKernel kernel) {
+  g_forced_kernel.store(static_cast<int>(kernel), std::memory_order_relaxed);
+}
+
+IntersectKernel ForcedIntersectKernel() {
+  int v = g_forced_kernel.load(std::memory_order_relaxed);
+  if (v < 0) {
+    IntersectKernel seeded = IntersectKernel::kAuto;
+    if (const char* env = std::getenv("UFIM_INTERSECT")) {
+      ParseIntersectKernel(env, &seeded);
+    }
+    int expected = -1;
+    // CAS so an explicit SetIntersectKernel that lands mid-seed wins
+    // over the env default instead of being clobbered.
+    if (g_forced_kernel.compare_exchange_strong(expected,
+                                                static_cast<int>(seeded),
+                                                std::memory_order_relaxed)) {
+      v = static_cast<int>(seeded);
+    } else {
+      v = expected;
+    }
+  }
+  return static_cast<IntersectKernel>(v);
+}
+
+const char* IntersectKernelName(IntersectKernel kernel) {
+  switch (kernel) {
+    case IntersectKernel::kAuto:
+      return "auto";
+    case IntersectKernel::kScalar:
+      return "scalar";
+    case IntersectKernel::kGallop:
+      return "gallop";
+    case IntersectKernel::kSimd:
+      return "simd";
+  }
+  return "auto";
+}
+
+bool ParseIntersectKernel(std::string_view name, IntersectKernel* out) {
+  if (name == "auto") {
+    *out = IntersectKernel::kAuto;
+  } else if (name == "scalar") {
+    *out = IntersectKernel::kScalar;
+  } else if (name == "gallop") {
+    *out = IntersectKernel::kGallop;
+  } else if (name == "simd") {
+    *out = IntersectKernel::kSimd;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ufim

@@ -1,0 +1,89 @@
+#ifndef UFIM_CORE_SIMD_INTERSECT_H_
+#define UFIM_CORE_SIMD_INTERSECT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ufim {
+
+/// Sorted-set intersection kernels over strictly ascending `uint32`
+/// arrays — the inner loop of every posting merge-join in the system.
+///
+/// All kernels compute the same thing: the positions of the common
+/// values in both inputs. Emitting *positions* (not values) is what lets
+/// the posting joins gather the probability columns parallel to the tid
+/// arrays after the intersection, so the set logic and the float math
+/// stay separate and the float math keeps one fixed evaluation order
+/// regardless of which kernel ran.
+///
+/// Three implementations:
+///  * **scalar** — branchy two-pointer merge; the reference.
+///  * **gallop** — drives from the shorter list, advancing through the
+///    longer by exponential + binary search. Wins when the lengths are
+///    heavily skewed (deep Apriori levels joining a rare driver against
+///    dense members).
+///  * **simd** — blocked compare: each driver element is tested against
+///    8 (AVX2) or 4 (SSE baseline) member elements per instruction, and
+///    member blocks entirely below the driver value are skipped 8 (or 4)
+///    at a time. Wins when the lengths are comparable. Compiled behind
+///    the `UFIM_SIMD` build option; the AVX2 body carries a
+///    `target("avx2")` attribute and is selected at runtime by CPUID, so
+///    one binary runs everywhere and falls back SSE → scalar as features
+///    disappear.
+///
+/// `IntersectIndices` is the dispatching entry every caller uses: by
+/// default (`kAuto`) it picks gallop on skewed lengths, SIMD when
+/// compiled + supported, scalar otherwise. The choice depends only on
+/// the input lengths and the forced-kernel setting — never on thread
+/// count — and every kernel returns identical output, so results are
+/// reproducible across machines and settings (enforced by the kernel
+/// property tests and the miner equivalence suite).
+
+enum class IntersectKernel : int {
+  kAuto = 0,  ///< heuristic dispatch (default)
+  kScalar,
+  kGallop,
+  kSimd,
+};
+
+/// Inputs must be strictly ascending. `out_a` / `out_b` need capacity
+/// for min(na, nb) entries. Returns the number of common values n and
+/// fills out_a[k] / out_b[k] with the index (into a / b) of the k-th
+/// common value, ascending.
+std::size_t IntersectIndicesScalar(const std::uint32_t* a, std::size_t na,
+                                   const std::uint32_t* b, std::size_t nb,
+                                   std::uint32_t* out_a, std::uint32_t* out_b);
+std::size_t IntersectIndicesGallop(const std::uint32_t* a, std::size_t na,
+                                   const std::uint32_t* b, std::size_t nb,
+                                   std::uint32_t* out_a, std::uint32_t* out_b);
+/// Falls back to the scalar kernel when the build or the CPU lacks SIMD.
+std::size_t IntersectIndicesSimd(const std::uint32_t* a, std::size_t na,
+                                 const std::uint32_t* b, std::size_t nb,
+                                 std::uint32_t* out_a, std::uint32_t* out_b);
+
+/// The dispatching entry point (see file comment for the policy).
+std::size_t IntersectIndices(const std::uint32_t* a, std::size_t na,
+                             const std::uint32_t* b, std::size_t nb,
+                             std::uint32_t* out_a, std::uint32_t* out_b);
+
+/// True when a vectorized kernel is compiled in and the CPU can run it
+/// (the SSE baseline makes this true on any x86-64 build with UFIM_SIMD).
+bool SimdIntersectAvailable();
+
+/// Forces every subsequent `IntersectIndices` call onto one kernel
+/// (`kAuto` restores the heuristic). Process-wide and thread-safe; used
+/// by the equivalence tests, `ufim_cli --kernel`, and benchmarking.
+void SetIntersectKernel(IntersectKernel kernel);
+
+/// The current forced kernel. Before the first `SetIntersectKernel`
+/// call this is seeded from the `UFIM_INTERSECT` environment variable
+/// (`auto` | `scalar` | `gallop` | `simd`; unset or unparsable = kAuto).
+IntersectKernel ForcedIntersectKernel();
+
+const char* IntersectKernelName(IntersectKernel kernel);
+bool ParseIntersectKernel(std::string_view name, IntersectKernel* out);
+
+}  // namespace ufim
+
+#endif  // UFIM_CORE_SIMD_INTERSECT_H_

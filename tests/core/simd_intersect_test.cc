@@ -1,0 +1,192 @@
+// Kernel parity: the scalar, galloping and SIMD intersection kernels
+// (and the dispatching entry under every forced setting) must emit
+// exactly the same match positions on any pair of strictly ascending
+// uint32 arrays. Cases cover the adversarial shapes the posting joins
+// produce: empty, singleton, fully dense, disjoint, heavily skewed
+// lengths, block-boundary lengths around the SIMD widths, and values at
+// the top of the uint32 range (where a signed vector compare would go
+// wrong).
+#include "core/simd_intersect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace ufim {
+namespace {
+
+struct Matches {
+  std::vector<std::uint32_t> a;
+  std::vector<std::uint32_t> b;
+
+  bool operator==(const Matches& other) const {
+    return a == other.a && b == other.b;
+  }
+};
+
+using KernelFn = std::size_t (*)(const std::uint32_t*, std::size_t,
+                                 const std::uint32_t*, std::size_t,
+                                 std::uint32_t*, std::uint32_t*);
+
+Matches Run(KernelFn kernel, const std::vector<std::uint32_t>& a,
+            const std::vector<std::uint32_t>& b) {
+  const std::size_t cap = std::min(a.size(), b.size());
+  Matches out;
+  out.a.resize(cap);
+  out.b.resize(cap);
+  const std::size_t n =
+      kernel(a.data(), a.size(), b.data(), b.size(), out.a.data(), out.b.data());
+  out.a.resize(n);
+  out.b.resize(n);
+  return out;
+}
+
+/// Ground truth from first principles: for every common value, its
+/// position in each input (values are unique per list).
+Matches Reference(const std::vector<std::uint32_t>& a,
+                  const std::vector<std::uint32_t>& b) {
+  Matches out;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto it = std::lower_bound(b.begin(), b.end(), a[i]);
+    if (it != b.end() && *it == a[i]) {
+      out.a.push_back(static_cast<std::uint32_t>(i));
+      out.b.push_back(static_cast<std::uint32_t>(it - b.begin()));
+    }
+  }
+  return out;
+}
+
+void ExpectAllKernelsMatch(const std::vector<std::uint32_t>& a,
+                           const std::vector<std::uint32_t>& b,
+                           const std::string& label) {
+  const Matches expected = Reference(a, b);
+  EXPECT_TRUE(Run(&IntersectIndicesScalar, a, b) == expected)
+      << label << " scalar";
+  EXPECT_TRUE(Run(&IntersectIndicesGallop, a, b) == expected)
+      << label << " gallop";
+  EXPECT_TRUE(Run(&IntersectIndicesSimd, a, b) == expected) << label << " simd";
+  // Both argument orders (the dispatcher may swap sides internally).
+  Matches swapped = Reference(b, a);
+  EXPECT_TRUE(Run(&IntersectIndicesSimd, b, a) == swapped)
+      << label << " simd swapped";
+  EXPECT_TRUE(Run(&IntersectIndicesGallop, b, a) == swapped)
+      << label << " gallop swapped";
+  // The dispatcher under every forced setting.
+  for (const IntersectKernel k :
+       {IntersectKernel::kAuto, IntersectKernel::kScalar,
+        IntersectKernel::kGallop, IntersectKernel::kSimd}) {
+    SetIntersectKernel(k);
+    EXPECT_TRUE(Run(&IntersectIndices, a, b) == expected)
+        << label << " dispatch " << IntersectKernelName(k);
+  }
+  SetIntersectKernel(IntersectKernel::kAuto);
+}
+
+std::vector<std::uint32_t> Iota(std::uint32_t from, std::size_t n,
+                                std::uint32_t step = 1) {
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(from + static_cast<std::uint32_t>(i) * step);
+  }
+  return out;
+}
+
+TEST(SimdIntersectTest, EmptyAndSingletonInputs) {
+  ExpectAllKernelsMatch({}, {}, "both empty");
+  ExpectAllKernelsMatch({}, Iota(0, 100), "left empty");
+  ExpectAllKernelsMatch(Iota(0, 100), {}, "right empty");
+  ExpectAllKernelsMatch({7}, Iota(0, 100), "singleton hit");
+  ExpectAllKernelsMatch({500}, Iota(0, 100), "singleton above");
+  ExpectAllKernelsMatch({0}, Iota(1, 100), "singleton below");
+  ExpectAllKernelsMatch({99}, Iota(0, 100), "singleton at last");
+  ExpectAllKernelsMatch({3}, {3}, "both singleton equal");
+  ExpectAllKernelsMatch({3}, {4}, "both singleton distinct");
+}
+
+TEST(SimdIntersectTest, DenseAndDisjointInputs) {
+  ExpectAllKernelsMatch(Iota(0, 512), Iota(0, 512), "identical dense");
+  ExpectAllKernelsMatch(Iota(0, 512, 2), Iota(1, 512, 2), "interleaved disjoint");
+  ExpectAllKernelsMatch(Iota(0, 256), Iota(1000, 256), "disjoint ranges");
+  ExpectAllKernelsMatch(Iota(0, 300), Iota(150, 300), "half overlap");
+}
+
+TEST(SimdIntersectTest, SimdBlockBoundaryLengths) {
+  // Lengths straddling the 4-wide SSE and 8-wide AVX2 blocks, so the
+  // vector loop and the scalar tail both run (or the tail runs alone).
+  for (const std::size_t len : {1u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u}) {
+    ExpectAllKernelsMatch(Iota(0, len), Iota(0, len),
+                          "dense len " + std::to_string(len));
+    ExpectAllKernelsMatch(Iota(0, len, 3), Iota(0, 3 * len),
+                          "strided len " + std::to_string(len));
+  }
+}
+
+TEST(SimdIntersectTest, HeavilySkewedLengths) {
+  // 1:1000 skew, matches sprinkled through the long list — the galloping
+  // sweet spot; the dispatcher must pick it and still agree bit-for-bit.
+  const std::vector<std::uint32_t> longer = Iota(0, 50000);
+  ExpectAllKernelsMatch(Iota(0, 50, 997), longer, "skewed sparse");
+  ExpectAllKernelsMatch(Iota(49950, 50), longer, "skewed tail cluster");
+  ExpectAllKernelsMatch(Iota(0, 50), longer, "skewed head cluster");
+}
+
+TEST(SimdIntersectTest, ValuesNearUint32Max) {
+  // A signed epi32 compare would order these wrong; equality compares
+  // and unsigned scalar bounds must not care.
+  const std::uint32_t top = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> a, b;
+  for (std::uint32_t k = 40; k > 0; --k) a.push_back(top - (k - 1) * 3);
+  for (std::uint32_t k = 100; k > 0; --k) b.push_back(top - (k - 1));
+  ExpectAllKernelsMatch(a, b, "near uint32 max");
+  ExpectAllKernelsMatch({0u, 1u, top}, b, "low values vs top range");
+}
+
+TEST(SimdIntersectTest, RandomizedPropertyAgainstReference) {
+  std::mt19937 rng(20260729u);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t na = rng() % 300;
+    const std::size_t nb = rng() % 300;
+    // Universe width controls density: narrow → many matches.
+    const std::uint32_t width = 1u + rng() % 1000;
+    auto make = [&](std::size_t n) {
+      std::vector<std::uint32_t> v;
+      v.reserve(n);
+      std::uint32_t cur = rng() % 8;
+      for (std::size_t i = 0; i < n; ++i) {
+        v.push_back(cur);
+        cur += 1u + rng() % width;
+      }
+      return v;
+    };
+    ExpectAllKernelsMatch(make(na), make(nb),
+                          "random round " + std::to_string(round));
+  }
+}
+
+TEST(SimdIntersectTest, KernelNamesRoundTrip) {
+  for (const IntersectKernel k :
+       {IntersectKernel::kAuto, IntersectKernel::kScalar,
+        IntersectKernel::kGallop, IntersectKernel::kSimd}) {
+    IntersectKernel parsed;
+    ASSERT_TRUE(ParseIntersectKernel(IntersectKernelName(k), &parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  IntersectKernel parsed;
+  EXPECT_FALSE(ParseIntersectKernel("avx512", &parsed));
+  EXPECT_FALSE(ParseIntersectKernel("", &parsed));
+}
+
+TEST(SimdIntersectTest, ForcedKernelIsObservable) {
+  SetIntersectKernel(IntersectKernel::kGallop);
+  EXPECT_EQ(ForcedIntersectKernel(), IntersectKernel::kGallop);
+  SetIntersectKernel(IntersectKernel::kAuto);
+  EXPECT_EQ(ForcedIntersectKernel(), IntersectKernel::kAuto);
+}
+
+}  // namespace
+}  // namespace ufim

@@ -1,9 +1,12 @@
-// Parallel-vs-sequential equivalence: every registered algorithm must
-// produce results *identical* to its num_threads = 1 run at any thread
-// count — not approximately equal. The parallel kernels promise
-// deterministic partitioning (posting joins split by candidate, probe
-// sweeps merged in fixed shard order, tail evaluations judged per
-// candidate), so these tests compare doubles with EXPECT_EQ.
+// Parallel-vs-sequential and kernel-vs-kernel equivalence: every
+// registered algorithm must produce results *identical* to its scalar
+// num_threads = 1 run at any thread count AND under any forced
+// intersection kernel — not approximately equal. The parallel kernels
+// promise deterministic partitioning (posting joins split by candidate,
+// probe sweeps merged in fixed shard order, tail evaluations judged per
+// candidate), and the batch join kernel promises a float evaluation
+// order independent of how the set intersection was computed (scalar,
+// galloping, or SIMD), so these tests compare doubles with EXPECT_EQ.
 #include <gtest/gtest.h>
 
 #include <cstddef>
@@ -13,6 +16,7 @@
 #include "algo/apriori_framework.h"
 #include "core/flat_view.h"
 #include "core/miner_registry.h"
+#include "core/simd_intersect.h"
 #include "testing/random_db.h"
 
 namespace ufim {
@@ -22,6 +26,16 @@ using testing_util::MakeRandomDatabase;
 using testing_util::RandomDbSpec;
 
 constexpr std::size_t kThreadCounts[] = {2, 8};
+
+constexpr IntersectKernel kKernels[] = {
+    IntersectKernel::kScalar, IntersectKernel::kGallop,
+    IntersectKernel::kSimd};
+
+/// Forces a kernel for one scope and restores the heuristic on exit.
+struct ScopedKernel {
+  explicit ScopedKernel(IntersectKernel k) { SetIntersectKernel(k); }
+  ~ScopedKernel() { SetIntersectKernel(IntersectKernel::kAuto); }
+};
 
 MiningTask TaskFor(TaskFamily family) {
   switch (family) {
@@ -65,10 +79,11 @@ void ExpectIdentical(const MiningResult& actual, const MiningResult& expect,
   }
 }
 
-/// Runs every registered algorithm (production and oracle) on `db` at
-/// 1, 2 and 8 threads and requires bit-identical results — including
-/// identical work counters, since the parallel paths must not change
-/// what is evaluated, only where.
+/// Runs every registered algorithm (production and oracle) on `db`
+/// across {scalar, gallop, simd} × {1, 2, 8 threads} and requires
+/// results bit-identical to the scalar single-thread run — including
+/// identical work counters, since neither the parallel paths nor the
+/// intersection kernels may change what is evaluated, only how.
 void CheckAllMiners(const UncertainDatabase& db, const std::string& tag) {
   FlatView view(db);
   for (const std::string& name : MinerRegistry::Global().Names()) {
@@ -76,31 +91,41 @@ void CheckAllMiners(const UncertainDatabase& db, const std::string& tag) {
     ASSERT_NE(entry, nullptr);
     const MiningTask task = TaskFor(entry->family);
 
-    MinerOptions baseline_options;
-    baseline_options.num_threads = 1;
-    auto baseline = MinerRegistry::Global()
-                        .Create(name, baseline_options)
-                        ->Mine(view, task);
+    Result<MiningResult> baseline = Status::Internal("not run");
+    {
+      ScopedKernel forced(IntersectKernel::kScalar);
+      MinerOptions baseline_options;
+      baseline_options.num_threads = 1;
+      baseline = MinerRegistry::Global()
+                     .Create(name, baseline_options)
+                     ->Mine(view, task);
+    }
     ASSERT_TRUE(baseline.ok()) << name << ": " << baseline.status().ToString();
 
-    for (std::size_t threads : kThreadCounts) {
-      MinerOptions options;
-      options.num_threads = threads;
-      auto parallel =
-          MinerRegistry::Global().Create(name, options)->Mine(view, task);
-      ASSERT_TRUE(parallel.ok()) << name;
-      const std::string label =
-          tag + "/" + name + "@" + std::to_string(threads);
-      ExpectIdentical(parallel.value(), baseline.value(), label);
-      EXPECT_EQ(parallel->counters().candidates_generated,
-                baseline->counters().candidates_generated)
-          << label;
-      EXPECT_EQ(parallel->counters().candidates_pruned_chernoff,
-                baseline->counters().candidates_pruned_chernoff)
-          << label;
-      EXPECT_EQ(parallel->counters().exact_probability_evaluations,
-                baseline->counters().exact_probability_evaluations)
-          << label;
+    for (const IntersectKernel kernel : kKernels) {
+      ScopedKernel forced(kernel);
+      for (std::size_t threads : {std::size_t{1}, kThreadCounts[0],
+                                  kThreadCounts[1]}) {
+        if (kernel == IntersectKernel::kScalar && threads == 1) continue;
+        MinerOptions options;
+        options.num_threads = threads;
+        auto run =
+            MinerRegistry::Global().Create(name, options)->Mine(view, task);
+        ASSERT_TRUE(run.ok()) << name;
+        const std::string label = tag + "/" + name + "@" +
+                                  std::to_string(threads) + "/" +
+                                  IntersectKernelName(kernel);
+        ExpectIdentical(run.value(), baseline.value(), label);
+        EXPECT_EQ(run->counters().candidates_generated,
+                  baseline->counters().candidates_generated)
+            << label;
+        EXPECT_EQ(run->counters().candidates_pruned_chernoff,
+                  baseline->counters().candidates_pruned_chernoff)
+            << label;
+        EXPECT_EQ(run->counters().exact_probability_evaluations,
+                  baseline->counters().exact_probability_evaluations)
+            << label;
+      }
     }
   }
 }
@@ -144,21 +169,69 @@ TEST(ParallelEquivalenceTest, EvaluateCandidatesExactAcrossThreadCounts) {
   std::vector<Itemset> few(pairs.begin(), pairs.begin() + 5);
 
   for (const std::vector<Itemset>* cands : {&pairs, &few}) {
-    auto baseline = EvaluateCandidates(view, *cands, /*collect_probs=*/true,
-                                       /*decremental_threshold=*/-1.0,
-                                       /*num_threads=*/1);
-    for (std::size_t threads : kThreadCounts) {
-      auto parallel = EvaluateCandidates(view, *cands, /*collect_probs=*/true,
-                                         /*decremental_threshold=*/-1.0,
-                                         threads);
-      ASSERT_EQ(parallel.size(), baseline.size());
-      for (std::size_t c = 0; c < baseline.size(); ++c) {
-        EXPECT_EQ(parallel[c].esup, baseline[c].esup)
-            << (*cands)[c].ToString() << " @" << threads;
-        EXPECT_EQ(parallel[c].sq_sum, baseline[c].sq_sum);
-        ASSERT_EQ(parallel[c].probs.size(), baseline[c].probs.size());
-        for (std::size_t i = 0; i < baseline[c].probs.size(); ++i) {
-          EXPECT_EQ(parallel[c].probs[i], baseline[c].probs[i]);
+    std::vector<CandidateStats> baseline;
+    {
+      ScopedKernel forced(IntersectKernel::kScalar);
+      baseline = EvaluateCandidates(view, *cands, /*collect_probs=*/true,
+                                    /*decremental_threshold=*/-1.0,
+                                    /*num_threads=*/1);
+    }
+    for (const IntersectKernel kernel : kKernels) {
+      ScopedKernel forced(kernel);
+      for (std::size_t threads : {std::size_t{1}, kThreadCounts[0],
+                                  kThreadCounts[1]}) {
+        auto run = EvaluateCandidates(view, *cands, /*collect_probs=*/true,
+                                      /*decremental_threshold=*/-1.0, threads);
+        ASSERT_EQ(run.size(), baseline.size());
+        for (std::size_t c = 0; c < baseline.size(); ++c) {
+          EXPECT_EQ(run[c].esup, baseline[c].esup)
+              << (*cands)[c].ToString() << " @" << threads << "/"
+              << IntersectKernelName(kernel);
+          EXPECT_EQ(run[c].sq_sum, baseline[c].sq_sum);
+          ASSERT_EQ(run[c].probs.size(), baseline[c].probs.size());
+          for (std::size_t i = 0; i < baseline[c].probs.size(); ++i) {
+            EXPECT_EQ(run[c].probs[i], baseline[c].probs[i]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, JoinKernelsMatchRowScanBaseline) {
+  // End-to-end parity of the batch join path against the retained
+  // row-oriented baseline, under every forced kernel: same candidates,
+  // near-equal moments (the two paths multiply members in different
+  // orders, so equality is to rounding), identical match sets.
+  UncertainDatabase db = MakeRandomDatabase(
+      {.seed = 56, .num_transactions = 400, .num_items = 10});
+  FlatView view(db);
+  std::vector<Itemset> frequent;
+  for (ItemId i = 0; i < 10; ++i) frequent.push_back(Itemset{i});
+  std::vector<Itemset> pairs = GenerateCandidates(frequent, nullptr);
+  std::vector<Itemset> triples = GenerateCandidates(pairs, nullptr);
+  std::vector<Itemset> cands = pairs;
+  cands.insert(cands.end(), triples.begin(), triples.end());
+
+  const auto rows =
+      EvaluateCandidatesRowScan(db, cands, /*collect_probs=*/true);
+  for (const IntersectKernel kernel : kKernels) {
+    ScopedKernel forced(kernel);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      const auto joined = EvaluateCandidates(view, cands,
+                                             /*collect_probs=*/true,
+                                             /*decremental_threshold=*/-1.0,
+                                             threads);
+      ASSERT_EQ(joined.size(), rows.size());
+      for (std::size_t c = 0; c < rows.size(); ++c) {
+        const std::string label = cands[c].ToString() + " @" +
+                                  std::to_string(threads) + "/" +
+                                  IntersectKernelName(kernel);
+        EXPECT_NEAR(joined[c].esup, rows[c].esup, 1e-9) << label;
+        EXPECT_NEAR(joined[c].sq_sum, rows[c].sq_sum, 1e-9) << label;
+        ASSERT_EQ(joined[c].probs.size(), rows[c].probs.size()) << label;
+        for (std::size_t i = 0; i < rows[c].probs.size(); ++i) {
+          EXPECT_NEAR(joined[c].probs[i], rows[c].probs[i], 1e-12) << label;
         }
       }
     }
@@ -179,16 +252,20 @@ TEST(ParallelEquivalenceTest, DecrementalPruningKeepsFrequentOnesExact) {
   const double threshold = 0.2 * static_cast<double>(view.num_transactions());
   auto full = EvaluateCandidates(view, pairs, /*collect_probs=*/false,
                                  /*decremental_threshold=*/-1.0, 1);
-  for (std::size_t threads : {1u, 2u, 8u}) {
-    auto pruned = EvaluateCandidates(view, pairs, /*collect_probs=*/false,
-                                     threshold, threads);
-    ASSERT_EQ(pruned.size(), full.size());
-    for (std::size_t c = 0; c < full.size(); ++c) {
-      if (full[c].esup >= threshold) {
-        EXPECT_EQ(pruned[c].esup, full[c].esup)
-            << pairs[c].ToString() << " @" << threads;
-      } else {
-        EXPECT_LE(pruned[c].esup, full[c].esup + 1e-9);
+  for (const IntersectKernel kernel : kKernels) {
+    ScopedKernel forced(kernel);
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      auto pruned = EvaluateCandidates(view, pairs, /*collect_probs=*/false,
+                                       threshold, threads);
+      ASSERT_EQ(pruned.size(), full.size());
+      for (std::size_t c = 0; c < full.size(); ++c) {
+        if (full[c].esup >= threshold) {
+          EXPECT_EQ(pruned[c].esup, full[c].esup)
+              << pairs[c].ToString() << " @" << threads << "/"
+              << IntersectKernelName(kernel);
+        } else {
+          EXPECT_LE(pruned[c].esup, full[c].esup + 1e-9);
+        }
       }
     }
   }

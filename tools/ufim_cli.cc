@@ -20,6 +20,7 @@
 #include "core/flat_view.h"
 #include "core/miner_registry.h"
 #include "core/postprocess.h"
+#include "core/simd_intersect.h"
 #include "eval/experiment.h"
 #include "gen/benchmark_datasets.h"
 #include "gen/probability.h"
@@ -37,6 +38,7 @@ int Usage() {
   ufim_cli mine <path> --algorithm <name>
            (--min-esup <r> | --min-sup <r> [--pft <p>] | --k <n>)
            [--threads <t>] [--shards <s>]
+           [--kernel {auto|scalar|gallop|simd}]
            [--top <k>] [--closed] [--maximal] [--rules <min_conf>]
 
   --threads: worker threads for the parallel counting paths
@@ -44,6 +46,10 @@ int Usage() {
              every setting). --shards: partition the database into <s>
              transaction shards mined independently and merged exactly
              (expected-support algorithms only).
+  --kernel:  force the posting-intersection kernel (default auto:
+             galloping on skewed list lengths, SIMD when the CPU has
+             it, scalar otherwise; results are identical under every
+             kernel). Equivalent to setting UFIM_INTERSECT.
 )");
   // The algorithm list comes from the registry, so newly registered
   // miners show up here without CLI edits.
@@ -248,6 +254,15 @@ int Mine(const Args& args) {
 
   // Execution configuration: every algorithm, threaded and optionally
   // sharded, goes through the same registry-driven experiment path.
+  if (const char* kernel_name = args.Get("kernel")) {
+    IntersectKernel kernel;
+    if (!ParseIntersectKernel(kernel_name, &kernel)) {
+      std::fprintf(stderr, "bad --kernel '%s' (auto|scalar|gallop|simd)\n",
+                   kernel_name);
+      return Usage();
+    }
+    SetIntersectKernel(kernel);
+  }
   MinerOptions options;
   options.num_threads = args.GetSize("threads", 0);  // 0 = all hardware threads
   const std::size_t num_shards = args.GetSize("shards", 1);
