@@ -480,19 +480,24 @@ struct JudgeOutcome {
   bool exact_evaluated = false;
 };
 
-using JudgeFn = std::function<JudgeOutcome(const Itemset&, CandidateStats&)>;
+/// The third argument is the candidate's stable ordinal in generation
+/// order across the whole run (see TailFn in the header).
+using JudgeFn = std::function<JudgeOutcome(const Itemset&, CandidateStats&,
+                                           std::size_t ordinal)>;
 
-/// Applies `judge` to every candidate. With `judge_threads > 1` the
-/// calls run via ParallelFor — each candidate judged whole on one thread
-/// and written to its own slot, so the outcome vector is identical to
-/// the serial pass for any thread-safe judge.
+/// Applies `judge` to every candidate; candidate c carries the stable
+/// ordinal `ordinal_base + c`. With `judge_threads > 1` the calls run
+/// via ParallelFor — each candidate judged whole on one thread and
+/// written to its own slot, so the outcome vector is identical to the
+/// serial pass for any thread-safe judge.
 std::vector<JudgeOutcome> JudgeAll(const std::vector<Itemset>& candidates,
                                    std::vector<CandidateStats>& stats,
                                    const JudgeFn& judge,
-                                   std::size_t judge_threads) {
+                                   std::size_t judge_threads,
+                                   std::size_t ordinal_base) {
   std::vector<JudgeOutcome> outcomes(candidates.size());
   ParallelFor(candidates.size(), judge_threads, [&](std::size_t c) {
-    outcomes[c] = judge(candidates[c], stats[c]);
+    outcomes[c] = judge(candidates[c], stats[c], ordinal_base + c);
   });
   return outcomes;
 }
@@ -533,7 +538,7 @@ std::vector<FrequentItemset> LevelWiseLoop(
       stats.push_back(std::move(cs));
     }
     std::vector<JudgeOutcome> outcomes =
-        JudgeAll(singles, stats, judge, judge_threads);
+        JudgeAll(singles, stats, judge, judge_threads, /*ordinal_base=*/0);
     for (std::size_t c = 0; c < singles.size(); ++c) {
       if (counters != nullptr) {
         counters->candidates_pruned_chernoff += outcomes[c].chernoff_pruned;
@@ -546,6 +551,13 @@ std::vector<FrequentItemset> LevelWiseLoop(
     }
   }
   std::sort(level.begin(), level.end());
+
+  // Stable candidate numbering in generation order: level 1 used
+  // [0, #items); each later level's candidates follow contiguously. The
+  // numbering is a pure function of the database and parameters — never
+  // of thread count — which is what makes ordinal-derived RNG streams
+  // deterministic.
+  std::size_t ordinal_base = item_stats.size();
 
   // Levels k >= 2.
   while (!level.empty()) {
@@ -563,7 +575,8 @@ std::vector<FrequentItemset> LevelWiseLoop(
         EvaluateCandidates(view, candidates, collect_probs,
                            decremental_threshold, num_threads);
     std::vector<JudgeOutcome> outcomes =
-        JudgeAll(candidates, stats, judge, judge_threads);
+        JudgeAll(candidates, stats, judge, judge_threads, ordinal_base);
+    ordinal_base += candidates.size();
     std::vector<Itemset> next;
     for (std::size_t c = 0; c < candidates.size(); ++c) {
       if (counters != nullptr) {
@@ -588,8 +601,8 @@ std::vector<FrequentItemset> MineAprioriGeneric(const FlatView& view,
                                                 double decremental_threshold,
                                                 MiningCounters* counters,
                                                 std::size_t num_threads) {
-  auto judge = [&callbacks](const Itemset& itemset,
-                            CandidateStats& cs) -> JudgeOutcome {
+  auto judge = [&callbacks](const Itemset& itemset, CandidateStats& cs,
+                            std::size_t /*ordinal*/) -> JudgeOutcome {
     JudgeOutcome out;
     if (!callbacks.is_frequent(cs.esup, cs.sq_sum)) return out;
     FrequentItemset fi;
@@ -618,18 +631,18 @@ std::vector<FrequentItemset> MineAprioriGeneric(const UncertainDatabase& db,
 }
 
 std::vector<FrequentItemset> MineProbabilisticApriori(
-    const FlatView& view, std::size_t msc, double pft,
-    const std::function<double(const std::vector<double>&, std::size_t)>& tail_fn,
+    const FlatView& view, std::size_t msc, double pft, const TailFn& tail_fn,
     bool use_chernoff, MiningCounters* counters, std::size_t num_threads,
     bool parallel_tails) {
-  auto judge = [&](const Itemset& itemset, CandidateStats& cs) -> JudgeOutcome {
+  auto judge = [&](const Itemset& itemset, CandidateStats& cs,
+                   std::size_t ordinal) -> JudgeOutcome {
     JudgeOutcome out;
     if (use_chernoff && ChernoffCertifiesInfrequent(cs.esup, msc, pft)) {
       out.chernoff_pruned = true;
       return out;
     }
     out.exact_evaluated = true;
-    const double tail = tail_fn(cs.probs, msc);
+    const double tail = tail_fn(cs.probs, msc, ordinal);
     if (!(tail > pft)) return out;
     FrequentItemset fi;
     fi.itemset = itemset;
@@ -646,9 +659,8 @@ std::vector<FrequentItemset> MineProbabilisticApriori(
 
 std::vector<FrequentItemset> MineProbabilisticApriori(
     const UncertainDatabase& db, std::size_t msc, double pft,
-    const std::function<double(const std::vector<double>&, std::size_t)>& tail_fn,
-    bool use_chernoff, MiningCounters* counters, std::size_t num_threads,
-    bool parallel_tails) {
+    const TailFn& tail_fn, bool use_chernoff, MiningCounters* counters,
+    std::size_t num_threads, bool parallel_tails) {
   return MineProbabilisticApriori(FlatView(db), msc, pft, tail_fn, use_chernoff,
                                   counters, num_threads, parallel_tails);
 }

@@ -138,27 +138,38 @@ std::vector<FrequentItemset> MineAprioriGeneric(const UncertainDatabase& db,
                                                 MiningCounters* counters,
                                                 std::size_t num_threads = 1);
 
+/// Tail evaluator of the probabilistic apriori loop: Pr(sup >= msc) from
+/// a candidate's nonzero containment probabilities. `candidate_ordinal`
+/// is the candidate's stable index in generation order across the whole
+/// run — a pure function of the database and parameters, identical at
+/// every thread count — so estimators that need randomness can derive a
+/// counter-based per-candidate RNG stream from it (DeriveStreamSeed)
+/// instead of consuming a shared sequential stream. Pure evaluators (DP,
+/// DC) simply ignore it.
+using TailFn = std::function<double(const std::vector<double>& probs,
+                                    std::size_t msc,
+                                    std::size_t candidate_ordinal)>;
+
 /// The exact probabilistic variant: per candidate, first the O(1)
 /// Chernoff test on esup (when `use_chernoff`), then the exact tail
 /// Pr(sup >= msc) via `tail_fn` (DP or DC). Frequent iff tail > pft.
 ///
 /// `num_threads` parallelizes candidate counting, and — when
 /// `parallel_tails` is set — the per-candidate tail evaluations as well,
-/// which dominate DP/DC runtime. Set `parallel_tails` only for a
-/// `tail_fn` that is safe to call concurrently (a pure function of its
-/// arguments, like the DP and DC convolvers); stateful estimators such
-/// as MCSampling's shared-RNG sampler must leave it false. Tail values
-/// are pure per candidate, so parallel evaluation stays bit-identical.
+/// which dominate DP/DC (and MCSampling) runtime. Set `parallel_tails`
+/// only for a `tail_fn` that is safe to call concurrently: a pure
+/// function of its arguments — including `candidate_ordinal`, which is
+/// how MCSampling's sampler qualifies since its per-candidate RNG
+/// streams are derived, not shared. Tail values are then pure per
+/// candidate, so parallel evaluation stays bit-identical.
 std::vector<FrequentItemset> MineProbabilisticApriori(
-    const FlatView& view, std::size_t msc, double pft,
-    const std::function<double(const std::vector<double>&, std::size_t)>& tail_fn,
+    const FlatView& view, std::size_t msc, double pft, const TailFn& tail_fn,
     bool use_chernoff, MiningCounters* counters, std::size_t num_threads = 1,
     bool parallel_tails = false);
 std::vector<FrequentItemset> MineProbabilisticApriori(
     const UncertainDatabase& db, std::size_t msc, double pft,
-    const std::function<double(const std::vector<double>&, std::size_t)>& tail_fn,
-    bool use_chernoff, MiningCounters* counters, std::size_t num_threads = 1,
-    bool parallel_tails = false);
+    const TailFn& tail_fn, bool use_chernoff, MiningCounters* counters,
+    std::size_t num_threads = 1, bool parallel_tails = false);
 
 }  // namespace ufim
 

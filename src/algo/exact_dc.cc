@@ -16,7 +16,8 @@ Result<MiningResult> ExactDC::MineProbabilistic(
   MiningResult result;
   std::vector<FrequentItemset> found = MineProbabilisticApriori(
       view, msc, params.pft,
-      [fft_threshold](const std::vector<double>& probs, std::size_t k) {
+      [fft_threshold](const std::vector<double>& probs, std::size_t k,
+                      std::size_t /*ordinal*/) {
         return PoissonBinomialTailDC(probs, k, fft_threshold);
       },
       use_chernoff_, &result.counters(), num_threads_,

@@ -15,9 +15,8 @@ Result<MiningResult> ExactDP::MineProbabilistic(
   MiningResult result;
   std::vector<FrequentItemset> found = MineProbabilisticApriori(
       view, msc, params.pft,
-      [](const std::vector<double>& probs, std::size_t k) {
-        return PoissonBinomialTailDP(probs, k);
-      },
+      [](const std::vector<double>& probs, std::size_t k,
+         std::size_t /*ordinal*/) { return PoissonBinomialTailDP(probs, k); },
       use_chernoff_, &result.counters(), num_threads_,
       /*parallel_tails=*/true);
   for (FrequentItemset& fi : found) result.Add(std::move(fi));

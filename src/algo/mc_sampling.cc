@@ -18,11 +18,17 @@ Result<MiningResult> MCSampling::MineProbabilistic(
   const std::size_t samples = num_samples_;
 
   MiningResult result;
-  Rng rng(seed_);
-  auto tail_estimator = [samples, &rng](const std::vector<double>& probs,
-                                        std::size_t k) {
+  const std::uint64_t seed = seed_;
+  // Counter-based RNG splitting: every candidate samples from its own
+  // stream, seeded off (seed, candidate ordinal). The ordinal is stable
+  // across thread counts, so the estimate per candidate — and therefore
+  // the whole result — is bit-identical whether tails are evaluated
+  // sequentially or in parallel.
+  auto tail_estimator = [samples, seed](const std::vector<double>& probs,
+                                        std::size_t k, std::size_t ordinal) {
     if (k == 0) return 1.0;
     if (probs.size() < k) return 0.0;
+    Rng rng(DeriveStreamSeed(seed, ordinal));
     std::size_t hits = 0;
     for (std::size_t s = 0; s < samples; ++s) {
       // Sample one possible world of this itemset's containments; stop
@@ -44,7 +50,7 @@ Result<MiningResult> MCSampling::MineProbabilistic(
   std::vector<FrequentItemset> found = MineProbabilisticApriori(
       view, msc, params.pft, tail_estimator,
       /*use_chernoff=*/true, &result.counters(), num_threads_,
-      /*parallel_tails=*/false);
+      /*parallel_tails=*/true);
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;

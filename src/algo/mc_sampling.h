@@ -19,10 +19,11 @@ namespace ufim {
 /// contrasts it with the moment-based approximations.
 class MCSampling final : public ProbabilisticMiner {
  public:
-  /// `num_threads` parallelizes candidate counting only: the tail
-  /// estimator draws from one shared RNG stream, whose sequential
-  /// consumption order is part of the deterministic contract, so the
-  /// sampling itself never runs concurrently.
+  /// `num_threads` parallelizes candidate counting *and* the tail
+  /// sampling itself: each candidate draws from a private RNG stream
+  /// derived from (seed, stable candidate ordinal) — see
+  /// DeriveStreamSeed — so concurrent evaluation consumes no shared
+  /// state and results are bit-identical at every thread count.
   explicit MCSampling(std::size_t num_samples = 1024,
                       std::uint64_t seed = 0xC0FFEE,
                       std::size_t num_threads = 1)

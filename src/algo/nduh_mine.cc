@@ -23,7 +23,8 @@ Result<MiningResult> NDUHMine::MineProbabilistic(
   };
   UHStructEngine engine(view, std::move(hooks));
   MiningResult result;
-  std::vector<FrequentItemset> found = engine.Mine(&result.counters());
+  std::vector<FrequentItemset> found =
+      engine.Mine(&result.counters(), num_threads_);
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
@@ -31,8 +32,8 @@ Result<MiningResult> NDUHMine::MineProbabilistic(
 
 UFIM_REGISTER_MINER("NDUH-Mine", TaskFamily::kProbabilistic,
                     /*production=*/true,
-                    [](const MinerOptions&) {
-                      return std::make_unique<NDUHMine>();
+                    [](const MinerOptions& options) {
+                      return std::make_unique<NDUHMine>(options.num_threads);
                     })
 
 }  // namespace ufim

@@ -14,7 +14,11 @@ namespace ufim {
 /// approximations (PDUApriori/NDUApriori) degrade.
 class NDUHMine final : public ProbabilisticMiner {
  public:
-  NDUHMine() = default;
+  /// `num_threads`: workers for the per-rank mining tasks of the shared
+  /// UHStructEngine; 1 (default) is the sequential baseline, 0 means all
+  /// hardware threads. Results are bit-identical at every setting.
+  explicit NDUHMine(std::size_t num_threads = 1)
+      : num_threads_(num_threads) {}
 
   std::string_view name() const override { return "NDUH-Mine"; }
   bool is_exact() const override { return false; }
@@ -22,6 +26,9 @@ class NDUHMine final : public ProbabilisticMiner {
   Result<MiningResult> MineProbabilistic(
       const FlatView& view,
       const ProbabilisticParams& params) const override;
+
+ private:
+  std::size_t num_threads_;
 };
 
 }  // namespace ufim

@@ -5,13 +5,17 @@
 
 #include "algo/apriori_framework.h"
 #include "algo/ufp_tree.h"
+#include "common/thread_pool.h"
 #include "core/miner_registry.h"
 
 namespace ufim {
 
 namespace {
 
-/// Recursive mining context shared down the projection chain.
+/// Recursive mining context shared down the projection chain. In the
+/// parallel driver each top-level rank task owns its own context
+/// (private `out` and `counters` slots); only the immutable
+/// `rank_to_item` table is shared.
 struct MineContext {
   double threshold = 0.0;
   const std::vector<ItemId>* rank_to_item = nullptr;
@@ -32,6 +36,87 @@ FrequentItemset EmitResult(const MineContext& ctx,
   return fi;
 }
 
+void MineTree(const UFPTree& tree, std::vector<std::uint32_t>& prefix_ranks,
+              const MineContext& ctx);
+
+/// Mines one extension rank of `tree`: emits the grown pattern if
+/// frequent, builds the conditional pattern base and tree, and recurses.
+/// Self-contained per (tree, rank) — the unit of parallelism at the top
+/// level, where `tree` is the shared read-only global tree.
+void MineRank(const UFPTree& tree, std::uint32_t rank,
+              std::vector<std::uint32_t>& prefix_ranks,
+              const MineContext& ctx) {
+  const std::vector<std::uint32_t>& header = tree.header(rank);
+  if (header.empty()) return;
+  if (ctx.counters != nullptr) ++ctx.counters->candidates_generated;
+
+  double esup = 0.0, sq_sum = 0.0;
+  for (std::uint32_t n : header) {
+    const UFPTree::Node& node = tree.nodes()[n];
+    esup += node.w_sum * node.prob;
+    sq_sum += node.w2_sum * node.prob * node.prob;
+  }
+  if (esup < ctx.threshold) return;
+
+  prefix_ranks.push_back(rank);
+  ctx.out->push_back(EmitResult(ctx, prefix_ranks, esup, sq_sum));
+
+  // Conditional pattern base of `rank`: ancestor paths with carried
+  // aggregates (w, w2) scaled by this node's probability. Paths live
+  // concatenated in one arena (`base_units`) — one allocation per base,
+  // not one per header node.
+  struct BaseEntry {
+    std::uint32_t begin;  ///< [begin, end) into base_units
+    std::uint32_t end;
+    double w;
+    double w2;
+  };
+  std::vector<BaseEntry> base;
+  base.reserve(header.size());
+  std::vector<UFPTree::PathUnit> base_units;
+  std::vector<double> cond_esup(tree.num_ranks(), 0.0);
+  std::vector<UFPTree::PathUnit> path;
+  for (std::uint32_t n : header) {
+    const UFPTree::Node& node = tree.nodes()[n];
+    tree.AncestorPathInto(n, path);
+    if (path.empty()) continue;
+    BaseEntry entry;
+    entry.begin = static_cast<std::uint32_t>(base_units.size());
+    base_units.insert(base_units.end(), path.begin(), path.end());
+    entry.end = static_cast<std::uint32_t>(base_units.size());
+    entry.w = node.w_sum * node.prob;
+    entry.w2 = node.w2_sum * node.prob * node.prob;
+    for (const UFPTree::PathUnit& u : path) {
+      cond_esup[u.rank] += entry.w * u.prob;
+    }
+    base.push_back(entry);
+  }
+
+  // Keep only locally frequent ancestor ranks, then build and recurse
+  // into the conditional tree.
+  bool any_frequent = false;
+  for (std::uint32_t r = 0; r < tree.num_ranks(); ++r) {
+    if (cond_esup[r] >= ctx.threshold) {
+      any_frequent = true;
+      break;
+    }
+  }
+  if (any_frequent) {
+    UFPTree cond(tree.num_ranks());
+    std::vector<UFPTree::PathUnit> filtered;
+    for (const BaseEntry& entry : base) {
+      filtered.clear();
+      for (std::uint32_t i = entry.begin; i != entry.end; ++i) {
+        const UFPTree::PathUnit& u = base_units[i];
+        if (cond_esup[u.rank] >= ctx.threshold) filtered.push_back(u);
+      }
+      if (!filtered.empty()) cond.InsertPath(filtered, entry.w, entry.w2);
+    }
+    MineTree(cond, prefix_ranks, ctx);
+  }
+  prefix_ranks.pop_back();
+}
+
 /// Mines one (conditional) UFP-tree. `prefix_ranks` is the suffix pattern
 /// this tree is conditioned on.
 void MineTree(const UFPTree& tree, std::vector<std::uint32_t>& prefix_ranks,
@@ -40,66 +125,7 @@ void MineTree(const UFPTree& tree, std::vector<std::uint32_t>& prefix_ranks,
   // FP-growth order; any order is correct).
   for (std::uint32_t rank = static_cast<std::uint32_t>(tree.num_ranks());
        rank-- > 0;) {
-    const std::vector<std::uint32_t>& header = tree.header(rank);
-    if (header.empty()) continue;
-    if (ctx.counters != nullptr) ++ctx.counters->candidates_generated;
-
-    double esup = 0.0, sq_sum = 0.0;
-    for (std::uint32_t n : header) {
-      const UFPTree::Node& node = tree.nodes()[n];
-      esup += node.w_sum * node.prob;
-      sq_sum += node.w2_sum * node.prob * node.prob;
-    }
-    if (esup < ctx.threshold) continue;
-
-    prefix_ranks.push_back(rank);
-    ctx.out->push_back(EmitResult(ctx, prefix_ranks, esup, sq_sum));
-
-    // Conditional pattern base of `rank`: ancestor paths with carried
-    // aggregates (w, w2) scaled by this node's probability.
-    struct BaseEntry {
-      std::vector<UFPTree::PathUnit> path;
-      double w;
-      double w2;
-    };
-    std::vector<BaseEntry> base;
-    base.reserve(header.size());
-    std::vector<double> cond_esup(tree.num_ranks(), 0.0);
-    for (std::uint32_t n : header) {
-      const UFPTree::Node& node = tree.nodes()[n];
-      BaseEntry entry;
-      entry.path = tree.AncestorPath(n);
-      if (entry.path.empty()) continue;
-      entry.w = node.w_sum * node.prob;
-      entry.w2 = node.w2_sum * node.prob * node.prob;
-      for (const UFPTree::PathUnit& u : entry.path) {
-        cond_esup[u.rank] += entry.w * u.prob;
-      }
-      base.push_back(std::move(entry));
-    }
-
-    // Keep only locally frequent ancestor ranks, then build and recurse
-    // into the conditional tree.
-    bool any_frequent = false;
-    for (std::uint32_t r = 0; r < tree.num_ranks(); ++r) {
-      if (cond_esup[r] >= ctx.threshold) {
-        any_frequent = true;
-        break;
-      }
-    }
-    if (any_frequent) {
-      UFPTree cond(tree.num_ranks());
-      std::vector<UFPTree::PathUnit> filtered;
-      for (const BaseEntry& entry : base) {
-        filtered.clear();
-        for (const UFPTree::PathUnit& u : entry.path) {
-          if (cond_esup[u.rank] >= ctx.threshold) filtered.push_back(u);
-        }
-        if (!filtered.empty()) cond.InsertPath(filtered, entry.w, entry.w2);
-      }
-      MineTree(cond, prefix_ranks, ctx);
-    }
-    prefix_ranks.pop_back();
+    MineRank(tree, rank, prefix_ranks, ctx);
   }
 }
 
@@ -127,7 +153,7 @@ Result<MiningResult> UFPGrowth::MineExpected(
   });
   std::vector<ItemId> rank_to_item;
   rank_to_item.reserve(kept.size());
-  // 1-itemset results are emitted by MineTree from the global tree
+  // 1-itemset results are emitted by MineRank from the global tree
   // (whose per-rank moments equal the item-level moments exactly).
   for (const ItemStats& is : kept) rank_to_item.push_back(is.item);
 
@@ -152,24 +178,40 @@ Result<MiningResult> UFPGrowth::MineExpected(
     tree.InsertPath(path, 1.0, 1.0);
   }
 
-  // Recursive projection.
-  std::vector<FrequentItemset> grown;
-  std::vector<std::uint32_t> prefix;
-  MineContext ctx;
-  ctx.threshold = threshold;
-  ctx.rank_to_item = &rank_to_item;
-  ctx.out = &grown;
-  ctx.counters = &result.counters();
-  MineTree(tree, prefix, ctx);
-  for (FrequentItemset& fi : grown) result.Add(std::move(fi));
+  // Recursive projection, task-parallel over the top-level header ranks
+  // of the (now frozen, read-only) global tree. Each rank's conditional
+  // subproblem is independent; per-rank subtree costs are wildly skewed,
+  // so tasks are claimed dynamically. Every task writes only its own
+  // output/counter slots, and the per-rank arithmetic is exactly the
+  // serial MineTree iteration's, so results and counters are
+  // bit-identical at every thread count.
+  const std::size_t n_ranks = rank_to_item.size();
+  std::vector<std::vector<FrequentItemset>> per_rank(n_ranks);
+  std::vector<MiningCounters> per_rank_counters(n_ranks);
+  ParallelForDynamic(
+      n_ranks, num_threads_, [&](std::size_t rank, std::size_t /*worker*/) {
+        std::vector<std::uint32_t> prefix;
+        MineContext ctx;
+        ctx.threshold = threshold;
+        ctx.rank_to_item = &rank_to_item;
+        ctx.out = &per_rank[rank];
+        ctx.counters = &per_rank_counters[rank];
+        MineRank(tree, static_cast<std::uint32_t>(rank), prefix, ctx);
+      });
+  // Merge in fixed descending-rank order — the serial MineTree order —
+  // regardless of which worker mined which rank.
+  for (std::uint32_t rank = static_cast<std::uint32_t>(n_ranks); rank-- > 0;) {
+    result.counters() += per_rank_counters[rank];
+    for (FrequentItemset& fi : per_rank[rank]) result.Add(std::move(fi));
+  }
   result.SortCanonical();
   return result;
 }
 
 UFIM_REGISTER_MINER("UFP-growth", TaskFamily::kExpectedSupport,
                     /*production=*/true,
-                    [](const MinerOptions&) {
-                      return std::make_unique<UFPGrowth>();
+                    [](const MinerOptions& options) {
+                      return std::make_unique<UFPGrowth>(options.num_threads);
                     })
 
 }  // namespace ufim

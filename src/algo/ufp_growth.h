@@ -15,15 +15,26 @@ namespace ufim {
 /// memory-hungry of the three expected-support miners, and this
 /// implementation reproduces that regime faithfully (exact mining over
 /// the weighted tree, no candidate-verification rescan needed).
+///
+/// Mining is task-parallel over the top-level header ranks of the global
+/// tree (each rank's conditional projection chain is an independent
+/// subproblem); per-rank outputs and counters are merged in fixed rank
+/// order, so results are bit-identical at every `num_threads`.
 class UFPGrowth final : public ExpectedSupportMiner {
  public:
-  UFPGrowth() = default;
+  /// `num_threads`: workers for the per-rank mining tasks; 1 (default)
+  /// is the sequential baseline, 0 means all hardware threads.
+  explicit UFPGrowth(std::size_t num_threads = 1)
+      : num_threads_(num_threads) {}
 
   std::string_view name() const override { return "UFP-growth"; }
 
   Result<MiningResult> MineExpected(
       const FlatView& view,
       const ExpectedSupportParams& params) const override;
+
+ private:
+  std::size_t num_threads_;
 };
 
 }  // namespace ufim

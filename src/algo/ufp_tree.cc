@@ -33,12 +33,18 @@ void UFPTree::InsertPath(const std::vector<PathUnit>& path, double w, double w2)
 
 std::vector<UFPTree::PathUnit> UFPTree::AncestorPath(std::uint32_t node) const {
   std::vector<PathUnit> path;
+  AncestorPathInto(node, path);
+  return path;
+}
+
+void UFPTree::AncestorPathInto(std::uint32_t node,
+                               std::vector<PathUnit>& out) const {
+  out.clear();
   for (std::uint32_t cur = nodes_[node].parent; cur != 0;
        cur = nodes_[cur].parent) {
-    path.push_back(PathUnit{nodes_[cur].rank, nodes_[cur].prob});
+    out.push_back(PathUnit{nodes_[cur].rank, nodes_[cur].prob});
   }
-  std::reverse(path.begin(), path.end());
-  return path;
+  std::reverse(out.begin(), out.end());
 }
 
 }  // namespace ufim

@@ -22,6 +22,14 @@ namespace ufim {
 ///   w2_sum = Σ of the squares (for variance tracking).
 /// For the global tree, prefix-so-far is empty: w_sum = transaction
 /// count, w2_sum likewise.
+///
+/// Thread safety: the tree is build-then-read. `InsertPath` requires
+/// exclusive access; once construction is done, every const member
+/// (`nodes`, `header`, `AncestorPath`, ...) only reads immutable state —
+/// there are no lazy caches — so any number of threads may mine a fully
+/// built tree concurrently. The parallel pattern-growth driver leans on
+/// this: per-rank tasks share the global tree read-only and build their
+/// conditional trees task-locally.
 class UFPTree {
  public:
   struct Node {
@@ -63,6 +71,11 @@ class UFPTree {
   /// Reconstructs the ancestor path of `node` (excluding the node itself
   /// and the root), ordered root-first, i.e. ascending rank.
   std::vector<PathUnit> AncestorPath(std::uint32_t node) const;
+
+  /// Allocation-free variant: clears `out` and fills it with the ancestor
+  /// path of `node`, root-first. The mining inner loop reuses one buffer
+  /// per task instead of allocating per header node.
+  void AncestorPathInto(std::uint32_t node, std::vector<PathUnit>& out) const;
 
  private:
   struct ChildKey {

@@ -18,7 +18,8 @@ Result<MiningResult> UHMine::MineExpected(
   };
   UHStructEngine engine(view, std::move(hooks));
   MiningResult result;
-  std::vector<FrequentItemset> found = engine.Mine(&result.counters());
+  std::vector<FrequentItemset> found =
+      engine.Mine(&result.counters(), num_threads_);
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
@@ -26,8 +27,8 @@ Result<MiningResult> UHMine::MineExpected(
 
 UFIM_REGISTER_MINER("UH-Mine", TaskFamily::kExpectedSupport,
                     /*production=*/true,
-                    [](const MinerOptions&) {
-                      return std::make_unique<UHMine>();
+                    [](const MinerOptions& options) {
+                      return std::make_unique<UHMine>(options.num_threads);
                     })
 
 }  // namespace ufim

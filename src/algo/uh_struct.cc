@@ -1,8 +1,10 @@
 #include "algo/uh_struct.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "algo/apriori_framework.h"
+#include "common/thread_pool.h"
 
 namespace ufim {
 
@@ -33,10 +35,6 @@ UHStructEngine::UHStructEngine(const FlatView& view, Hooks hooks)
   FlatView::RankProjection projection = view.ProjectOntoRanks(rank_to_item_);
   txn_offsets_ = std::move(projection.txn_offsets);
   units_ = std::move(projection.units);
-
-  esup_acc_.assign(rank_to_item_.size(), 0.0);
-  sq_acc_.assign(rank_to_item_.size(), 0.0);
-  slot_of_.assign(rank_to_item_.size(), UINT32_MAX);
 }
 
 UHStructEngine::UHStructEngine(const UncertainDatabase& db, Hooks hooks)
@@ -58,7 +56,8 @@ FrequentItemset UHStructEngine::MakeResult(
   return fi;
 }
 
-std::vector<FrequentItemset> UHStructEngine::Mine(MiningCounters* counters) {
+std::vector<FrequentItemset> UHStructEngine::Mine(MiningCounters* counters,
+                                                  std::size_t num_threads) const {
   std::vector<FrequentItemset> out;
   if (counters != nullptr) ++counters->database_scans;
 
@@ -68,17 +67,12 @@ std::vector<FrequentItemset> UHStructEngine::Mine(MiningCounters* counters) {
 
   // Item-level moments per rank (recomputed from the projection — cheap
   // and keeps the engine self-contained).
+  std::vector<std::pair<double, double>> item_moments(n_ranks, {0.0, 0.0});
   for (std::size_t t = 0; t + 1 < txn_offsets_.size(); ++t) {
     for (std::uint32_t u = txn_offsets_[t]; u < txn_offsets_[t + 1]; ++u) {
-      esup_acc_[units_[u].rank] += units_[u].prob;
-      sq_acc_[units_[u].rank] += units_[u].prob * units_[u].prob;
+      item_moments[units_[u].rank].first += units_[u].prob;
+      item_moments[units_[u].rank].second += units_[u].prob * units_[u].prob;
     }
-  }
-  std::vector<std::pair<double, double>> item_moments(n_ranks);
-  for (std::size_t r = 0; r < n_ranks; ++r) {
-    item_moments[r] = {esup_acc_[r], sq_acc_[r]};
-    esup_acc_[r] = 0.0;
-    sq_acc_[r] = 0.0;
   }
 
   // Root head table for every rank in one batched pass over the
@@ -109,28 +103,48 @@ std::vector<FrequentItemset> UHStructEngine::Mine(MiningCounters* counters) {
         txn_offsets_.begin() - 1);
   };
 
-  // For each frequent item (every rank, by construction), emit and grow.
-  std::vector<std::uint32_t> prefix;
-  std::vector<Occurrence> occurrences;
-  for (std::uint32_t r = 0; r < n_ranks; ++r) {
-    if (counters != nullptr) ++counters->candidates_generated;
-    prefix.assign(1, r);
-    out.push_back(MakeResult(prefix, item_moments[r].first, item_moments[r].second));
-    occurrences.clear();
-    occurrences.reserve(root_offsets[r + 1] - root_offsets[r]);
-    for (std::uint32_t k = root_offsets[r]; k < root_offsets[r + 1]; ++k) {
-      const std::uint32_t u = root_pos[k];
-      occurrences.push_back(Occurrence{txn_of(u), u + 1, units_[u].prob});
-    }
-    Recurse(prefix, occurrences, out, counters);
+  // For each frequent item (every rank, by construction), emit and grow —
+  // one dynamically-claimed task per top-level rank (prefix subtree costs
+  // are skewed, so static chunks would convoy behind the deep ranks).
+  // Tasks write only their own per-rank output/counter slots and carry
+  // per-worker scratch; the merge below walks ascending rank — the
+  // sequential loop's order — so results and counters are bit-identical
+  // at every thread count.
+  const std::size_t workers = ParallelWorkerCount(n_ranks, num_threads);
+  std::vector<Scratch> scratch(workers, Scratch(n_ranks));
+  std::vector<std::vector<FrequentItemset>> per_rank(n_ranks);
+  std::vector<MiningCounters> per_rank_counters(n_ranks);
+  ParallelForDynamic(
+      n_ranks, num_threads, [&](std::size_t rank, std::size_t worker) {
+        const std::uint32_t r = static_cast<std::uint32_t>(rank);
+        std::vector<FrequentItemset>& rank_out = per_rank[r];
+        MiningCounters& rank_counters = per_rank_counters[r];
+        ++rank_counters.candidates_generated;
+        std::vector<std::uint32_t> prefix(1, r);
+        rank_out.push_back(
+            MakeResult(prefix, item_moments[r].first, item_moments[r].second));
+        std::vector<Occurrence> occurrences;
+        occurrences.reserve(root_offsets[r + 1] - root_offsets[r]);
+        for (std::uint32_t k = root_offsets[r]; k < root_offsets[r + 1]; ++k) {
+          const std::uint32_t u = root_pos[k];
+          occurrences.push_back(Occurrence{txn_of(u), u + 1, units_[u].prob});
+        }
+        Recurse(prefix, occurrences, scratch[worker], rank_out,
+                &rank_counters);
+      });
+  for (std::size_t r = 0; r < n_ranks; ++r) {
+    if (counters != nullptr) *counters += per_rank_counters[r];
+    out.insert(out.end(), std::make_move_iterator(per_rank[r].begin()),
+               std::make_move_iterator(per_rank[r].end()));
   }
   return out;
 }
 
 void UHStructEngine::Recurse(std::vector<std::uint32_t>& prefix_ranks,
                              const std::vector<Occurrence>& occurrences,
+                             Scratch& scratch,
                              std::vector<FrequentItemset>& out,
-                             MiningCounters* counters) {
+                             MiningCounters* counters) const {
   // Pass 1: head-table moments for every extension rank.
   std::vector<std::uint32_t> touched;
   for (const Occurrence& occ : occurrences) {
@@ -138,13 +152,15 @@ void UHStructEngine::Recurse(std::vector<std::uint32_t>& prefix_ranks,
     for (std::uint32_t u = occ.next_start; u < end; ++u) {
       const std::uint32_t rank = units_[u].rank;
       const double p = occ.prob * units_[u].prob;
-      if (esup_acc_[rank] == 0.0 && sq_acc_[rank] == 0.0) touched.push_back(rank);
-      esup_acc_[rank] += p;
-      sq_acc_[rank] += p * p;
+      if (scratch.esup_acc[rank] == 0.0 && scratch.sq_acc[rank] == 0.0) {
+        touched.push_back(rank);
+      }
+      scratch.esup_acc[rank] += p;
+      scratch.sq_acc[rank] += p * p;
     }
   }
   // Collect frequent extensions, then reset the scratch accumulators
-  // before recursing (they are shared across levels).
+  // before recursing (they are shared across levels of this task).
   struct Extension {
     std::uint32_t rank;
     double esup;
@@ -154,37 +170,39 @@ void UHStructEngine::Recurse(std::vector<std::uint32_t>& prefix_ranks,
   std::vector<Extension> frequent;
   for (std::uint32_t rank : touched) {
     if (counters != nullptr) ++counters->candidates_generated;
-    if (hooks_.is_frequent(esup_acc_[rank], sq_acc_[rank])) {
-      frequent.push_back(Extension{rank, esup_acc_[rank], sq_acc_[rank], {}});
+    if (hooks_.is_frequent(scratch.esup_acc[rank], scratch.sq_acc[rank])) {
+      frequent.push_back(
+          Extension{rank, scratch.esup_acc[rank], scratch.sq_acc[rank], {}});
     }
-    esup_acc_[rank] = 0.0;
-    sq_acc_[rank] = 0.0;
+    scratch.esup_acc[rank] = 0.0;
+    scratch.sq_acc[rank] = 0.0;
   }
   if (frequent.empty()) return;
   std::sort(frequent.begin(), frequent.end(),
             [](const Extension& a, const Extension& b) { return a.rank < b.rank; });
 
   // Pass 2: one more walk builds the head-table occurrence lists for all
-  // frequent extensions simultaneously (H-Mine's head table). `slot_of_`
-  // maps rank -> index into `frequent`, UINT32_MAX elsewhere.
+  // frequent extensions simultaneously (H-Mine's head table).
+  // `scratch.slot_of` maps rank -> index into `frequent`, UINT32_MAX
+  // elsewhere.
   for (std::size_t i = 0; i < frequent.size(); ++i) {
-    slot_of_[frequent[i].rank] = static_cast<std::uint32_t>(i);
+    scratch.slot_of[frequent[i].rank] = static_cast<std::uint32_t>(i);
   }
   for (const Occurrence& occ : occurrences) {
     const std::uint32_t end = txn_offsets_[occ.txn + 1];
     for (std::uint32_t u = occ.next_start; u < end; ++u) {
-      const std::uint32_t slot = slot_of_[units_[u].rank];
+      const std::uint32_t slot = scratch.slot_of[units_[u].rank];
       if (slot == UINT32_MAX) continue;
       frequent[slot].occurrences.push_back(
           Occurrence{occ.txn, u + 1, occ.prob * units_[u].prob});
     }
   }
-  for (const Extension& ext : frequent) slot_of_[ext.rank] = UINT32_MAX;
+  for (const Extension& ext : frequent) scratch.slot_of[ext.rank] = UINT32_MAX;
 
   for (Extension& ext : frequent) {
     prefix_ranks.push_back(ext.rank);
     out.push_back(MakeResult(prefix_ranks, ext.esup, ext.sq_sum));
-    Recurse(prefix_ranks, ext.occurrences, out, counters);
+    Recurse(prefix_ranks, ext.occurrences, scratch, out, counters);
     // Release this branch's head table before moving to the next sibling
     // (H-Mine keeps memory proportional to the recursion path).
     ext.occurrences.clear();

@@ -27,6 +27,13 @@ namespace ufim {
 /// The engine accumulates both Σp and Σp² per prefix, so the same code
 /// path yields expected supports (UH-Mine) and Normal-approximation
 /// moments (NDUH-Mine) — the paper's "win-win" combination.
+///
+/// Mining is task-parallel over the top-level ranks: each rank's prefix
+/// subtree is explored by one dynamically-scheduled task carrying its own
+/// scratch (accumulators + slot map), with per-rank outputs and counters
+/// merged in ascending rank order — results are bit-identical at every
+/// thread count. After construction the engine is immutable; `Mine` is
+/// const and safe to call concurrently.
 class UHStructEngine {
  public:
   /// Decides whether a prefix with the given moments is frequent and, if
@@ -47,8 +54,14 @@ class UHStructEngine {
   UHStructEngine(const UncertainDatabase& db, Hooks hooks);
 
   /// Runs the depth-first mining and returns all frequent itemsets
-  /// (unsorted; caller normalizes). `counters` may be null.
-  std::vector<FrequentItemset> Mine(MiningCounters* counters);
+  /// (unsorted; caller normalizes). `counters` may be null. The
+  /// top-level ranks are mined by up to `num_threads` workers (1 =
+  /// sequential baseline, 0 = all hardware threads); results and
+  /// counters are identical at every setting. The hooks must be safe to
+  /// call concurrently when `num_threads` != 1 (the stateless predicate
+  /// closures every caller in this repo uses qualify).
+  std::vector<FrequentItemset> Mine(MiningCounters* counters,
+                                    std::size_t num_threads = 1) const;
 
   /// Number of items retained in the head table (for tests).
   std::size_t num_frequent_items() const { return rank_to_item_.size(); }
@@ -66,9 +79,27 @@ class UHStructEngine {
     double prob;               ///< Pr(prefix ⊆ T)
   };
 
+  /// Per-task mining scratch, reused across recursion levels. Each
+  /// top-level rank task owns one instance (workers reuse theirs across
+  /// the ranks they claim), so concurrent tasks never share accumulators.
+  struct Scratch {
+    /// Moment accumulators indexed by rank.
+    std::vector<double> esup_acc;
+    std::vector<double> sq_acc;
+    /// Rank -> head-table slot map (UINT32_MAX = not a frequent extension
+    /// of the current prefix); restored after each use.
+    std::vector<std::uint32_t> slot_of;
+
+    explicit Scratch(std::size_t num_ranks)
+        : esup_acc(num_ranks, 0.0),
+          sq_acc(num_ranks, 0.0),
+          slot_of(num_ranks, UINT32_MAX) {}
+  };
+
   void Recurse(std::vector<std::uint32_t>& prefix_ranks,
-               const std::vector<Occurrence>& occurrences,
-               std::vector<FrequentItemset>& out, MiningCounters* counters);
+               const std::vector<Occurrence>& occurrences, Scratch& scratch,
+               std::vector<FrequentItemset>& out,
+               MiningCounters* counters) const;
 
   FrequentItemset MakeResult(const std::vector<std::uint32_t>& prefix_ranks,
                              double esup, double sq_sum) const;
@@ -77,12 +108,6 @@ class UHStructEngine {
   std::vector<ItemId> rank_to_item_;      ///< rank -> original item id
   std::vector<Unit> units_;               ///< all projected transactions, flattened
   std::vector<std::uint32_t> txn_offsets_;  ///< size = #txns + 1
-  // Scratch accumulators reused across recursion levels (indexed by rank).
-  std::vector<double> esup_acc_;
-  std::vector<double> sq_acc_;
-  // Scratch rank -> head-table slot map (UINT32_MAX = not a frequent
-  // extension of the current prefix); restored after each use.
-  std::vector<std::uint32_t> slot_of_;
 };
 
 }  // namespace ufim

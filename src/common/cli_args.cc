@@ -1,0 +1,116 @@
+#include "common/cli_args.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
+namespace ufim::cli {
+
+namespace {
+
+bool Contains(const std::vector<std::string_view>& haystack,
+              std::string_view needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) != haystack.end();
+}
+
+}  // namespace
+
+// GCC 12 raises -Wrestrict false positives on the std::string flag-map
+// assignments once inlined (GCC bug 105329).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+std::optional<Args> Args::Parse(int argc, const char* const* argv,
+                                const std::vector<std::string_view>& switches,
+                                std::string* error) {
+  Args out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key(arg.substr(2));
+      if (Contains(switches, key)) {
+        out.flags[key] = "1";
+      } else if (i + 1 < argc) {
+        out.flags[key] = argv[++i];
+      } else {
+        if (error != nullptr) *error = "missing value for --" + key;
+        return std::nullopt;
+      }
+    } else {
+      out.positional.emplace_back(arg);
+    }
+  }
+  return out;
+}
+#pragma GCC diagnostic pop
+
+bool Args::Validate(const FlagSpec& spec, std::string* error) const {
+  for (const auto& [key, value] : flags) {
+    if (Contains(spec.value_flags, key) || Contains(spec.switches, key)) {
+      continue;
+    }
+    if (error != nullptr) *error = "unknown flag --" + key;
+    return false;
+  }
+  return true;
+}
+
+const char* Args::Get(const std::string& key) const {
+  auto it = flags.find(key);
+  return it == flags.end() ? nullptr : it->second.c_str();
+}
+
+bool Args::GetSize(const std::string& key, std::size_t fallback,
+                   std::size_t* out, std::string* error) const {
+  const char* v = Get(key);
+  if (v == nullptr) {
+    *out = fallback;
+    return true;
+  }
+  const std::string_view token = v;
+  const bool all_digits =
+      !token.empty() &&
+      std::all_of(token.begin(), token.end(), [](unsigned char c) {
+        return std::isdigit(c) != 0;
+      });
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = all_digits ? std::strtoull(v, &end, 10) : 0;
+  if (!all_digits || end != v + token.size() || errno == ERANGE ||
+      parsed > static_cast<unsigned long long>(SIZE_MAX)) {
+    if (error != nullptr) {
+      *error = "bad --" + key + " '" + std::string(token) +
+               "': expected a non-negative integer";
+    }
+    return false;
+  }
+  *out = static_cast<std::size_t>(parsed);
+  return true;
+}
+
+bool Args::GetDouble(const std::string& key, double fallback, double* out,
+                     std::string* error) const {
+  const char* v = Get(key);
+  if (v == nullptr) {
+    *out = fallback;
+    return true;
+  }
+  const std::string_view token = v;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (token.empty() || end != v + token.size() || errno == ERANGE ||
+      !std::isfinite(parsed)) {
+    if (error != nullptr) {
+      *error = "bad --" + key + " '" + std::string(token) +
+               "': expected a finite number";
+    }
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+}  // namespace ufim::cli

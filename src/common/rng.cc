@@ -6,6 +6,15 @@
 
 namespace ufim {
 
+std::uint64_t DeriveStreamSeed(std::uint64_t seed, std::uint64_t stream) {
+  // SplitMix64 (Steele, Lea & Flood): one finalizer round is enough to
+  // decorrelate consecutive counter values into mt19937_64 seeds.
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 double Rng::Uniform01() {
   return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
 }

@@ -60,6 +60,16 @@ class Rng {
 std::vector<std::uint64_t> SampleWithoutReplacement(Rng& rng, std::uint64_t n,
                                                     std::uint64_t k);
 
+/// Derives the seed of sub-stream `stream` from a base `seed`
+/// (counter-based stream splitting): a SplitMix64 finalizer over
+/// seed + golden-ratio * (stream + 1). Distinct streams of one seed are
+/// statistically independent for Monte-Carlo purposes, and the mapping
+/// is a pure function — consumers that seed one `Rng` per work unit from
+/// a stable unit index get results independent of execution order, which
+/// is what lets MCSampling's tail sampling run in parallel and stay
+/// bit-identical at every thread count.
+std::uint64_t DeriveStreamSeed(std::uint64_t seed, std::uint64_t stream);
+
 }  // namespace ufim
 
 #endif  // UFIM_COMMON_RNG_H_

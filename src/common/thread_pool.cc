@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <utility>
 
@@ -112,6 +113,72 @@ void ParallelFor(std::size_t n, std::size_t num_threads,
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t ParallelWorkerCount(std::size_t n, std::size_t num_threads) {
+  // Same policy as the chunk count on purpose: one worker per would-be
+  // chunk. Delegating keeps the two from drifting apart — callers size
+  // per-worker scratch off this and ParallelForDynamic hands out ids
+  // below it.
+  return ParallelChunkCount(n, num_threads);
+}
+
+void ParallelForDynamic(
+    std::size_t n, std::size_t num_threads,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t workers = ParallelWorkerCount(n, num_threads);
+  if (workers <= 1 || ThreadPool::InWorker()) {
+    for (std::size_t i = 0; i < n; ++i) body(i, 0);
+    return;
+  }
+
+  // Per-index error slots (not per-worker): the rethrow choice must not
+  // depend on which worker happened to claim the failing index.
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::exception_ptr> errors(n);
+  auto drain = [&cursor, &errors, &body, n](std::size_t worker) {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i, worker);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  ThreadPool& pool = ThreadPool::Global();
+  std::vector<std::future<void>> pending;
+  pending.reserve(workers - 1);
+  std::exception_ptr submit_error;
+  try {
+    for (std::size_t w = 1; w < workers; ++w) {
+      pending.push_back(pool.Submit([&drain, w] { drain(w); }));
+    }
+    drain(0);
+  } catch (...) {
+    // Submission failed (allocation); the caller thread still drains the
+    // remaining indices below via the started workers' futures.
+    submit_error = std::current_exception();
+  }
+  for (std::future<void>& f : pending) f.get();  // drain() never throws
+  if (submit_error) {
+    // Any indices no worker claimed have not run; finish them serially
+    // so the "every index attempted" contract holds.
+    for (std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+         i < n; i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        body(i, 0);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+  if (submit_error) std::rethrow_exception(submit_error);
 }
 
 std::size_t ParallelChunkCount(std::size_t n, std::size_t num_threads) {

@@ -104,6 +104,39 @@ void ParallelForChunks(
     const std::function<void(std::size_t chunk, std::size_t lo,
                              std::size_t hi)>& body);
 
+/// Number of worker slots `ParallelForDynamic` uses for a given (n,
+/// num_threads): min(num_threads, n), with num_threads == 0 meaning
+/// HardwareThreads(). Callers size per-worker scratch with this.
+std::size_t ParallelWorkerCount(std::size_t n, std::size_t num_threads);
+
+/// Dynamically-scheduled counterpart of ParallelFor for *skewed*
+/// workloads: runs body(i, worker) for every i in [0, n), with indices
+/// claimed one at a time from a shared atomic cursor by
+/// `ParallelWorkerCount(n, num_threads)` workers (the calling thread is
+/// worker 0). A worker that draws a heavy index no longer stalls a whole
+/// contiguous chunk behind it — this is the scheduler the pattern-growth
+/// miners use for their top-level header ranks, whose per-rank subtree
+/// costs differ by orders of magnitude.
+///
+/// Determinism: every index is executed exactly once, whole, by one
+/// worker. Which worker runs it (and in what real-time order) is
+/// scheduling-dependent, so bodies must confine writes to per-index
+/// slots and per-worker scratch (`worker` < ParallelWorkerCount(n,
+/// num_threads) identifies a private scratch slot); callers merge per-index
+/// results in a fixed order afterwards. Under that discipline results
+/// are bit-identical at every thread count, including the serial
+/// fallback.
+///
+/// num_threads == 0 means HardwareThreads(). num_threads <= 1, n <= 1,
+/// or a call from inside a pool worker (nesting) all run the plain
+/// serial loop with worker == 0.
+///
+/// If bodies throw, every index is still attempted and the exception of
+/// the lowest-numbered failing index is rethrown in the caller.
+void ParallelForDynamic(
+    std::size_t n, std::size_t num_threads,
+    const std::function<void(std::size_t index, std::size_t worker)>& body);
+
 }  // namespace ufim
 
 #endif  // UFIM_COMMON_THREAD_POOL_H_

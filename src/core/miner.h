@@ -61,12 +61,14 @@ std::string_view TaskKindName(const MiningTask& task);
 /// Tuning knobs shared across miners. Defaults mirror the optimized
 /// configurations the paper's study used.
 struct MinerOptions {
-  /// Worker threads for the parallel counting/evaluation paths: 1 (the
-  /// default) is the sequential baseline, 0 means all hardware threads.
-  /// Results are bit-identical at every setting (the parallel kernels
-  /// use deterministic partitioning and reduction orders); the
-  /// pattern-growth miners (UFP-growth, UH-Mine, NDUH-Mine) and the DFS
-  /// searches currently ignore the knob and run sequentially.
+  /// Worker threads for the parallel mining paths: 1 (the default) is
+  /// the sequential baseline, 0 means all hardware threads. The apriori
+  /// family parallelizes candidate counting (and tail evaluations), the
+  /// pattern-growth miners (UFP-growth, UH-Mine, NDUH-Mine) their
+  /// top-level header ranks; results are bit-identical at every setting
+  /// (deterministic partitioning, per-task state, fixed merge orders).
+  /// TopK and the brute-force oracles still ignore the knob and run
+  /// sequentially.
   std::size_t num_threads = 1;
   /// UApriori/PDUApriori: enable mid-scan decremental pruning [17, 18].
   bool decremental_pruning = true;

@@ -35,6 +35,18 @@ struct MiningCounters {
   std::uint64_t candidates_pruned_chernoff = 0; ///< dropped by the Chernoff bound
   std::uint64_t exact_probability_evaluations = 0;  ///< full DP/DC computations
   std::uint64_t database_scans = 0;
+
+  /// Accumulates another run's (or parallel task's) counters. Integer
+  /// sums are associative, so merging per-task deltas in any fixed order
+  /// reproduces the sequential totals exactly.
+  MiningCounters& operator+=(const MiningCounters& other) {
+    candidates_generated += other.candidates_generated;
+    candidates_pruned_apriori += other.candidates_pruned_apriori;
+    candidates_pruned_chernoff += other.candidates_pruned_chernoff;
+    exact_probability_evaluations += other.exact_probability_evaluations;
+    database_scans += other.database_scans;
+    return *this;
+  }
 };
 
 /// The outcome of one mining run: the frequent itemsets plus counters.

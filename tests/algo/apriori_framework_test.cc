@@ -107,7 +107,9 @@ TEST(MineProbabilisticAprioriTest, ChernoffCountersMove) {
   MiningCounters with_bound, without_bound;
   // A vacuous tail function suffices: this test only checks the Chernoff
   // counter plumbing (exactness is covered by exact_miners_test.cc).
-  auto zero_tail = [](const std::vector<double>&, std::size_t) { return 1.0; };
+  auto zero_tail = [](const std::vector<double>&, std::size_t, std::size_t) {
+    return 1.0;
+  };
   MineProbabilisticApriori(db, 30, 0.9, zero_tail, false, &without_bound);
   EXPECT_EQ(without_bound.candidates_pruned_chernoff, 0u);
   MineProbabilisticApriori(db, 30, 0.9, zero_tail, true, &with_bound);

@@ -109,6 +109,36 @@ TEST(MCSamplingTest, ChernoffPruningStillSound) {
   EXPECT_GE(pr.recall, 0.99);
 }
 
+TEST(MCSamplingTest, ParallelTailsBitIdenticalAcrossThreadCounts) {
+  // Each candidate samples from a private RNG stream derived from
+  // (seed, stable candidate ordinal), so the estimates cannot depend on
+  // which thread evaluates which candidate — results must match the
+  // single-thread run exactly, probabilities included.
+  UncertainDatabase db = testing_util::MakeRandomDatabase(
+      {.seed = 91, .num_transactions = 50, .num_items = 8});
+  ProbabilisticParams params;
+  params.min_sup = 0.2;
+  params.pft = 0.5;
+  auto baseline = MCSampling(512, 9, /*num_threads=*/1).Mine(db, params);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_FALSE(baseline->empty());
+  for (std::size_t threads : {2u, 8u}) {
+    auto run = MCSampling(512, 9, threads).Mine(db, params);
+    ASSERT_TRUE(run.ok());
+    ASSERT_EQ(run->size(), baseline->size()) << threads << " threads";
+    for (std::size_t i = 0; i < baseline->size(); ++i) {
+      EXPECT_EQ((*run)[i].itemset, (*baseline)[i].itemset);
+      EXPECT_EQ(*(*run)[i].frequent_probability,
+                *(*baseline)[i].frequent_probability)
+          << (*baseline)[i].itemset.ToString() << " @" << threads;
+    }
+    EXPECT_EQ(run->counters().exact_probability_evaluations,
+              baseline->counters().exact_probability_evaluations);
+    EXPECT_EQ(run->counters().candidates_pruned_chernoff,
+              baseline->counters().candidates_pruned_chernoff);
+  }
+}
+
 TEST(MCSamplingTest, EmptyDatabase) {
   UncertainDatabase db;
   ProbabilisticParams params;

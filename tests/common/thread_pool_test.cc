@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <future>
@@ -144,6 +145,92 @@ TEST(ParallelForTest, NestedParallelForRunsSerialAndCompletes) {
   std::vector<std::atomic<int>> hits(64);
   ParallelFor(8, 4, [&hits](std::size_t outer) {
     ParallelFor(8, 4, [&hits, outer](std::size_t inner) {
+      ++hits[outer * 8 + inner];
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForDynamicTest, CoversEveryIndexExactlyOnceWithValidWorkerIds) {
+  for (std::size_t threads : {1u, 2u, 5u, 16u}) {
+    constexpr std::size_t kN = 509;  // prime, larger than any worker count
+    const std::size_t workers = ParallelWorkerCount(kN, threads);
+    EXPECT_EQ(workers, std::min<std::size_t>(threads, kN));
+    std::vector<std::atomic<int>> hits(kN);
+    std::vector<std::atomic<int>> by_worker(workers);
+    ParallelForDynamic(kN, threads,
+                       [&](std::size_t i, std::size_t worker) {
+                         ASSERT_LT(worker, workers);
+                         ++hits[i];
+                         ++by_worker[worker];
+                       });
+    int total = 0;
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+    for (std::size_t w = 0; w < workers; ++w) total += by_worker[w].load();
+    EXPECT_EQ(total, static_cast<int>(kN));
+  }
+}
+
+TEST(ParallelForDynamicTest, HandlesEdgeSizes) {
+  int runs = 0;
+  ParallelForDynamic(0, 4, [&runs](std::size_t, std::size_t) { ++runs; });
+  EXPECT_EQ(runs, 0);
+  ParallelForDynamic(1, 4, [&runs](std::size_t, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);  // serial fallback
+    ++runs;
+  });
+  EXPECT_EQ(runs, 1);
+  std::atomic<int> par_runs{0};
+  ParallelForDynamic(10, 0, [&par_runs](std::size_t, std::size_t) { ++par_runs; });
+  EXPECT_EQ(par_runs.load(), 10);
+}
+
+TEST(ParallelForDynamicTest, SkewedWorkloadsStillCoverEverything) {
+  // One index is ~100x heavier than the rest — the shape the dynamic
+  // scheduler exists for. All indices must still run exactly once.
+  constexpr std::size_t kN = 64;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<std::size_t> heavy_work{0};
+  ParallelForDynamic(kN, 4, [&](std::size_t i, std::size_t) {
+    ++hits[i];
+    const std::size_t spins = i == 0 ? 100000 : 1000;
+    std::size_t acc = 0;
+    for (std::size_t s = 0; s < spins; ++s) acc += s;
+    heavy_work += acc > 0 ? 1 : 0;
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForDynamicTest, LowestFailingIndexExceptionWinsAndAllRun) {
+  std::vector<std::atomic<int>> ran(100);
+  auto run = [&ran] {
+    ParallelForDynamic(100, 4, [&ran](std::size_t i, std::size_t) {
+      ++ran[i];
+      if (i == 37) throw std::invalid_argument("37 failed");
+      if (i == 73) throw std::out_of_range("73 failed");
+    });
+  };
+  // Unlike ParallelFor's chunked semantics, every index is attempted;
+  // the exception of the lowest failing index is the one rethrown.
+  EXPECT_THROW(run(), std::invalid_argument);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(ran[i].load(), 1) << i;
+  }
+  std::atomic<int> after{0};
+  ParallelForDynamic(10, 4, [&after](std::size_t, std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ParallelForDynamicTest, NestedCallRunsSerialAndCompletes) {
+  std::vector<std::atomic<int>> hits(64);
+  ParallelForDynamic(8, 4, [&hits](std::size_t outer, std::size_t) {
+    ParallelForDynamic(8, 4, [&hits, outer](std::size_t inner,
+                                            std::size_t worker) {
+      EXPECT_EQ(worker, 0u);  // nested: serial fallback on the worker
       ++hits[outer * 8 + inner];
     });
   });

@@ -11,9 +11,11 @@
 
 #include <cstddef>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algo/apriori_framework.h"
+#include "algo/uh_struct.h"
 #include "core/flat_view.h"
 #include "core/miner_registry.h"
 #include "core/simd_intersect.h"
@@ -154,6 +156,115 @@ TEST(ParallelEquivalenceTest, AllMinersOnLowProbabilityDatabase) {
                                      .min_prob = 0.05,
                                      .max_prob = 0.4}),
                  "low-prob");
+}
+
+/// The pattern-growth miners (UFP-growth, UH-Mine, NDUH-Mine) mine
+/// task-parallel over top-level header ranks since PR 4. The generic
+/// matrix above already covers them on small databases; this test works
+/// them harder — more transactions, more items, a threshold low enough
+/// for several projection levels — so the per-rank merge and the
+/// task-local scratch are exercised with real recursion depth.
+TEST(ParallelEquivalenceTest, PatternGrowthMinersDeepRecursion) {
+  const UncertainDatabase db =
+      MakeRandomDatabase({.seed = 57,
+                          .num_transactions = 220,
+                          .num_items = 18,
+                          .item_presence = 0.45,
+                          .min_prob = 0.3,
+                          .max_prob = 1.0});
+  FlatView view(db);
+  struct Case {
+    const char* name;
+    MiningTask task;
+  };
+  ExpectedSupportParams esup_params;
+  esup_params.min_esup = 0.04;  // deep: many frequent itemsets
+  ProbabilisticParams prob_params;
+  prob_params.min_sup = 0.08;
+  prob_params.pft = 0.5;
+  const Case cases[] = {
+      {"UFP-growth", esup_params},
+      {"UH-Mine", esup_params},
+      {"NDUH-Mine", prob_params},
+  };
+  for (const Case& c : cases) {
+    Result<MiningResult> baseline = Status::Internal("not run");
+    {
+      ScopedKernel forced(IntersectKernel::kScalar);
+      MinerOptions options;
+      options.num_threads = 1;
+      baseline = MinerRegistry::Global().Create(c.name, options)->Mine(view, c.task);
+    }
+    ASSERT_TRUE(baseline.ok()) << c.name;
+    ASSERT_GT(baseline->size(), 50u) << c.name << ": not deep enough to be "
+                                     << "a meaningful parallel test";
+    for (const IntersectKernel kernel : kKernels) {
+      ScopedKernel forced(kernel);
+      for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+        MinerOptions options;
+        options.num_threads = threads;
+        auto run =
+            MinerRegistry::Global().Create(c.name, options)->Mine(view, c.task);
+        ASSERT_TRUE(run.ok()) << c.name;
+        const std::string label = std::string("deep/") + c.name + "@" +
+                                  std::to_string(threads) + "/" +
+                                  IntersectKernelName(kernel);
+        ExpectIdentical(run.value(), baseline.value(), label);
+        EXPECT_EQ(run->counters().candidates_generated,
+                  baseline->counters().candidates_generated)
+            << label;
+        EXPECT_EQ(run->counters().database_scans,
+                  baseline->counters().database_scans)
+            << label;
+      }
+    }
+  }
+}
+
+/// The UH-Struct engine's mining scratch (moment accumulators + slot
+/// map) is task-local since PR 4 and `Mine` is const: one engine may
+/// serve concurrent Mine calls — each itself multi-threaded — without
+/// interference. TSan runs this suite in CI.
+TEST(ParallelEquivalenceTest, UHStructEngineScratchIsolationUnderConcurrency) {
+  const UncertainDatabase db = MakeRandomDatabase(
+      {.seed = 58, .num_transactions = 120, .num_items = 12});
+  FlatView view(db);
+  const double threshold = 0.1 * static_cast<double>(view.num_transactions());
+  UHStructEngine::Hooks hooks;
+  hooks.is_frequent = [threshold](double esup, double) {
+    return esup >= threshold;
+  };
+  const UHStructEngine engine(view, std::move(hooks));
+
+  MiningCounters baseline_counters;
+  const std::vector<FrequentItemset> baseline =
+      engine.Mine(&baseline_counters, /*num_threads=*/1);
+  ASSERT_GT(baseline.size(), 10u);
+
+  constexpr std::size_t kCallers = 4;
+  std::vector<std::vector<FrequentItemset>> found(kCallers);
+  std::vector<MiningCounters> counters(kCallers);
+  {
+    std::vector<std::thread> callers;
+    for (std::size_t i = 0; i < kCallers; ++i) {
+      callers.emplace_back([&, i] {
+        // Odd callers mine multi-threaded, even ones sequentially —
+        // both shapes must coexist on one shared engine.
+        found[i] = engine.Mine(&counters[i], /*num_threads=*/i % 2 == 0 ? 1 : 8);
+      });
+    }
+    for (std::thread& t : callers) t.join();
+  }
+  for (std::size_t i = 0; i < kCallers; ++i) {
+    ASSERT_EQ(found[i].size(), baseline.size()) << "caller " << i;
+    for (std::size_t j = 0; j < baseline.size(); ++j) {
+      EXPECT_EQ(found[i][j].itemset, baseline[j].itemset);
+      EXPECT_EQ(found[i][j].expected_support, baseline[j].expected_support);
+      EXPECT_EQ(found[i][j].variance, baseline[j].variance);
+    }
+    EXPECT_EQ(counters[i].candidates_generated,
+              baseline_counters.candidates_generated);
+  }
 }
 
 TEST(ParallelEquivalenceTest, EvaluateCandidatesExactAcrossThreadCounts) {

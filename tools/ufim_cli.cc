@@ -10,13 +10,16 @@
 //   ufim_cli mine data.udb --algorithm TopK --k 20
 //   ufim_cli mine data.udb --algorithm UApriori --min-esup 0.01
 //       --threads 8 --shards 4
+//
+// Argument handling lives in common/cli_args.h (unit-tested): numeric
+// flags are validated over their full token and unknown flags are
+// rejected per subcommand, both with a non-zero exit.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <map>
 #include <optional>
 #include <string>
 
+#include "common/cli_args.h"
 #include "core/flat_view.h"
 #include "core/miner_registry.h"
 #include "core/postprocess.h"
@@ -41,7 +44,7 @@ int Usage() {
            [--kernel {auto|scalar|gallop|simd}]
            [--top <k>] [--closed] [--maximal] [--rules <min_conf>]
 
-  --threads: worker threads for the parallel counting paths
+  --threads: worker threads for the parallel mining paths
              (default: hardware concurrency; results are identical at
              every setting). --shards: partition the database into <s>
              transaction shards mined independently and merged exactly
@@ -67,58 +70,30 @@ int Usage() {
   return 2;
 }
 
-/// Minimal long-flag parser: --key value pairs plus positional args.
-struct Args {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> flags;
-
-  // GCC 12 raises -Wrestrict false positives on the std::string
-  // assignments below when Parse is inlined into main (GCC bug 105329).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wrestrict"
-  static std::optional<Args> Parse(int argc, char** argv) {
-    Args out;
-    for (int i = 1; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) == 0) {
-        std::string key(arg.begin() + 2, arg.end());
-        bool is_switch = key == "closed" || key == "maximal";
-        if (is_switch) {
-          out.flags[key] = "1";
-        } else if (i + 1 < argc) {
-          out.flags[key] = argv[++i];
-        } else {
-          std::fprintf(stderr, "missing value for --%s\n", key.c_str());
-          return std::nullopt;
-        }
-      } else {
-        out.positional.push_back(std::move(arg));
-      }
-    }
-    return out;
-  }
-#pragma GCC diagnostic pop
-
-  const char* Get(const std::string& key) const {
-    auto it = flags.find(key);
-    return it == flags.end() ? nullptr : it->second.c_str();
-  }
-  double GetDouble(const std::string& key, double fallback) const {
-    const char* v = Get(key);
-    return v != nullptr ? std::atof(v) : fallback;
-  }
-  std::size_t GetSize(const std::string& key, std::size_t fallback) const {
-    const char* v = Get(key);
-    return v != nullptr ? static_cast<std::size_t>(std::atoll(v)) : fallback;
-  }
-};
+/// Prints the accessor's error and converts it to the fail exit: use as
+///   std::size_t n; if (!OrFail(args.GetSize("n", 1000, &n, &err), err)) ...
+bool OrFail(bool ok, const std::string& error) {
+  if (!ok) std::fprintf(stderr, "%s\n", error.c_str());
+  return ok;
+}
 
 int Generate(const Args& args) {
+  std::string err;
+  if (!args.Validate({.value_flags = {"family", "n", "prob", "seed", "out"},
+                      .switches = {}},
+                     &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return Usage();
+  }
   const char* family = args.Get("family");
   const char* out_path = args.Get("out");
   if (family == nullptr || out_path == nullptr) return Usage();
-  const std::size_t n = args.GetSize("n", 1000);
-  const std::uint64_t seed = args.GetSize("seed", 42);
+  std::size_t n = 0, seed_raw = 0;
+  if (!OrFail(args.GetSize("n", 1000, &n, &err), err) ||
+      !OrFail(args.GetSize("seed", 42, &seed_raw, &err), err)) {
+    return 2;
+  }
+  const std::uint64_t seed = seed_raw;
 
   DeterministicDatabase det;
   const std::string fam = family;
@@ -172,6 +147,11 @@ int Generate(const Args& args) {
 }
 
 int Stats(const Args& args) {
+  std::string err;
+  if (!args.Validate({.value_flags = {}, .switches = {}}, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return Usage();
+  }
   if (args.positional.size() < 2) return Usage();
   auto db = ReadDataset(args.positional[1]);
   if (!db.ok()) {
@@ -186,17 +166,25 @@ int Stats(const Args& args) {
   return 0;
 }
 
-void PrintResult(const MiningResult& result, const Args& args, double millis) {
+/// Result post-processing knobs, parsed and validated up front so a bad
+/// --top/--rules fails before minutes of mining, not after.
+struct ShowOptions {
+  bool closed = false;
+  bool maximal = false;
+  std::optional<std::size_t> top;
+  std::optional<double> rules_min_conf;
+};
+
+void PrintResult(const MiningResult& result, const ShowOptions& show,
+                 double millis) {
   MiningResult shown = result;
-  if (args.Get("closed") != nullptr) shown = FilterClosed(shown);
-  if (args.Get("maximal") != nullptr) shown = FilterMaximal(shown);
-  if (args.Get("top") != nullptr) {
-    shown = TopK(shown, args.GetSize("top", 10));
-  }
+  if (show.closed) shown = FilterClosed(shown);
+  if (show.maximal) shown = FilterMaximal(shown);
+  if (show.top.has_value()) shown = TopK(shown, *show.top);
   std::printf("# %zu frequent itemsets (%.1f ms)\n", result.size(), millis);
   std::printf("%s", shown.ToString().c_str());
-  if (args.Get("rules") != nullptr) {
-    const double min_conf = args.GetDouble("rules", 0.8);
+  if (show.rules_min_conf.has_value()) {
+    const double min_conf = *show.rules_min_conf;
     auto rules = GenerateRules(result, min_conf);
     std::printf("# %zu rules at confidence >= %.2f\n", rules.size(), min_conf);
     for (const AssociationRule& rule : rules) {
@@ -206,9 +194,42 @@ void PrintResult(const MiningResult& result, const Args& args, double millis) {
 }
 
 int Mine(const Args& args) {
+  std::string err;
+  if (!args.Validate(
+          {.value_flags = {"algorithm", "min-esup", "min-sup", "pft", "k",
+                           "threads", "shards", "kernel", "top", "rules"},
+           .switches = {"closed", "maximal"}},
+          &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return Usage();
+  }
   if (args.positional.size() < 2 || args.Get("algorithm") == nullptr) {
     return Usage();
   }
+
+  // Validate every numeric flag before touching the dataset.
+  std::size_t num_threads = 0, num_shards = 1, k = 10;
+  double min_esup = 0.5, min_sup = 0.5, pft = 0.9;
+  ShowOptions show;
+  show.closed = args.Get("closed") != nullptr;
+  show.maximal = args.Get("maximal") != nullptr;
+  {
+    std::size_t top = 10;
+    double rules_conf = 0.8;
+    if (!OrFail(args.GetSize("threads", 0, &num_threads, &err), err) ||
+        !OrFail(args.GetSize("shards", 1, &num_shards, &err), err) ||
+        !OrFail(args.GetSize("k", 10, &k, &err), err) ||
+        !OrFail(args.GetDouble("min-esup", 0.5, &min_esup, &err), err) ||
+        !OrFail(args.GetDouble("min-sup", 0.5, &min_sup, &err), err) ||
+        !OrFail(args.GetDouble("pft", 0.9, &pft, &err), err) ||
+        !OrFail(args.GetSize("top", 10, &top, &err), err) ||
+        !OrFail(args.GetDouble("rules", 0.8, &rules_conf, &err), err)) {
+      return 2;
+    }
+    if (args.Get("top") != nullptr) show.top = top;
+    if (args.Get("rules") != nullptr) show.rules_min_conf = rules_conf;
+  }
+
   auto db = ReadDataset(args.positional[1]);
   if (!db.ok()) {
     std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
@@ -231,7 +252,7 @@ int Mine(const Args& args) {
       return Usage();
     }
     ExpectedSupportParams params;
-    params.min_esup = args.GetDouble("min-esup", 0.5);
+    params.min_esup = min_esup;
     task = params;
   } else if (entry->family == TaskFamily::kProbabilistic) {
     if (args.Get("min-sup") == nullptr) {
@@ -239,8 +260,8 @@ int Mine(const Args& args) {
       return Usage();
     }
     ProbabilisticParams params;
-    params.min_sup = args.GetDouble("min-sup", 0.5);
-    params.pft = args.GetDouble("pft", 0.9);
+    params.min_sup = min_sup;
+    params.pft = pft;
     task = params;
   } else {
     if (args.Get("k") == nullptr) {
@@ -248,7 +269,7 @@ int Mine(const Args& args) {
       return Usage();
     }
     TopKParams params;
-    params.k = args.GetSize("k", 10);
+    params.k = k;
     task = params;
   }
 
@@ -264,8 +285,7 @@ int Mine(const Args& args) {
     SetIntersectKernel(kernel);
   }
   MinerOptions options;
-  options.num_threads = args.GetSize("threads", 0);  // 0 = all hardware threads
-  const std::size_t num_shards = args.GetSize("shards", 1);
+  options.num_threads = num_threads;  // 0 = all hardware threads
   if (num_shards > 1 && entry->family != TaskFamily::kExpectedSupport) {
     std::fprintf(stderr, "--shards applies to expected-support algorithms only\n");
     return Usage();
@@ -276,17 +296,24 @@ int Mine(const Args& args) {
     std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
     return 1;
   }
-  PrintResult(m->result, args, m->millis);
+  PrintResult(m->result, show, m->millis);
   return 0;
 }
 
 int Main(int argc, char** argv) {
-  std::optional<Args> args = Args::Parse(argc, argv);
-  if (!args.has_value() || args->positional.empty()) return Usage();
+  std::string err;
+  std::optional<Args> args =
+      Args::Parse(argc, argv, /*switches=*/{"closed", "maximal"}, &err);
+  if (!args.has_value()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return Usage();
+  }
+  if (args->positional.empty()) return Usage();
   const std::string& command = args->positional[0];
   if (command == "generate") return Generate(*args);
   if (command == "stats") return Stats(*args);
   if (command == "mine") return Mine(*args);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return Usage();
 }
 
