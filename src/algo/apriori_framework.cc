@@ -351,12 +351,16 @@ std::vector<CandidateStats> EvaluateCandidates(const FlatView& view,
   std::size_t sampled = 0;
   for (std::size_t c = 0; c < candidates.size(); c += stride, ++sampled) {
     const std::vector<ItemId>& items = candidates[c].items();
-    std::size_t shortest = view.PostingTids(items[0]).size();
+    // Logical posting counts (base + streaming delta), so the strategy
+    // pick — and with it the whole evaluation — is a pure function of
+    // the viewed data, never of its physical segmentation.
+    const std::size_t first_len = view.PostingCount(items[0]);
+    std::size_t shortest = first_len;
     for (std::size_t k = 1; k < items.size(); ++k) {
-      shortest = std::min(shortest, view.PostingTids(items[k]).size());
+      shortest = std::min(shortest, view.PostingCount(items[k]));
     }
     join_cost += kSearchOverhead * static_cast<double>(shortest);
-    sweep_cost += static_cast<double>(view.PostingTids(items[0]).size());
+    sweep_cost += static_cast<double>(first_len);
   }
   const double scale =
       static_cast<double>(candidates.size()) / static_cast<double>(sampled);
@@ -532,8 +536,9 @@ std::vector<FrequentItemset> LevelWiseLoop(
       cs.esup = is.esup;
       cs.sq_sum = is.sq_sum;
       if (collect_probs) {
-        const std::span<const double> probs = view.PostingProbs(is.item);
-        cs.probs.assign(probs.begin(), probs.end());
+        // Segment-aware (not PostingProbs) so the exact probabilistic
+        // algorithms run unchanged on streaming views.
+        view.AppendPostingProbs(is.item, cs.probs);
       }
       stats.push_back(std::move(cs));
     }

@@ -1,0 +1,94 @@
+#include "core/delta_miner.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/miner_registry.h"
+#include "core/sharded_miner.h"
+
+namespace ufim {
+
+DeltaMiner::DeltaMiner(std::unique_ptr<Miner> inner,
+                       ExpectedSupportParams params, CompactionPolicy policy,
+                       std::size_t num_threads)
+    : inner_(std::move(inner)),
+      params_(params),
+      name_("Delta(" + std::string(inner_->name()) + ")"),
+      view_(policy),
+      num_threads_(num_threads == 0 ? HardwareThreads() : num_threads) {}
+
+Result<MiningResult> DeltaMiner::MineNext(std::span<const Transaction> batch) {
+  // Sticky failure: a batch appended under an inner-miner error was
+  // never shard-mined, and accepting a retry of it would append (and
+  // count) it twice. See the header contract.
+  if (!poisoned_.ok()) return poisoned_;
+  UFIM_RETURN_IF_ERROR(params_.Validate());
+  const MiningTask task = params_;
+  if (!inner_->Supports(task)) {
+    return Status::InvalidArgument(
+        name_ + " needs an expected-support inner miner");
+  }
+
+  view_.Append(batch);
+  const FlatView full = view_.View();
+  const std::size_t n_txn = full.num_transactions();
+
+  MiningResult result;
+
+  // Phase 1: mine the appended suffix as its own SON shard, at the same
+  // min_esup ratio (the shard threshold is ratio * |shard|, exactly as
+  // ShardedMiner's static shards). The slice spans the base/delta seam
+  // transparently, so this works identically pre- and post-compaction.
+  if (n_txn > mined_upto_) {
+    const FlatView suffix = full.Slice(mined_upto_, n_txn);
+    Result<MiningResult> local = inner_->Mine(suffix, task);
+    if (!local.ok()) {
+      poisoned_ = local.status();
+      return poisoned_;
+    }
+    result.counters() += local->counters();
+    for (const FrequentItemset& fi : local->itemsets()) {
+      pool_.insert(fi.itemset);
+    }
+    mined_upto_ = n_txn;
+    ++shards_mined_;
+  }
+
+  // Phase 2: exact recount of the whole candidate pool over the full
+  // view. Canonical candidate order keeps the recount independent of
+  // pool insertion history (and of the unordered_set's iteration order).
+  std::vector<Itemset> singles;
+  std::vector<Itemset> larger;
+  for (const Itemset& is : pool_) {
+    (is.size() == 1 ? singles : larger).push_back(is);
+  }
+  std::sort(singles.begin(), singles.end());
+  std::sort(larger.begin(), larger.end());
+  const double threshold =
+      params_.min_esup * static_cast<double>(n_txn);
+  RecountExpectedCandidates(full, singles, larger, threshold, num_threads_,
+                            result);
+  result.SortCanonical();
+  return result;
+}
+
+Result<std::unique_ptr<DeltaMiner>> MakeDeltaMiner(
+    std::string_view algorithm, const ExpectedSupportParams& params,
+    const MinerOptions& options, CompactionPolicy policy) {
+  const MinerEntry* entry = MinerRegistry::Global().Find(algorithm);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown algorithm '" + std::string(algorithm) +
+                            "'");
+  }
+  if (entry->family != TaskFamily::kExpectedSupport) {
+    return Status::InvalidArgument(
+        "streaming mining supports expected-support algorithms only; '" +
+        std::string(algorithm) + "' is not one");
+  }
+  return std::make_unique<DeltaMiner>(entry->make(options), params, policy,
+                                      options.num_threads);
+}
+
+}  // namespace ufim

@@ -1,0 +1,115 @@
+#ifndef UFIM_CORE_DELTA_MINER_H_
+#define UFIM_CORE_DELTA_MINER_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "common/result.h"
+#include "core/miner.h"
+#include "core/streaming_flat_view.h"
+
+namespace ufim {
+
+/// Incremental mining driver over a `StreamingFlatView`: the streaming
+/// counterpart of `ShardedMiner`'s SON scheme, with the shard structure
+/// given by arrival order instead of a static partition.
+///
+/// `MineNext(batch)` appends the batch, mines the *appended suffix* as
+/// its own shard with the inner miner at the same min_esup ratio, unions
+/// the shard-local frequent itemsets into a persistent candidate pool,
+/// and recounts the pool exactly over the full view
+/// (`RecountExpectedCandidates`). The suffix shards mined across the
+/// stream's lifetime partition the database, so the SON pigeonhole
+/// applies at every point: an itemset that is globally frequent *now*
+/// was locally frequent in at least one suffix shard when that shard
+/// arrived and therefore sits in the pool — the recount returns the
+/// exact full-database answer, identical (itemsets and moments) to
+/// mining the accumulated database from scratch. Note the pool keeps
+/// every shard-local candidate, not just previously-global ones: an
+/// itemset can be locally frequent long before it is globally frequent,
+/// and dropping it then would lose it forever.
+///
+/// Mining the suffix works pre- and post-compaction alike: the suffix is
+/// a `Slice` of the full view, and slices walk the base/delta segment
+/// lists transparently. Results and counters are bit-identical whatever
+/// the compaction policy (the streaming differential harness pins this).
+///
+/// Only expected-support tasks are supported — the same additivity
+/// restriction as `ShardedMiner`.
+///
+/// **Batch sizing.** The per-shard threshold is min_esup * |batch|;
+/// when that drops below ~1 expected occurrence, *every* itemset a
+/// transaction contains is locally frequent and the candidate pool
+/// explodes combinatorially — the classic SON degenerate regime, shared
+/// with very small `ShardedMiner` shards. Keep batches large enough
+/// that min_esup * batch_size stays comfortably above 1 (a few
+/// occurrences); the recount then dominates and stays linear in the
+/// pool.
+class DeltaMiner {
+ public:
+  /// Wraps `inner` (an expected-support miner; typically registry-made).
+  /// The stream starts empty; feed transactions through `MineNext`.
+  /// `num_threads` as in MinerOptions (0 = all hardware threads),
+  /// applied to the suffix mining and the recount.
+  DeltaMiner(std::unique_ptr<Miner> inner, ExpectedSupportParams params,
+             CompactionPolicy policy = {}, std::size_t num_threads = 1);
+
+  /// "Delta(<inner name>)".
+  std::string_view name() const { return name_; }
+
+  /// Appends `batch` to the stream and returns the exact mining result
+  /// over every transaction appended so far. An empty batch re-mines the
+  /// current state (recount only).
+  ///
+  /// An inner-miner error *poisons* the stream: the failing batch is
+  /// already appended but its suffix shard was never mined, so rather
+  /// than let a retry of the same batch double-append (and silently
+  /// double-count) it, every subsequent call returns the original
+  /// error. Build a fresh DeltaMiner to recover. (Parameter validation
+  /// and task-support errors happen before the append and do not
+  /// poison.)
+  Result<MiningResult> MineNext(std::span<const Transaction> batch);
+
+  /// Read-only storage access. Mutation stays behind MineNext (and the
+  /// Compact forwarder below): appending to the view directly would
+  /// bypass the suffix-shard bookkeeping and silently break exactness.
+  const StreamingFlatView& view() const { return view_; }
+
+  /// Forces a compaction between batches — a layout change only, never
+  /// a result change (the differential harness pins this).
+  void Compact() { view_.Compact(); }
+
+  /// Suffix shards mined so far (== MineNext calls with a non-empty
+  /// batch).
+  std::size_t shards_mined() const { return shards_mined_; }
+
+  /// Distinct shard-local frequent itemsets accumulated for recounting.
+  std::size_t candidate_pool_size() const { return pool_.size(); }
+
+ private:
+  std::unique_ptr<Miner> inner_;
+  ExpectedSupportParams params_;
+  std::string name_;
+  StreamingFlatView view_;
+  std::size_t num_threads_;
+  std::size_t mined_upto_ = 0;  ///< transactions covered by mined shards
+  std::size_t shards_mined_ = 0;
+  Status poisoned_ = Status::OK();  ///< sticky inner-miner failure
+  std::unordered_set<Itemset, ItemsetHash> pool_;
+};
+
+/// Builds a `DeltaMiner` around a registry algorithm — the streaming
+/// entry point behind the `Miner` facade: any registered expected-support
+/// algorithm can serve as the shard miner. NotFound for unregistered
+/// names, InvalidArgument for non-expected-support algorithms.
+Result<std::unique_ptr<DeltaMiner>> MakeDeltaMiner(
+    std::string_view algorithm, const ExpectedSupportParams& params,
+    const MinerOptions& options = {}, CompactionPolicy policy = {});
+
+}  // namespace ufim
+
+#endif  // UFIM_CORE_DELTA_MINER_H_

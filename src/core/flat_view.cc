@@ -1,64 +1,82 @@
 #include "core/flat_view.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/math_util.h"
 
 namespace ufim {
 
-FlatView::FlatView(const UncertainDatabase& db) {
-  auto s = std::make_shared<Storage>();
-  s->num_items = db.num_items();
-  s->full_size = db.size();
+void FlatView::BuildStorage(const UncertainDatabase& db, Storage& s) {
+  s.num_items = db.num_items();
+  s.full_size = db.size();
+  s.base_size = db.size();
 
   // Pass 1: sizes. Horizontal offsets directly; vertical postings counted
   // per item so both CSR arrays are filled without reallocation.
   std::size_t total_units = 0;
-  s->txn_offsets.reserve(db.size() + 1);
-  s->txn_offsets.push_back(0);
-  std::vector<std::size_t> item_counts(s->num_items, 0);
+  s.txn_offsets.reserve(db.size() + 1);
+  s.txn_offsets.push_back(0);
+  std::vector<std::size_t> item_counts(s.num_items, 0);
   for (const Transaction& t : db) {
     total_units += t.size();
-    s->txn_offsets.push_back(total_units);
+    s.txn_offsets.push_back(total_units);
     for (const ProbItem& u : t) ++item_counts[u.item];
   }
 
-  s->units.reserve(total_units);
-  s->item_offsets.assign(s->num_items + 1, 0);
-  for (std::size_t i = 0; i < s->num_items; ++i) {
-    s->item_offsets[i + 1] = s->item_offsets[i] + item_counts[i];
+  s.units.reserve(total_units);
+  s.item_offsets.assign(s.num_items + 1, 0);
+  for (std::size_t i = 0; i < s.num_items; ++i) {
+    s.item_offsets[i + 1] = s.item_offsets[i] + item_counts[i];
   }
-  s->posting_tids.resize(total_units);
-  s->posting_probs.resize(total_units);
-  s->item_esup.assign(s->num_items, 0.0);
-  s->item_sq_sum.assign(s->num_items, 0.0);
+  s.posting_tids.resize(total_units);
+  s.posting_probs.resize(total_units);
+  s.item_esup.assign(s.num_items, 0.0);
+  s.item_sq_sum.assign(s.num_items, 0.0);
+  s.item_esup_acc.assign(s.num_items, KahanSum());
 
   // Pass 2: fill. Transactions are visited in ascending tid order, so
-  // each item's postings come out tid-sorted by construction.
-  std::vector<std::size_t> fill(s->item_offsets.begin(),
-                                s->item_offsets.end() - 1);
-  std::vector<KahanSum> esup(s->num_items);
+  // each item's postings come out tid-sorted by construction. The Kahan
+  // accumulators are retained in the storage: a streaming view continues
+  // them across appends, which keeps the cached moments bit-identical to
+  // a from-scratch rebuild at every point of the stream.
+  std::vector<std::size_t> fill(s.item_offsets.begin(),
+                                s.item_offsets.end() - 1);
   for (std::size_t ti = 0; ti < db.size(); ++ti) {
     for (const ProbItem& u : db[ti]) {
-      s->units.push_back(u);
+      s.units.push_back(u);
       const std::size_t pos = fill[u.item]++;
-      s->posting_tids[pos] = static_cast<TransactionId>(ti);
-      s->posting_probs[pos] = u.prob;
-      esup[u.item].Add(u.prob);
-      s->item_sq_sum[u.item] += u.prob * u.prob;
+      s.posting_tids[pos] = static_cast<TransactionId>(ti);
+      s.posting_probs[pos] = u.prob;
+      s.item_esup_acc[u.item].Add(u.prob);
+      s.item_sq_sum[u.item] += u.prob * u.prob;
     }
   }
-  for (std::size_t i = 0; i < s->num_items; ++i) {
-    s->item_esup[i] = esup[i].value();
+  for (std::size_t i = 0; i < s.num_items; ++i) {
+    s.item_esup[i] = s.item_esup_acc[i].value();
   }
 
+  // Empty delta region (appended to by StreamingFlatView only).
+  s.delta_txn_offsets.assign(1, 0);
+}
+
+FlatView::FlatView(const UncertainDatabase& db) {
+  auto s = std::make_shared<Storage>();
+  BuildStorage(db, *s);
   begin_ = 0;
   end_ = s->full_size;
   storage_ = std::move(s);
 }
 
+std::size_t FlatView::UnitsBefore(std::size_t t) const {
+  const Storage& s = *storage_;
+  if (t <= s.base_size) return s.txn_offsets[t];
+  return s.units.size() + s.delta_txn_offsets[t - s.base_size];
+}
+
 std::size_t FlatView::num_units() const {
-  return storage_->txn_offsets[end_] - storage_->txn_offsets[begin_];
+  return UnitsBefore(end_) - UnitsBefore(begin_);
 }
 
 double FlatView::Probability(TransactionId t, ItemId item) const {
@@ -70,60 +88,139 @@ double FlatView::Probability(TransactionId t, ItemId item) const {
   return it->prob;
 }
 
-std::pair<std::size_t, std::size_t> FlatView::PostingRange(ItemId item) const {
+SegmentedPostings FlatView::PostingSegments(ItemId item) const {
   const Storage& s = *storage_;
-  if (item >= s.num_items) return {0, 0};
-  std::size_t begin = s.item_offsets[item];
-  std::size_t end = s.item_offsets[item + 1];
-  // Sliced view: cut where the ascending tids cross each slice boundary.
-  if (begin_ > 0) {
-    begin = static_cast<std::size_t>(
-        std::lower_bound(s.posting_tids.begin() + begin,
-                         s.posting_tids.begin() + end,
-                         static_cast<TransactionId>(begin_)) -
-        s.posting_tids.begin());
+  SegmentedPostings out;
+
+  // Base segment: the item's base CSR range, cut to the viewed tids
+  // [begin_, min(end_, base_size)).
+  if (item < s.base_num_items() && begin_ < s.base_size) {
+    std::size_t lo = s.item_offsets[item];
+    std::size_t hi = s.item_offsets[item + 1];
+    if (begin_ > 0) {
+      lo = static_cast<std::size_t>(
+          std::lower_bound(s.posting_tids.begin() + lo,
+                           s.posting_tids.begin() + hi,
+                           static_cast<TransactionId>(begin_)) -
+          s.posting_tids.begin());
+    }
+    if (end_ < s.base_size) {
+      hi = static_cast<std::size_t>(
+          std::lower_bound(s.posting_tids.begin() + lo,
+                           s.posting_tids.begin() + hi,
+                           static_cast<TransactionId>(end_)) -
+          s.posting_tids.begin());
+    }
+    if (hi > lo) {
+      out.seg[out.count++] = PostingSegment{s.posting_tids.data() + lo,
+                                            s.posting_probs.data() + lo,
+                                            hi - lo};
+    }
   }
-  if (end_ < s.full_size) {
-    end = static_cast<std::size_t>(
-        std::lower_bound(s.posting_tids.begin() + begin,
-                         s.posting_tids.begin() + end,
-                         static_cast<TransactionId>(end_)) -
-        s.posting_tids.begin());
+
+  // Delta segment: the item's tail postings, cut to the viewed tids
+  // [max(begin_, base_size), end_).
+  if (end_ > s.base_size && item < s.delta_tids.size() &&
+      !s.delta_tids[item].empty()) {
+    const std::vector<TransactionId>& dt = s.delta_tids[item];
+    std::size_t lo = 0;
+    std::size_t hi = dt.size();
+    if (begin_ > s.base_size) {
+      lo = static_cast<std::size_t>(
+          std::lower_bound(dt.begin(), dt.end(),
+                           static_cast<TransactionId>(begin_)) -
+          dt.begin());
+    }
+    if (end_ < s.full_size) {
+      hi = static_cast<std::size_t>(
+          std::lower_bound(dt.begin() + lo, dt.end(),
+                           static_cast<TransactionId>(end_)) -
+          dt.begin());
+    }
+    if (hi > lo) {
+      out.seg[out.count++] = PostingSegment{
+          dt.data() + lo, s.delta_probs[item].data() + lo, hi - lo};
+    }
   }
-  return {begin, end};
+
+  out.total = (out.count > 0 ? out.seg[0].len : 0) +
+              (out.count > 1 ? out.seg[1].len : 0);
+  return out;
 }
 
+namespace {
+
+/// Loud in every build (not just -DNDEBUG-off): returning only the base
+/// segment here would silently drop the delta postings and corrupt
+/// every downstream support.
+[[noreturn]] void DieOnSeamSpanningPostings() {
+  std::fprintf(stderr,
+               "FlatView::PostingTids/PostingProbs: postings span the "
+               "base/delta seam; use PostingSegments\n");
+  std::abort();
+}
+
+}  // namespace
+
 std::span<const TransactionId> FlatView::PostingTids(ItemId item) const {
-  auto [begin, end] = PostingRange(item);
-  return {storage_->posting_tids.data() + begin, end - begin};
+  const SegmentedPostings p = PostingSegments(item);
+  if (p.count == 0) return {};
+  if (p.count > 1) DieOnSeamSpanningPostings();
+  return {p.seg[0].tids, p.seg[0].len};
 }
 
 std::span<const double> FlatView::PostingProbs(ItemId item) const {
-  auto [begin, end] = PostingRange(item);
-  return {storage_->posting_probs.data() + begin, end - begin};
+  const SegmentedPostings p = PostingSegments(item);
+  if (p.count == 0) return {};
+  if (p.count > 1) DieOnSeamSpanningPostings();
+  return {p.seg[0].probs, p.seg[0].len};
 }
 
 void FlatView::CopyPostings(ItemId item, std::vector<TransactionId>& tids,
                             std::vector<double>& probs) const {
-  const std::span<const TransactionId> t = PostingTids(item);
-  const std::span<const double> p = PostingProbs(item);
-  tids.assign(t.begin(), t.end());
-  probs.assign(p.begin(), p.end());
+  const SegmentedPostings p = PostingSegments(item);
+  tids.clear();
+  probs.clear();
+  tids.reserve(p.total);
+  probs.reserve(p.total);
+  for (std::size_t si = 0; si < p.count; ++si) {
+    tids.insert(tids.end(), p.seg[si].tids, p.seg[si].tids + p.seg[si].len);
+    probs.insert(probs.end(), p.seg[si].probs, p.seg[si].probs + p.seg[si].len);
+  }
+}
+
+void FlatView::AppendPostingProbs(ItemId item,
+                                  std::vector<double>& probs) const {
+  const SegmentedPostings p = PostingSegments(item);
+  probs.reserve(probs.size() + p.total);
+  for (std::size_t si = 0; si < p.count; ++si) {
+    probs.insert(probs.end(), p.seg[si].probs, p.seg[si].probs + p.seg[si].len);
+  }
 }
 
 double FlatView::ItemExpectedSupport(ItemId item) const {
   if (item >= storage_->num_items) return 0.0;
   if (IsFullView()) return storage_->item_esup[item];
+  // Segments in tid order give the same Add sequence a contiguous
+  // rebuild of the slice would produce.
+  const SegmentedPostings p = PostingSegments(item);
   KahanSum sum;
-  for (double p : PostingProbs(item)) sum.Add(p);
+  for (std::size_t si = 0; si < p.count; ++si) {
+    for (std::size_t k = 0; k < p.seg[si].len; ++k) sum.Add(p.seg[si].probs[k]);
+  }
   return sum.value();
 }
 
 double FlatView::ItemSquaredSum(ItemId item) const {
   if (item >= storage_->num_items) return 0.0;
   if (IsFullView()) return storage_->item_sq_sum[item];
+  const SegmentedPostings p = PostingSegments(item);
   double sum = 0.0;
-  for (double p : PostingProbs(item)) sum += p * p;
+  for (std::size_t si = 0; si < p.count; ++si) {
+    for (std::size_t k = 0; k < p.seg[si].len; ++k) {
+      sum += p.seg[si].probs[k] * p.seg[si].probs[k];
+    }
+  }
   return sum;
 }
 
@@ -144,17 +241,80 @@ std::vector<double> FlatView::ContainmentProbabilities(
   return out;
 }
 
+/// Folds one member side into the survivor columns: intersects the
+/// `n` ascending survivor tids in `src_t` against the member's remaining
+/// segments and writes the matches (tids and running products) to the
+/// front of `st` / `sp`. Segments are tid-partitioned, so the survivor
+/// range splits at the next segment's first tid and each piece
+/// intersects one contiguous segment — the match set, its order, and the
+/// per-tid multiplication are exactly those of a contiguous member
+/// array, whatever the physical layout.
+///
+/// In-place operation (`src_t == st`) is safe: matches within a piece
+/// ascend, pieces are consumed left to right, and the write cursor never
+/// passes the read cursor.
+std::size_t FlatView::FoldMember(const TransactionId* src_t,
+                                 const double* src_p, std::size_t n,
+                                 const JoinScratch::Side& m, TransactionId* st,
+                                 double* sp, std::uint32_t* ma,
+                                 std::uint32_t* mb) {
+  std::size_t out = 0;
+  std::size_t doff = 0;
+  for (std::size_t si = m.cur; si < m.postings.count && doff < n; ++si) {
+    const PostingSegment& seg = m.postings.seg[si];
+    const std::size_t mpos = (si == m.cur) ? m.pos : 0;
+    if (mpos >= seg.len) continue;
+    // Survivor tids below the next segment's first tid can only match
+    // this segment (later survivors only later segments).
+    std::size_t dsub = n - doff;
+    if (si + 1 < m.postings.count) {
+      dsub = static_cast<std::size_t>(
+          std::lower_bound(src_t + doff, src_t + n,
+                           m.postings.seg[si + 1].tids[0]) -
+          (src_t + doff));
+    }
+    if (dsub == 0) continue;
+    const std::size_t k = IntersectIndices(src_t + doff, dsub, seg.tids + mpos,
+                                           seg.len - mpos, ma, mb);
+    const double* const mp = seg.probs + mpos;
+    for (std::size_t j = 0; j < k; ++j) {
+      st[out + j] = src_t[doff + ma[j]];
+      sp[out + j] = src_p[doff + ma[j]] * mp[mb[j]];
+    }
+    out += k;
+    doff += dsub;
+  }
+  return out;
+}
+
+/// Advances a side's segment cursor past every posting with tid <=
+/// `last_tid` (future driver tids are strictly greater, so those
+/// postings can never match again).
+void FlatView::AdvanceSide(JoinScratch::Side& m, TransactionId last_tid) {
+  while (m.cur < m.postings.count) {
+    const PostingSegment& seg = m.postings.seg[m.cur];
+    const std::size_t np = static_cast<std::size_t>(
+        std::upper_bound(seg.tids + m.pos, seg.tids + seg.len, last_tid) -
+        seg.tids);
+    m.pos = np;
+    if (np < seg.len) return;
+    ++m.cur;
+    m.pos = 0;
+  }
+}
+
 bool FlatView::BeginJoin(const Itemset& itemset, JoinScratch& s) const {
   const std::vector<ItemId>& items = itemset.items();
   if (items.empty()) return false;
 
-  // Driver = the shortest member posting list (first minimal index, the
-  // historical tie-break — results depend on it through the product
-  // order, so it must stay stable).
+  // Driver = the shortest member posting list by *logical* length (first
+  // minimal index, the historical tie-break — results depend on it
+  // through the product order, so it must stay stable and must not see
+  // the physical segmentation).
   std::size_t driver = 0;
-  std::size_t shortest = PostingTids(items[0]).size();
+  std::size_t shortest = PostingCount(items[0]);
   for (std::size_t k = 1; k < items.size(); ++k) {
-    const std::size_t len = PostingTids(items[k]).size();
+    const std::size_t len = PostingCount(items[k]);
     if (len < shortest) {
       shortest = len;
       driver = k;
@@ -165,14 +325,12 @@ bool FlatView::BeginJoin(const Itemset& itemset, JoinScratch& s) const {
   s.members_.clear();
   for (std::size_t k = 0; k < items.size(); ++k) {
     if (k == driver) continue;
-    const std::span<const TransactionId> tids = PostingTids(items[k]);
-    s.members_.push_back(JoinScratch::Member{
-        tids.data(), PostingProbs(items[k]).data(), tids.size(), 0});
+    JoinScratch::Side side;
+    side.postings = PostingSegments(items[k]);
+    s.members_.push_back(side);
   }
-  const std::span<const TransactionId> dtids = PostingTids(items[driver]);
-  s.driver_tids_ = dtids.data();
-  s.driver_probs_ = PostingProbs(items[driver]).data();
-  s.driver_len_ = dtids.size();
+  s.driver_postings_ = PostingSegments(items[driver]);
+  s.driver_len_ = shortest;
   s.driver_pos_ = 0;
   s.EnsureCapacity(kJoinBatchTids);
   return true;
@@ -187,56 +345,61 @@ bool FlatView::NextJoinBatch(JoinScratch& s, JoinBatch& batch) const {
   batch.driver_done = s.driver_pos_;
   batch.driver_len = s.driver_len_;
 
+  // Locate the batch's driver postings. A batch inside one segment is
+  // used zero-copy; a batch straddling the base/delta seam (at most one
+  // per join) is materialized into the survivor columns first — either
+  // way the downstream folds see one contiguous ascending tid run, so
+  // the batch structure is identical to a contiguous rebuild's.
+  TransactionId* const st = s.tids_.data();
+  double* const sp = s.prods_.data();
+  const std::size_t b0 =
+      s.driver_postings_.count > 0 ? s.driver_postings_.seg[0].len : 0;
+  const TransactionId* src_t;
+  const double* src_p;
+  if (lo + len <= b0 || lo >= b0) {
+    const bool in_delta = lo >= b0;
+    const PostingSegment& seg = s.driver_postings_.seg[in_delta ? 1 : 0];
+    const std::size_t off = in_delta ? lo - b0 : lo;
+    src_t = seg.tids + off;
+    src_p = seg.probs + off;
+  } else {
+    const PostingSegment& a = s.driver_postings_.seg[0];
+    const PostingSegment& b = s.driver_postings_.seg[1];
+    const std::size_t head = b0 - lo;
+    std::copy_n(a.tids + lo, head, st);
+    std::copy_n(a.probs + lo, head, sp);
+    std::copy_n(b.tids, len - head, st + head);
+    std::copy_n(b.probs, len - head, sp + head);
+    src_t = st;
+    src_p = sp;
+  }
+
   if (s.members_.empty()) {
-    // Single-item join: the batch is the driver slice itself, no copy.
-    batch.tids = {s.driver_tids_ + lo, len};
-    batch.prods = {s.driver_probs_ + lo, len};
+    // Single-item join: the batch is the driver slice itself, no copy
+    // (beyond the at-most-once seam materialization above).
+    batch.tids = {src_t, len};
+    batch.prods = {src_p, len};
     return true;
   }
 
-  // Phase 1+2 per member, in fixed member order: intersect the current
-  // survivor tids against the member's postings, then gather the
-  // member's probabilities into the running products. The first member
-  // reads from the driver arrays into the scratch columns; subsequent
-  // members compact in place (match positions ascend, so slot k is
-  // written from a slot >= k — forward-safe).
-  TransactionId* const st = s.tids_.data();
-  double* const sp = s.prods_.data();
-  const std::uint32_t* const ma = s.match_a_.data();
-  const std::uint32_t* const mb = s.match_b_.data();
-  std::size_t survivors;
-  {
-    JoinScratch::Member& m = s.members_[0];
-    survivors = IntersectIndices(s.driver_tids_ + lo, len, m.tids + m.pos,
-                                 m.len - m.pos, s.match_a_.data(),
-                                 s.match_b_.data());
-    const double* const mp = m.probs + m.pos;
-    for (std::size_t k = 0; k < survivors; ++k) {
-      st[k] = s.driver_tids_[lo + ma[k]];
-      sp[k] = s.driver_probs_[lo + ma[k]] * mp[mb[k]];
-    }
-  }
-  for (std::size_t mi = 1; mi < s.members_.size() && survivors > 0; ++mi) {
-    JoinScratch::Member& m = s.members_[mi];
-    const std::size_t n = IntersectIndices(st, survivors, m.tids + m.pos,
-                                           m.len - m.pos, s.match_a_.data(),
-                                           s.match_b_.data());
-    const double* const mp = m.probs + m.pos;
-    for (std::size_t k = 0; k < n; ++k) {
-      st[k] = st[ma[k]];
-      sp[k] = sp[ma[k]] * mp[mb[k]];
-    }
-    survivors = n;
+  const TransactionId last_tid = src_t[len - 1];
+
+  // Fold members in fixed member order: intersect the current survivor
+  // tids against the member's segments, then multiply the member's
+  // probabilities into the running products. The first fold reads from
+  // the driver arrays into the scratch columns; subsequent folds compact
+  // in place.
+  std::size_t survivors = len;
+  for (JoinScratch::Side& m : s.members_) {
+    survivors = FoldMember(src_t, src_p, survivors, m, st, sp,
+                           s.match_a_.data(), s.match_b_.data());
+    src_t = st;
+    src_p = sp;
+    if (survivors == 0) break;
   }
 
-  // Advance every member past this batch's driver range: future driver
-  // tids are strictly greater, so postings <= the batch's last tid can
-  // never match again.
-  const TransactionId last_tid = s.driver_tids_[lo + len - 1];
-  for (JoinScratch::Member& m : s.members_) {
-    m.pos = static_cast<std::size_t>(
-        std::upper_bound(m.tids + m.pos, m.tids + m.len, last_tid) - m.tids);
-  }
+  // Advance every member past this batch's driver range.
+  for (JoinScratch::Side& m : s.members_) AdvanceSide(m, last_tid);
 
   batch.tids = {st, survivors};
   batch.prods = {sp, survivors};
@@ -246,16 +409,35 @@ bool FlatView::NextJoinBatch(JoinScratch& s, JoinBatch& batch) const {
 FlatView::ListMatches FlatView::JoinWithPostings(
     std::span<const TransactionId> seq_tids, ItemId item,
     JoinScratch& s) const {
-  const std::span<const TransactionId> tids = PostingTids(item);
-  const std::span<const double> probs = PostingProbs(item);
-  s.EnsureCapacity(std::min(seq_tids.size(), tids.size()));
-  const std::size_t n =
-      IntersectIndices(seq_tids.data(), seq_tids.size(), tids.data(),
-                       tids.size(), s.match_a_.data(), s.match_b_.data());
-  for (std::size_t k = 0; k < n; ++k) {
-    s.prods_[k] = probs[s.match_b_[k]];
+  const SegmentedPostings p = PostingSegments(item);
+  s.EnsureCapacity(std::min(seq_tids.size(), p.total));
+  std::uint32_t* const ma = s.match_a_.data();
+  std::uint32_t* const mb = s.match_b_.data();
+  std::size_t total = 0;
+  std::size_t doff = 0;
+  for (std::size_t si = 0; si < p.count && doff < seq_tids.size(); ++si) {
+    const PostingSegment& seg = p.seg[si];
+    // Sequence positions below the next segment's first tid can only
+    // match this segment (tid-partitioned segments, as in FoldMember).
+    std::size_t dsub = seq_tids.size() - doff;
+    if (si + 1 < p.count) {
+      dsub = static_cast<std::size_t>(
+          std::lower_bound(seq_tids.begin() + doff, seq_tids.end(),
+                           p.seg[si + 1].tids[0]) -
+          (seq_tids.begin() + doff));
+    }
+    if (dsub == 0) continue;
+    const std::size_t k =
+        IntersectIndices(seq_tids.data() + doff, dsub, seg.tids, seg.len,
+                         ma + total, mb + total);
+    for (std::size_t j = 0; j < k; ++j) {
+      ma[total + j] += static_cast<std::uint32_t>(doff);
+      s.prods_[total + j] = seg.probs[mb[total + j]];
+    }
+    total += k;
+    doff += dsub;
   }
-  return ListMatches{{s.match_a_.data(), n}, {s.prods_.data(), n}};
+  return ListMatches{{ma, total}, {s.prods_.data(), total}};
 }
 
 FlatView::RankProjection FlatView::ProjectOntoRanks(
@@ -268,8 +450,11 @@ FlatView::RankProjection FlatView::ProjectOntoRanks(
   // Counting pass (counts shifted by one so the in-place prefix sum
   // below yields offsets directly).
   for (const ItemId item : rank_to_item) {
-    for (const TransactionId t : PostingTids(item)) {
-      ++out.txn_offsets[t - first + 1];
+    const SegmentedPostings p = PostingSegments(item);
+    for (std::size_t si = 0; si < p.count; ++si) {
+      for (std::size_t k = 0; k < p.seg[si].len; ++k) {
+        ++out.txn_offsets[p.seg[si].tids[k] - first + 1];
+      }
     }
   }
   for (std::size_t t = 0; t < n_txn; ++t) {
@@ -282,10 +467,12 @@ FlatView::RankProjection FlatView::ProjectOntoRanks(
   std::vector<std::uint32_t> fill(out.txn_offsets.begin(),
                                   out.txn_offsets.end() - 1);
   for (std::uint32_t r = 0; r < rank_to_item.size(); ++r) {
-    const std::span<const TransactionId> tids = PostingTids(rank_to_item[r]);
-    const std::span<const double> probs = PostingProbs(rank_to_item[r]);
-    for (std::size_t k = 0; k < tids.size(); ++k) {
-      out.units[fill[tids[k] - first]++] = RankUnit{r, probs[k]};
+    const SegmentedPostings p = PostingSegments(rank_to_item[r]);
+    for (std::size_t si = 0; si < p.count; ++si) {
+      const PostingSegment& seg = p.seg[si];
+      for (std::size_t k = 0; k < seg.len; ++k) {
+        out.units[fill[seg.tids[k] - first]++] = RankUnit{r, seg.probs[k]};
+      }
     }
   }
   return out;

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "common/math_util.h"
 #include "core/itemset.h"
 #include "core/simd_intersect.h"
 #include "core/types.h"
@@ -16,9 +17,31 @@
 namespace ufim {
 
 class FlatView;
+class StreamingFlatView;
+
+/// One contiguous run of an item's postings: parallel (tid, probability)
+/// columns, ascending by tid. An item's postings within a view are a
+/// short *list* of such segments — one for a fully compacted view, two
+/// when a streaming delta tail is present (see FlatView below) — whose
+/// concatenation is the item's tid-sorted posting list.
+struct PostingSegment {
+  const TransactionId* tids = nullptr;
+  const double* probs = nullptr;
+  std::size_t len = 0;
+};
+
+/// An item's postings within a view, as at most two non-empty segments
+/// (base region first, then the streaming delta tail). The segments are
+/// tid-partitioned: every tid of `seg[0]` precedes every tid of
+/// `seg[1]`, so walking them in order yields the ascending posting list.
+struct SegmentedPostings {
+  PostingSegment seg[2];
+  std::size_t count = 0;  ///< populated entries in seg, 0..2
+  std::size_t total = 0;  ///< postings across the populated segments
+};
 
 /// Reusable scratch for the batch posting-join kernels: the member
-/// cursor table, the intersection index buffers, and the survivor
+/// segment cursors, the intersection index buffers, and the survivor
 /// (tid, product) columns. One instance per worker; buffers grow to the
 /// largest join seen and are reused, so the steady-state hot loop
 /// allocates nothing (this is where the old per-call `cursors` vector
@@ -38,11 +61,13 @@ class JoinScratch {
  private:
   friend class FlatView;
 
-  struct Member {
-    const TransactionId* tids = nullptr;
-    const double* probs = nullptr;
-    std::size_t len = 0;
-    std::size_t pos = 0;  ///< consumed prefix, advanced batch by batch
+  /// One side of the join: a logical posting list as its physical
+  /// segments, with a consumption cursor (current segment + offset
+  /// within it) advanced batch by batch.
+  struct Side {
+    SegmentedPostings postings;
+    std::size_t cur = 0;  ///< current segment index
+    std::size_t pos = 0;  ///< consumed prefix within segment `cur`
   };
 
   void EnsureCapacity(std::size_t n) {
@@ -54,12 +79,13 @@ class JoinScratch {
     }
   }
 
-  // In-flight join state (set by FlatView::BeginJoin).
-  const TransactionId* driver_tids_ = nullptr;
-  const double* driver_probs_ = nullptr;
-  std::size_t driver_len_ = 0;
-  std::size_t driver_pos_ = 0;
-  std::vector<Member> members_;
+  // In-flight join state (set by FlatView::BeginJoin). The driver is
+  // consumed by *logical* position (driver_pos_), not a per-segment
+  // cursor: batches address its segments directly by offset.
+  SegmentedPostings driver_postings_;
+  std::size_t driver_len_ = 0;  ///< total driver postings, across segments
+  std::size_t driver_pos_ = 0;  ///< consumed logical prefix
+  std::vector<Side> members_;
 
   // Batch buffers: match positions from the intersect kernel plus the
   // survivor columns compacted in place as members fold in.
@@ -80,8 +106,8 @@ struct JoinBatch {
   std::size_t driver_len = 0;   ///< total driver postings
 };
 
-/// Immutable columnar index over an `UncertainDatabase`, built once and
-/// shared by every miner.
+/// Columnar index over an `UncertainDatabase`, built once and shared by
+/// every miner.
 ///
 /// Two layouts over the same data, both in contiguous arrays:
 ///
@@ -98,12 +124,25 @@ struct JoinBatch {
 /// Per-item expected supports and Σp² are cached at build time, so the
 /// level-1 pass of every miner is O(num_items) array reads.
 ///
+/// **Streaming delta.** A view built by `FlatView(db)` is fully
+/// contiguous. A view obtained from a `StreamingFlatView` may carry a
+/// *delta tail*: transactions appended after the last compaction live in
+/// per-item tail segments (and a separate horizontal CSR) instead of the
+/// base arrays. Appended tids are strictly greater than every base tid,
+/// so an item's logical posting list is the base segment followed by the
+/// delta segment — `PostingSegments` exposes exactly that, and every
+/// accessor and join kernel walks the segment list transparently, with
+/// the *same* logical batch boundaries and float evaluation order as a
+/// contiguous rebuild. Results are therefore bit-identical whether the
+/// data was appended or rebuilt from scratch (the streaming differential
+/// harness enforces this).
+///
 /// A view is cheap to copy: copies share the underlying arrays.
 /// `Slice(lo, hi)` returns an O(1) view of a contiguous transaction
 /// range (`Prefix(n)` is `Slice(0, n)`) — the access pattern of the
 /// scalability sweeps and of per-shard parallel mining; vertical
 /// accessors of a sliced view locate their cuts by binary search on the
-/// tid arrays.
+/// tid arrays. Slices may span the base/delta seam.
 ///
 /// Transaction ids are *global* throughout: `TransactionUnits` and
 /// `Probability` take ids of the source database, and posting arrays
@@ -135,10 +174,16 @@ class FlatView {
   /// (item, prob) records because every horizontal consumer — the probe
   /// sweep, the UFP-tree and UH-Struct builders — reads both fields of a
   /// unit together; the vertical postings below are the split layout.
+  /// Transparently reads the delta region for appended transactions.
   std::span<const ProbItem> TransactionUnits(TransactionId t) const {
     const Storage& s = *storage_;
-    return {s.units.data() + s.txn_offsets[t],
-            s.txn_offsets[t + 1] - s.txn_offsets[t]};
+    if (t < s.base_size) {
+      return {s.units.data() + s.txn_offsets[t],
+              s.txn_offsets[t + 1] - s.txn_offsets[t]};
+    }
+    const std::size_t d = t - s.base_size;
+    return {s.delta_units.data() + s.delta_txn_offsets[d],
+            s.delta_txn_offsets[d + 1] - s.delta_txn_offsets[d]};
   }
 
   /// Existential probability of `item` in transaction `t`; 0 if absent.
@@ -147,18 +192,40 @@ class FlatView {
 
   // --- Vertical layout ---------------------------------------------------
 
-  /// Transactions containing `item`, ascending. Items >= num_items() have
-  /// empty postings.
+  /// `item`'s postings within this view as tid-partitioned segments
+  /// (base region first, then the delta tail) — the general accessor
+  /// that every posting consumer walks. Views without a delta (all
+  /// views over `FlatView(db)` storage, and streaming views after a
+  /// compaction) produce at most one segment. Items >= num_items() have
+  /// no segments.
+  SegmentedPostings PostingSegments(ItemId item) const;
+
+  /// Total postings of `item` in this view, across segments.
+  std::size_t PostingCount(ItemId item) const {
+    return PostingSegments(item).total;
+  }
+
+  /// Transactions containing `item`, ascending, as one contiguous span.
+  /// Precondition: `item`'s postings in this view occupy a single
+  /// segment (always true without a streaming delta); a seam-spanning
+  /// call aborts in every build rather than silently dropping the delta
+  /// segment. Callers that must handle streaming views use
+  /// `PostingSegments`.
   std::span<const TransactionId> PostingTids(ItemId item) const;
 
-  /// Probabilities parallel to `PostingTids(item)`.
+  /// Probabilities parallel to `PostingTids(item)`; same precondition.
   std::span<const double> PostingProbs(ItemId item) const;
 
   /// Copies `item`'s postings into caller-owned vectors — the seed
   /// containment of a single-item prefix in the DFS miners (brute force,
-  /// top-k). Existing contents are replaced.
+  /// top-k). Existing contents are replaced. Segment-aware.
   void CopyPostings(ItemId item, std::vector<TransactionId>& tids,
                     std::vector<double>& probs) const;
+
+  /// Probability column only (the level-1 containment vector of the
+  /// probabilistic apriori loop). Appends to `probs` in tid order,
+  /// segment-aware, keeping the seam-walk knowledge inside the view.
+  void AppendPostingProbs(ItemId item, std::vector<double>& probs) const;
 
   // --- Cached item moments ----------------------------------------------
 
@@ -186,13 +253,16 @@ class FlatView {
   static constexpr std::size_t kJoinBatchTids = 1024;
 
   /// The shared posting merge-join kernel, batch form. Drives from the
-  /// shortest member posting list, `kJoinBatchTids` postings at a time;
-  /// per batch it (1) intersects the driver tids against each remaining
-  /// member's postings through `IntersectIndices` (galloping / SIMD per
-  /// the runtime dispatch), compacting the survivor list, and (2)
-  /// gathers member probabilities into the running products in fixed
+  /// shortest member posting list, `kJoinBatchTids` *logical* postings
+  /// at a time (a batch may straddle the base/delta seam — the batch
+  /// boundaries depend only on the driver length, never on the physical
+  /// layout); per batch it (1) intersects the driver tids against each
+  /// remaining member's segments through `IntersectIndices` (galloping /
+  /// SIMD per the runtime dispatch), compacting the survivor list, and
+  /// (2) folds member probabilities into the running products in fixed
   /// member order — so the float evaluation order, and with it every
-  /// result bit, is independent of the kernel that ran the set logic.
+  /// result bit, is independent of the kernel that ran the set logic and
+  /// of whether the postings are contiguous or segmented.
   ///
   /// `sink(const JoinBatch&)` is called once per batch (matches in
   /// ascending tid order across batches) and returns false to abandon
@@ -200,9 +270,9 @@ class FlatView {
   /// unseen driver posting contributes at most 1 to expected support.
   ///
   /// Every posting-join consumer (candidate evaluation, containment
-  /// queries, the sharded recount, the brute-force and top-k searches)
-  /// routes through this or `JoinWithPostings` so join semantics can
-  /// never diverge per miner.
+  /// queries, the sharded/streaming recounts, the brute-force and top-k
+  /// searches) routes through this or `JoinWithPostings` so join
+  /// semantics can never diverge per miner.
   template <typename BatchSink>
   void JoinPostingsBatched(const Itemset& itemset, JoinScratch& scratch,
                            BatchSink&& sink) const {
@@ -223,8 +293,8 @@ class FlatView {
 
   /// The list×postings variant of the kernel: intersects an ascending
   /// tid sequence (typically a prefix itemset's containment) with
-  /// `item`'s postings in one vectorized pass and gathers the matching
-  /// posting probabilities.
+  /// `item`'s posting segments in one vectorized pass per segment and
+  /// gathers the matching posting probabilities.
   ListMatches JoinWithPostings(std::span<const TransactionId> seq_tids,
                                ItemId item, JoinScratch& scratch) const;
 
@@ -247,7 +317,7 @@ class FlatView {
 
   /// Projects the view onto `rank_to_item` (rank r ↦ rank_to_item[r]).
   /// Built vertically — a counting pass plus a fill pass over the kept
-  /// items' posting arrays in rank order — so it reads only the kept
+  /// items' posting segments in rank order — so it reads only the kept
   /// units and each row comes out rank-sorted with no per-row sort; the
   /// UFP-tree and UH-Struct builders consume this instead of filtering
   /// the horizontal layout row by row.
@@ -271,41 +341,77 @@ class FlatView {
   }
 
  private:
-  struct Storage {
-    std::size_t num_items = 0;
-    std::size_t full_size = 0;  ///< transactions in the source database
+  friend class StreamingFlatView;
 
-    // Horizontal CSR.
-    std::vector<std::size_t> txn_offsets;  ///< size full_size + 1
+  struct Storage {
+    std::size_t num_items = 0;  ///< one past the largest item id (base+delta)
+    std::size_t full_size = 0;  ///< transactions in the source database
+    std::size_t base_size = 0;  ///< transactions in the contiguous base
+
+    // Horizontal CSR over the base transactions [0, base_size).
+    std::vector<std::size_t> txn_offsets;  ///< size base_size + 1
     std::vector<ProbItem> units;
 
-    // Vertical CSR: postings of item i live in
+    // Vertical CSR (base): postings of item i live in
     // [item_offsets[i], item_offsets[i+1]) of the two arrays below,
-    // sorted by ascending tid.
-    std::vector<std::size_t> item_offsets;  ///< size num_items + 1
+    // sorted by ascending tid. Covers the *base* item universe only —
+    // items first seen in the delta have no base postings.
+    std::vector<std::size_t> item_offsets;
     std::vector<TransactionId> posting_tids;
     std::vector<double> posting_probs;
 
-    // Full-database per-item moments.
+    // Streaming delta: transactions [base_size, full_size), appended by
+    // StreamingFlatView and merged into the base by Compact(). The
+    // horizontal CSR mirrors the base one; vertical postings are
+    // per-item tail vectors (append-friendly, tid-sorted by arrival).
+    std::vector<std::size_t> delta_txn_offsets;  ///< size full_size-base_size+1
+    std::vector<ProbItem> delta_units;
+    std::vector<std::vector<TransactionId>> delta_tids;  ///< size num_items
+    std::vector<std::vector<double>> delta_probs;        ///< parallel
+
+    // Full-database per-item moments. The Kahan accumulators are the
+    // live state (streaming appends continue them so the cached value is
+    // bit-identical to a from-scratch rebuild's accumulation); item_esup
+    // holds their current values for branch-free reads.
     std::vector<double> item_esup;
     std::vector<double> item_sq_sum;
+    std::vector<KahanSum> item_esup_acc;
+
+    /// Items with base postings: item_offsets.size() - 1 (0 before any
+    /// build).
+    std::size_t base_num_items() const {
+      return item_offsets.empty() ? 0 : item_offsets.size() - 1;
+    }
   };
 
   FlatView(std::shared_ptr<const Storage> storage, std::size_t begin,
            std::size_t end)
       : storage_(std::move(storage)), begin_(begin), end_(end) {}
 
-  /// Postings of `item` cut to tids in [begin_, end_).
-  std::pair<std::size_t, std::size_t> PostingRange(ItemId item) const;
+  /// Builds `s` as the contiguous (no-delta) columnar image of `db`.
+  static void BuildStorage(const UncertainDatabase& db, Storage& s);
+
+  /// Folds one member side into the survivor columns (see flat_view.cc).
+  static std::size_t FoldMember(const TransactionId* src_t,
+                                const double* src_p, std::size_t n,
+                                const JoinScratch::Side& m, TransactionId* st,
+                                double* sp, std::uint32_t* ma,
+                                std::uint32_t* mb);
+
+  /// Advances a side's segment cursor past postings with tid <= last_tid.
+  static void AdvanceSide(JoinScratch::Side& m, TransactionId last_tid);
+
+  /// Units in transactions [0, t) of the storage (t <= full_size).
+  std::size_t UnitsBefore(std::size_t t) const;
 
   /// Sets up `scratch` for a batched join of `itemset` (driver
-  /// selection, member cursor table). False when the join is trivially
-  /// empty.
+  /// selection, member segment cursors). False when the join is
+  /// trivially empty.
   bool BeginJoin(const Itemset& itemset, JoinScratch& scratch) const;
 
   /// Runs one driver batch of a join started by `BeginJoin`: intersect
-  /// against each member, gather probabilities, advance member cursors.
-  /// False when the driver is exhausted.
+  /// against each member's segments, fold probabilities, advance member
+  /// cursors. False when the driver is exhausted.
   bool NextJoinBatch(JoinScratch& scratch, JoinBatch& batch) const;
 
   std::shared_ptr<const Storage> storage_;

@@ -11,6 +11,57 @@
 
 namespace ufim {
 
+void RecountExpectedCandidates(const FlatView& view,
+                               const std::vector<Itemset>& singles,
+                               const std::vector<Itemset>& larger,
+                               double threshold, std::size_t num_threads,
+                               MiningResult& result) {
+  ++result.counters().database_scans;
+  result.counters().candidates_generated += singles.size() + larger.size();
+
+  for (const Itemset& s : singles) {
+    const ItemId item = s.items().front();
+    const double esup = view.ItemExpectedSupport(item);
+    if (esup >= threshold) {
+      FrequentItemset fi;
+      fi.itemset = s;
+      fi.expected_support = esup;
+      fi.variance = esup - view.ItemSquaredSum(item);
+      result.Add(std::move(fi));
+    }
+  }
+
+  std::vector<std::pair<double, double>> moments(larger.size());
+  std::vector<JoinScratch> scratches(
+      ParallelChunkCount(larger.size(), num_threads));
+  ParallelForChunks(larger.size(), num_threads, [&](std::size_t chunk,
+                                                    std::size_t lo,
+                                                    std::size_t hi) {
+    JoinScratch& scratch = scratches[chunk];
+    for (std::size_t c = lo; c < hi; ++c) {
+      KahanSum esup;
+      double sq_sum = 0.0;
+      view.JoinPostingsBatched(larger[c], scratch, [&](const JoinBatch& b) {
+        for (const double prod : b.prods) {
+          esup.Add(prod);
+          sq_sum += prod * prod;
+        }
+        return true;
+      });
+      moments[c] = {esup.value(), sq_sum};
+    }
+  });
+  for (std::size_t c = 0; c < larger.size(); ++c) {
+    if (moments[c].first >= threshold) {
+      FrequentItemset fi;
+      fi.itemset = larger[c];
+      fi.expected_support = moments[c].first;
+      fi.variance = moments[c].first - moments[c].second;
+      result.Add(std::move(fi));
+    }
+  }
+}
+
 ShardedMiner::ShardedMiner(std::unique_ptr<Miner> inner,
                            std::size_t num_shards, std::size_t num_threads)
     : inner_(std::move(inner)),
@@ -77,56 +128,10 @@ Result<MiningResult> ShardedMiner::Mine(const FlatView& view,
   std::sort(singles.begin(), singles.end());
   std::sort(larger.begin(), larger.end());
 
-  // Phase 2: exact recount of the union over the full view. Singletons
-  // come straight off the view's cached moments (exactly what the
-  // level-1 pass of every miner reports); larger sets are posting joins
-  // partitioned by candidate, so the ascending-tid Kahan accumulation is
-  // the sequential one regardless of thread count.
+  // Phase 2: exact recount of the union over the full view.
   const double threshold = params->min_esup * static_cast<double>(n_txn);
-  ++result.counters().database_scans;
-  result.counters().candidates_generated += singles.size() + larger.size();
-
-  for (const Itemset& s : singles) {
-    const ItemId item = s.items().front();
-    const double esup = view.ItemExpectedSupport(item);
-    if (esup >= threshold) {
-      FrequentItemset fi;
-      fi.itemset = s;
-      fi.expected_support = esup;
-      fi.variance = esup - view.ItemSquaredSum(item);
-      result.Add(std::move(fi));
-    }
-  }
-
-  std::vector<std::pair<double, double>> moments(larger.size());
-  std::vector<JoinScratch> scratches(
-      ParallelChunkCount(larger.size(), num_threads_));
-  ParallelForChunks(larger.size(), num_threads_, [&](std::size_t chunk,
-                                                     std::size_t lo,
-                                                     std::size_t hi) {
-    JoinScratch& scratch = scratches[chunk];
-    for (std::size_t c = lo; c < hi; ++c) {
-      KahanSum esup;
-      double sq_sum = 0.0;
-      view.JoinPostingsBatched(larger[c], scratch, [&](const JoinBatch& b) {
-        for (const double prod : b.prods) {
-          esup.Add(prod);
-          sq_sum += prod * prod;
-        }
-        return true;
-      });
-      moments[c] = {esup.value(), sq_sum};
-    }
-  });
-  for (std::size_t c = 0; c < larger.size(); ++c) {
-    if (moments[c].first >= threshold) {
-      FrequentItemset fi;
-      fi.itemset = larger[c];
-      fi.expected_support = moments[c].first;
-      fi.variance = moments[c].first - moments[c].second;
-      result.Add(std::move(fi));
-    }
-  }
+  RecountExpectedCandidates(view, singles, larger, threshold, num_threads_,
+                            result);
   result.SortCanonical();
   return result;
 }

@@ -5,10 +5,28 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/miner.h"
 
 namespace ufim {
+
+/// Phase 2 of the SON (partition) drivers: exact recount of a candidate
+/// union over the full view. `singles` and `larger` are canonically
+/// sorted, deduplicated candidate itemsets of size 1 / >= 2. Singletons
+/// come straight off the view's cached moments; larger sets are posting
+/// joins partitioned by candidate, so the ascending-tid Kahan
+/// accumulation is the sequential one regardless of thread count.
+/// Appends itemsets with expected support >= `threshold` (absolute) to
+/// `result` with their exact full-view moments, and bumps its counters
+/// (one database scan, one generated candidate each). Shared by
+/// `ShardedMiner` (static shards) and `DeltaMiner` (streaming suffix
+/// shards) so the two merge paths can never diverge.
+void RecountExpectedCandidates(const FlatView& view,
+                               const std::vector<Itemset>& singles,
+                               const std::vector<Itemset>& larger,
+                               double threshold, std::size_t num_threads,
+                               MiningResult& result);
 
 /// Shard-partitioned execution driver: runs any expected-support miner
 /// per contiguous transaction shard and merges to the *exact* global

@@ -1,0 +1,116 @@
+#include "core/streaming_flat_view.h"
+
+#include <utility>
+
+namespace ufim {
+
+StreamingFlatView::StreamingFlatView(CompactionPolicy policy)
+    : StreamingFlatView(UncertainDatabase(), policy) {}
+
+StreamingFlatView::StreamingFlatView(const UncertainDatabase& db,
+                                     CompactionPolicy policy)
+    : storage_(std::make_shared<FlatView::Storage>()), policy_(policy) {
+  FlatView::BuildStorage(db, *storage_);
+  storage_->delta_tids.resize(storage_->num_items);
+  storage_->delta_probs.resize(storage_->num_items);
+}
+
+bool StreamingFlatView::Append(std::span<const Transaction> batch) {
+  FlatView::Storage& s = *storage_;
+  for (const Transaction& t : batch) {
+    const TransactionId tid = static_cast<TransactionId>(s.full_size);
+    for (const ProbItem& u : t) {
+      if (u.item >= s.num_items) {
+        // Previously-unseen item: grow the item-indexed arrays. The base
+        // CSR stays as built (the new item simply has no base segment).
+        s.num_items = static_cast<std::size_t>(u.item) + 1;
+        s.delta_tids.resize(s.num_items);
+        s.delta_probs.resize(s.num_items);
+        s.item_esup.resize(s.num_items, 0.0);
+        s.item_sq_sum.resize(s.num_items, 0.0);
+        s.item_esup_acc.resize(s.num_items, KahanSum());
+      }
+      s.delta_units.push_back(u);
+      s.delta_tids[u.item].push_back(tid);
+      s.delta_probs[u.item].push_back(u.prob);
+      // Per-item unit order is tid-major here exactly as in a
+      // from-scratch build, so continuing the persistent accumulators
+      // reproduces the rebuild's moment bits at every point.
+      s.item_esup_acc[u.item].Add(u.prob);
+      s.item_esup[u.item] = s.item_esup_acc[u.item].value();
+      s.item_sq_sum[u.item] += u.prob * u.prob;
+    }
+    s.delta_txn_offsets.push_back(s.delta_units.size());
+    ++s.full_size;
+  }
+  // Ratio <= 0 means "always contiguous": even a unit-less delta (only
+  // empty transactions appended) folds, so the rebuild reference of the
+  // differential harness really is the from-scratch layout.
+  const bool compact =
+      policy_.max_delta_ratio <= 0.0
+          ? has_delta()
+          : policy_.ShouldCompact(s.units.size(), s.delta_units.size());
+  if (compact) {
+    Compact();
+    return true;
+  }
+  return false;
+}
+
+void StreamingFlatView::Compact() {
+  FlatView::Storage& s = *storage_;
+  if (s.full_size == s.base_size) return;
+
+  // Horizontal: the delta rows append directly (they already follow the
+  // base rows in tid order).
+  const std::size_t base_units = s.units.size();
+  s.units.insert(s.units.end(), s.delta_units.begin(), s.delta_units.end());
+  s.txn_offsets.reserve(s.full_size + 1);
+  for (std::size_t d = 1; d < s.delta_txn_offsets.size(); ++d) {
+    s.txn_offsets.push_back(base_units + s.delta_txn_offsets[d]);
+  }
+
+  // Vertical: per item, the merged posting list is base postings then
+  // delta postings — already globally tid-sorted, so the merge is a
+  // counting pass plus contiguous copies (same layout a from-scratch
+  // build would produce).
+  const std::size_t base_items = s.base_num_items();
+  std::vector<std::size_t> offsets(s.num_items + 1, 0);
+  for (std::size_t i = 0; i < s.num_items; ++i) {
+    const std::size_t base_len =
+        i < base_items ? s.item_offsets[i + 1] - s.item_offsets[i] : 0;
+    offsets[i + 1] = offsets[i] + base_len + s.delta_tids[i].size();
+  }
+  std::vector<TransactionId> tids(offsets.back());
+  std::vector<double> probs(offsets.back());
+  for (std::size_t i = 0; i < s.num_items; ++i) {
+    std::size_t pos = offsets[i];
+    if (i < base_items) {
+      const std::size_t lo = s.item_offsets[i];
+      const std::size_t len = s.item_offsets[i + 1] - lo;
+      std::copy_n(s.posting_tids.begin() + lo, len, tids.begin() + pos);
+      std::copy_n(s.posting_probs.begin() + lo, len, probs.begin() + pos);
+      pos += len;
+    }
+    std::copy(s.delta_tids[i].begin(), s.delta_tids[i].end(),
+              tids.begin() + pos);
+    std::copy(s.delta_probs[i].begin(), s.delta_probs[i].end(),
+              probs.begin() + pos);
+  }
+  s.item_offsets = std::move(offsets);
+  s.posting_tids = std::move(tids);
+  s.posting_probs = std::move(probs);
+
+  // The delta is folded in; reset it. Moments are untouched — the
+  // accumulators describe the logical content, which did not change.
+  s.base_size = s.full_size;
+  s.delta_txn_offsets.assign(1, 0);
+  s.delta_units.clear();
+  for (std::size_t i = 0; i < s.num_items; ++i) {
+    s.delta_tids[i].clear();
+    s.delta_probs[i].clear();
+  }
+  ++compactions_;
+}
+
+}  // namespace ufim

@@ -1,0 +1,124 @@
+#ifndef UFIM_CORE_STREAMING_FLAT_VIEW_H_
+#define UFIM_CORE_STREAMING_FLAT_VIEW_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "core/flat_view.h"
+#include "core/transaction.h"
+#include "core/uncertain_database.h"
+
+namespace ufim {
+
+/// When the streaming delta is merged into the columnar base.
+///
+/// Appends land in the delta region in O(batch units); reads pay one
+/// extra segment per item until the delta is folded back into the
+/// contiguous base by an O(total units) compaction. The policy bounds
+/// that read amortization: a compaction triggers automatically at the
+/// end of any `Append` that leaves more than `max_delta_ratio` delta
+/// units per base unit (once at least `min_delta_units` have
+/// accumulated, so tiny databases don't thrash).
+struct CompactionPolicy {
+  /// Delta/base unit ratio above which Append compacts. 0 compacts on
+  /// every non-empty append (the "always rebuild" reference point of the
+  /// differential harness and the streaming bench).
+  double max_delta_ratio = 0.25;
+  /// Appends never compact before this many delta units accumulate
+  /// (ignored when max_delta_ratio == 0).
+  std::size_t min_delta_units = 1024;
+
+  /// True when a delta of `delta_units` over a base of `base_units`
+  /// must be compacted.
+  bool ShouldCompact(std::size_t base_units, std::size_t delta_units) const {
+    if (delta_units == 0) return false;
+    if (max_delta_ratio <= 0.0) return true;
+    if (delta_units < min_delta_units) return false;
+    return static_cast<double>(delta_units) >
+           max_delta_ratio * static_cast<double>(base_units);
+  }
+};
+
+/// Incrementally maintained columnar storage: the streaming counterpart
+/// of building a `FlatView` per batch.
+///
+/// `Append(transactions)` assigns the next transaction ids and writes
+/// the new postings into a per-item *delta* region (horizontal CSR tail
+/// plus per-item posting tail vectors) in O(batch units) — no O(total
+/// units) rebuild. Because appended tids are strictly greater than every
+/// existing tid, each item's logical posting list is its base segment
+/// followed by its delta segment, and every `FlatView` accessor and join
+/// kernel walks that segment list transparently (see
+/// `FlatView::PostingSegments`). `Compact()` merges the delta back into
+/// the contiguous base; the policy above triggers it automatically.
+///
+/// **Equivalence contract.** At any point of the stream, `View()` is
+/// *bit-identical* in mining behaviour to `FlatView(db)` over the same
+/// transactions built from scratch: posting contents, cached per-item
+/// moments (the Kahan accumulators persist across appends and
+/// compactions, so they equal a from-scratch accumulation), join batch
+/// boundaries, and float evaluation order all match. The randomized
+/// streaming differential harness (tests/testing/stream_harness.h)
+/// enforces this across append/compact/mine schedules.
+///
+/// **View validity.** `View()` (and any slice or copy of it) reads the
+/// live storage: `Append` and `Compact` invalidate all previously
+/// obtained views. Mine-then-append phases must not overlap — concurrent
+/// *reads* of one view (parallel miners) are safe, concurrent mutation
+/// is not. This is the classic snapshot-free HTAP trade: the delta makes
+/// appends cheap, the caller serializes writes against reads.
+class StreamingFlatView {
+ public:
+  explicit StreamingFlatView(CompactionPolicy policy = {});
+
+  /// Seeds the base with `db` (equivalent to appending its transactions
+  /// to an empty view and compacting).
+  explicit StreamingFlatView(const UncertainDatabase& db,
+                             CompactionPolicy policy = {});
+
+  std::size_t num_transactions() const { return storage_->full_size; }
+  std::size_t num_items() const { return storage_->num_items; }
+  std::size_t num_units() const {
+    return storage_->units.size() + storage_->delta_units.size();
+  }
+
+  /// Transactions currently in the delta region.
+  std::size_t delta_transactions() const {
+    return storage_->full_size - storage_->base_size;
+  }
+  std::size_t delta_units() const { return storage_->delta_units.size(); }
+  bool has_delta() const { return delta_transactions() > 0; }
+
+  /// Compactions run so far (automatic + explicit).
+  std::size_t compactions() const { return compactions_; }
+
+  const CompactionPolicy& policy() const { return policy_; }
+
+  /// Appends `batch` as transactions [num_transactions(),
+  /// num_transactions() + batch.size()), growing the item universe when
+  /// a transaction introduces a previously-unseen item. O(batch units)
+  /// plus any triggered compaction. Invalidates existing views. Returns
+  /// true when the policy compacted.
+  bool Append(std::span<const Transaction> batch);
+
+  /// Merges the delta into the contiguous base (O(total units)); no-op
+  /// without a delta. Invalidates existing views. Mining results are
+  /// unaffected — compaction changes the physical layout only.
+  void Compact();
+
+  /// Full view over everything appended so far. Valid until the next
+  /// Append/Compact.
+  FlatView View() const {
+    return FlatView(storage_, 0, storage_->full_size);
+  }
+
+ private:
+  std::shared_ptr<FlatView::Storage> storage_;
+  CompactionPolicy policy_;
+  std::size_t compactions_ = 0;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_CORE_STREAMING_FLAT_VIEW_H_

@@ -16,6 +16,14 @@ void UncertainDatabase::Add(Transaction t) {
   transactions_.push_back(std::move(t));
 }
 
+void UncertainDatabase::Append(std::span<const Transaction> batch) {
+  transactions_.reserve(transactions_.size() + batch.size());
+  for (const Transaction& t : batch) {
+    NoteTransaction(t);
+    transactions_.push_back(t);
+  }
+}
+
 void UncertainDatabase::NoteTransaction(const Transaction& t) {
   if (!t.empty()) {
     // Units are sorted, so back() is the transaction's largest item.

@@ -2,6 +2,7 @@
 #define UFIM_CORE_UNCERTAIN_DATABASE_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,9 +49,25 @@ class UncertainDatabase {
   /// Appends a transaction (updates cached stats incrementally).
   void Add(Transaction t);
 
+  /// Appends a batch of transactions — the streaming ingestion path.
+  /// Equivalent to `Add` per transaction: every eagerly maintained cache
+  /// (currently `num_items`) is updated as part of the append, never
+  /// invalidated, so the contract below holds mid-stream exactly as it
+  /// does after construction.
+  void Append(std::span<const Transaction> batch);
+
   /// One past the largest item id present (0 for an empty database).
-  /// Maintained eagerly by the constructor and `Add`, so concurrent const
-  /// readers (parallel miners) never race on a lazy cache.
+  ///
+  /// Cache contract: maintained *eagerly* by the constructor, `Add`, and
+  /// `Append` — the value is always consistent with `transactions()`
+  /// right after any mutating call returns, and const reads never race
+  /// on a lazy fill (parallel miners read it concurrently). Appending a
+  /// transaction whose largest item is below the current value leaves it
+  /// unchanged (the universe never shrinks), matching what a
+  /// from-scratch rebuild over the same transactions would report as
+  /// long as ids are dense; this is what lets `StreamingFlatView` and
+  /// the streaming differential harness rebuild databases incrementally
+  /// without re-deriving the item universe.
   std::size_t num_items() const { return num_items_; }
 
   /// Computes summary statistics with one pass.

@@ -1,0 +1,209 @@
+// DeltaMiner unit coverage: SON-over-suffix-shards exactness against the
+// plain miners, candidate-pool retention across batches (the property a
+// results-only union would break), facade/registry plumbing, and the
+// empty-batch / empty-stream degenerate calls. The randomized
+// cross-layout schedules live in the streaming differential harness.
+#include "core/delta_miner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/uapriori.h"
+#include "common/rng.h"
+#include "core/flat_view.h"
+#include "core/miner_registry.h"
+#include "core/mining_result.h"
+#include "testing/random_db.h"
+
+namespace ufim {
+namespace {
+
+using testing_util::MakeStreamBatch;
+using testing_util::StreamBatchSpec;
+
+Transaction Txn(std::vector<ProbItem> units) {
+  return Transaction(std::move(units));
+}
+
+TEST(DeltaMinerTest, MatchesPlainMinerForEveryExpectedSupportAlgorithm) {
+  ExpectedSupportParams params;
+  params.min_esup = 0.22;
+  Rng rng(42);
+  StreamBatchSpec spec;
+  spec.num_items = 9;
+  std::vector<std::vector<Transaction>> batches;
+  for (int b = 0; b < 4; ++b) batches.push_back(MakeStreamBatch(rng, spec, 7));
+
+  for (const std::string& algorithm :
+       MinerRegistry::Global().NamesOf(TaskFamily::kExpectedSupport)) {
+    Result<std::unique_ptr<DeltaMiner>> delta =
+        MakeDeltaMiner(algorithm, params);
+    ASSERT_TRUE(delta.ok()) << algorithm;
+    EXPECT_EQ(delta.value()->name(), "Delta(" + algorithm + ")");
+    std::unique_ptr<Miner> plain = MinerRegistry::Global().Create(algorithm);
+    ASSERT_NE(plain, nullptr) << algorithm;
+
+    UncertainDatabase accumulated;
+    for (const std::vector<Transaction>& batch : batches) {
+      Result<MiningResult> incremental = delta.value()->MineNext(batch);
+      ASSERT_TRUE(incremental.ok()) << algorithm;
+      accumulated.Append(batch);
+      Result<MiningResult> reference =
+          plain->Mine(accumulated, MiningTask(params));
+      ASSERT_TRUE(reference.ok()) << algorithm;
+      MiningResult expect = std::move(reference).value();
+      expect.SortCanonical();
+      ASSERT_EQ(incremental.value().size(), expect.size()) << algorithm;
+      for (std::size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(incremental.value()[i].itemset, expect[i].itemset)
+            << algorithm;
+        EXPECT_NEAR(incremental.value()[i].expected_support,
+                    expect[i].expected_support, 1e-9)
+            << algorithm << " " << expect[i].itemset.ToString();
+      }
+    }
+    EXPECT_EQ(delta.value()->shards_mined(), batches.size()) << algorithm;
+  }
+}
+
+TEST(DeltaMinerTest, PoolRetainsDilutedCandidatesAcrossBatches) {
+  // {0,1} is frequent after batch 1, diluted below the global threshold
+  // by batch 2's noise — it must leave the *results* but stay in the
+  // candidate pool (the pool unions shard-local frequents and never
+  // forgets; dropping to the result set instead would make the recount
+  // scan mining history, not a superset) — and return after batch 3 with
+  // an exact full-stream recount.
+  ExpectedSupportParams params;
+  params.min_esup = 0.5;
+
+  const std::vector<Transaction> b1 = {Txn({{0, 0.9}, {1, 0.9}}),
+                                       Txn({{0, 0.8}, {1, 0.8}})};
+  // Noise: four transactions without {0,1}.
+  const std::vector<Transaction> b2 = {Txn({{2, 0.9}}), Txn({{2, 0.8}}),
+                                       Txn({{2, 0.7}}), Txn({{2, 0.9}})};
+  // Recovery: enough {0,1} mass to clear the global threshold again.
+  const std::vector<Transaction> b3 = {
+      Txn({{0, 0.95}, {1, 0.95}}), Txn({{0, 0.95}, {1, 0.95}}),
+      Txn({{0, 0.95}, {1, 0.95}}), Txn({{0, 0.95}, {1, 0.95}}),
+      Txn({{0, 0.95}, {1, 0.95}})};
+
+  Result<std::unique_ptr<DeltaMiner>> delta =
+      MakeDeltaMiner("UApriori", params);
+  ASSERT_TRUE(delta.ok());
+  const Itemset pair{0, 1};
+
+  Result<MiningResult> r1 = delta.value()->MineNext(b1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_NE(r1.value().Find(pair), nullptr) << "frequent in batch 1";
+  const std::size_t pool_after_b1 = delta.value()->candidate_pool_size();
+
+  Result<MiningResult> r2 = delta.value()->MineNext(b2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().Find(pair), nullptr) << "diluted below threshold";
+  EXPECT_GE(delta.value()->candidate_pool_size(), pool_after_b1)
+      << "the pool never forgets";
+
+  Result<MiningResult> r3 = delta.value()->MineNext(b3);
+  ASSERT_TRUE(r3.ok());
+  const FrequentItemset* fi = r3.value().Find(pair);
+  ASSERT_NE(fi, nullptr);
+  // Exact recount over all eleven transactions.
+  EXPECT_NEAR(fi->expected_support, 0.81 + 0.64 + 5 * (0.95 * 0.95), 1e-12);
+}
+
+TEST(DeltaMinerTest, EmptyBatchesAndEmptyStream) {
+  ExpectedSupportParams params;
+  params.min_esup = 0.3;
+  Result<std::unique_ptr<DeltaMiner>> delta =
+      MakeDeltaMiner("UApriori", params);
+  ASSERT_TRUE(delta.ok());
+
+  // Mining an empty stream is legal and empty.
+  Result<MiningResult> r0 = delta.value()->MineNext({});
+  ASSERT_TRUE(r0.ok());
+  EXPECT_TRUE(r0.value().empty());
+  EXPECT_EQ(delta.value()->shards_mined(), 0u);
+
+  const std::vector<Transaction> batch = {Txn({{0, 0.9}}), Txn({{0, 0.8}})};
+  Result<MiningResult> r1 = delta.value()->MineNext(batch);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_EQ(r1.value().size(), 1u);
+
+  // An empty batch re-mines the unchanged state: same answer, and no
+  // new suffix shard.
+  Result<MiningResult> r2 = delta.value()->MineNext({});
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2.value().size(), 1u);
+  EXPECT_EQ(r2.value()[0].expected_support, r1.value()[0].expected_support);
+  EXPECT_EQ(delta.value()->shards_mined(), 1u);
+}
+
+TEST(DeltaMinerTest, RegistryPlumbingRejectsBadInners) {
+  ExpectedSupportParams params;
+  Result<std::unique_ptr<DeltaMiner>> unknown =
+      MakeDeltaMiner("NoSuchMiner", params);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  Result<std::unique_ptr<DeltaMiner>> probabilistic =
+      MakeDeltaMiner("DCB", params);
+  ASSERT_FALSE(probabilistic.ok());
+  EXPECT_EQ(probabilistic.status().code(), StatusCode::kInvalidArgument);
+}
+
+/// Inner miner that succeeds `successes` times, then always fails — for
+/// pinning the error contract of a fallible shard miner.
+class FlakyMiner final : public ExpectedSupportMiner {
+ public:
+  explicit FlakyMiner(int successes) : successes_(successes) {}
+  std::string_view name() const override { return "Flaky"; }
+  Result<MiningResult> MineExpected(
+      const FlatView& view, const ExpectedSupportParams& params) const override {
+    if (successes_-- <= 0) return Status::Internal("shard miner down");
+    UApriori inner;
+    return inner.Mine(view, params);
+  }
+
+ private:
+  mutable int successes_;
+};
+
+TEST(DeltaMinerTest, InnerFailurePoisonsTheStream) {
+  // The failing batch is appended before the suffix mine can fail; a
+  // retry must NOT double-append it, so the miner goes sticky-failed.
+  ExpectedSupportParams params;
+  params.min_esup = 0.3;
+  DeltaMiner delta(std::make_unique<FlakyMiner>(1), params);
+
+  const std::vector<Transaction> b1 = {Txn({{0, 0.9}}), Txn({{0, 0.8}})};
+  ASSERT_TRUE(delta.MineNext(b1).ok());
+
+  const std::vector<Transaction> b2 = {Txn({{1, 0.9}})};
+  Result<MiningResult> failed = delta.MineNext(b2);
+  ASSERT_FALSE(failed.ok());
+  const std::size_t txns_after_failure = delta.view().num_transactions();
+
+  // Retrying the same batch (or anything else) reports the original
+  // error and appends nothing further.
+  Result<MiningResult> retried = delta.MineNext(b2);
+  ASSERT_FALSE(retried.ok());
+  EXPECT_EQ(retried.status().ToString(), failed.status().ToString());
+  EXPECT_EQ(delta.view().num_transactions(), txns_after_failure);
+  EXPECT_FALSE(delta.MineNext({}).ok());
+}
+
+TEST(DeltaMinerTest, InvalidParamsSurfaceOnMineNext) {
+  ExpectedSupportParams params;
+  params.min_esup = -1.0;
+  Result<std::unique_ptr<DeltaMiner>> delta =
+      MakeDeltaMiner("UApriori", params);
+  ASSERT_TRUE(delta.ok());
+  Result<MiningResult> r = delta.value()->MineNext({});
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace ufim

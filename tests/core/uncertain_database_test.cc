@@ -23,6 +23,42 @@ TEST(UncertainDatabaseTest, NumItemsTracksMaxId) {
   EXPECT_EQ(db.num_items(), 8u);
 }
 
+TEST(UncertainDatabaseTest, AppendMaintainsNumItemsEagerly) {
+  // The append-path cache contract: num_items() is consistent with the
+  // transactions immediately after every Append — updated as part of
+  // the call, never invalidated for a later lazy fill.
+  UncertainDatabase db;
+  const std::vector<Transaction> first = {Transaction({{2, 0.5}}),
+                                          Transaction({{5, 0.9}, {6, 0.1}})};
+  db.Append(first);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.num_items(), 7u);
+
+  // A batch whose largest item is below the current maximum leaves the
+  // universe unchanged (it never shrinks)...
+  db.Append(std::vector<Transaction>{Transaction({{0, 0.3}})});
+  EXPECT_EQ(db.num_items(), 7u);
+
+  // ...a batch with a new largest item (or empty transactions mixed in)
+  // grows it within the same call.
+  db.Append(std::vector<Transaction>{Transaction(std::vector<ProbItem>{}),
+                                     Transaction({{9, 0.4}})});
+  EXPECT_EQ(db.size(), 5u);
+  EXPECT_EQ(db.num_items(), 10u);
+
+  // Batch append is equivalent to per-transaction Add.
+  UncertainDatabase one_by_one;
+  for (const Transaction& t : db.transactions()) one_by_one.Add(t);
+  EXPECT_EQ(one_by_one.num_items(), db.num_items());
+  EXPECT_EQ(one_by_one.size(), db.size());
+
+  // An empty batch is a no-op.
+  db.Append({});
+  EXPECT_EQ(db.size(), 5u);
+  EXPECT_EQ(db.num_items(), 10u);
+  EXPECT_TRUE(db.Validate().ok());
+}
+
 TEST(UncertainDatabaseTest, PaperTable1Stats) {
   UncertainDatabase db = MakePaperTable1();
   DatabaseStats stats = db.ComputeStats();

@@ -1,0 +1,159 @@
+#ifndef UFIM_TESTS_TESTING_STREAM_HARNESS_H_
+#define UFIM_TESTS_TESTING_STREAM_HARNESS_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/delta_miner.h"
+#include "core/flat_view.h"
+#include "core/miner_registry.h"
+#include "core/streaming_flat_view.h"
+#include "core/uncertain_database.h"
+#include "testing/random_db.h"
+
+namespace ufim::testing_util {
+
+/// One seeded, randomized append/compact/mine schedule for the streaming
+/// differential harness. Everything — batch sizes (including empty
+/// batches), transaction contents (long-tail item skew, duplicate item
+/// draws, empty transactions), the streaming compaction policy, and the
+/// forced-compaction points — is a pure function of `seed`, so a failure
+/// reproduces from its seed alone.
+struct StreamScheduleSpec {
+  std::uint64_t seed = 1;
+  std::size_t num_ops = 5;     ///< MineNext calls in the schedule
+  std::size_t max_batch = 8;   ///< batch sizes drawn from [0, max_batch]
+  std::size_t item_growth = 2; ///< item-universe growth per op (unseen items)
+  double force_compact_prob = 0.25;  ///< explicit Compact() before a mine
+  double min_esup = 0.2;
+  StreamBatchSpec batch;       ///< item/probability regime of the stream
+};
+
+/// Runs one schedule under the currently forced intersect kernel with
+/// `algorithm` as the shard miner at `num_threads`, checking after every
+/// `MineNext`:
+///
+///  1. **Layout transparency (bit-identical):** a streaming `DeltaMiner`
+///     under a randomized compaction policy plus random forced
+///     compactions, against a second `DeltaMiner` fed the same batches
+///     whose policy compacts after *every* append — i.e. whose base is a
+///     full from-scratch rebuild at each step. Results (itemsets,
+///     expected supports, variances) and `MiningCounters` must match
+///     bit for bit: mining may never observe whether postings are
+///     contiguous or split at the base/delta seam.
+///  2. **Semantic exactness:** the streaming result against the plain
+///     (non-incremental) registry miner run on the accumulated database
+///     built from scratch. Itemset sets must match exactly; moments are
+///     compared to 1e-9 (the plain miner may legally accumulate in a
+///     different — e.g. probe-sweep — order).
+///
+/// `final_result`, when given, receives the final streaming result so
+/// callers can additionally pin bit-equality across thread counts.
+inline void RunStreamDifferential(const StreamScheduleSpec& spec,
+                                  std::string_view algorithm,
+                                  std::size_t num_threads,
+                                  MiningResult* final_result = nullptr) {
+  Rng rng(spec.seed);
+
+  // Draw the whole schedule up front so every variant sees identical
+  // data regardless of how it consumes randomness internally.
+  std::vector<std::vector<Transaction>> batches;
+  std::vector<bool> force_compact;
+  batches.reserve(spec.num_ops);
+  for (std::size_t op = 0; op < spec.num_ops; ++op) {
+    StreamBatchSpec bs = spec.batch;
+    bs.num_items += op * spec.item_growth;  // later batches grow the universe
+    const std::size_t size = rng.UniformInt(0, spec.max_batch);
+    batches.push_back(MakeStreamBatch(rng, bs, size));
+    force_compact.push_back(rng.Bernoulli(spec.force_compact_prob));
+  }
+
+  // Randomized streaming policy: anything from compact-almost-always to
+  // compact-never (so forced compactions and the seam path both get
+  // exercised), against the compact-every-append rebuild reference.
+  constexpr double kRatios[] = {0.05, 0.25, 1.0, 1e9};
+  CompactionPolicy streaming_policy;
+  streaming_policy.max_delta_ratio = kRatios[rng.UniformInt(0, 3)];
+  streaming_policy.min_delta_units = rng.UniformInt(0, 32);
+  CompactionPolicy rebuild_policy;
+  rebuild_policy.max_delta_ratio = 0.0;
+  rebuild_policy.min_delta_units = 0;
+
+  ExpectedSupportParams params;
+  params.min_esup = spec.min_esup;
+  MinerOptions options;
+  options.num_threads = num_threads;
+
+  Result<std::unique_ptr<DeltaMiner>> streaming =
+      MakeDeltaMiner(algorithm, params, options, streaming_policy);
+  Result<std::unique_ptr<DeltaMiner>> rebuild =
+      MakeDeltaMiner(algorithm, params, options, rebuild_policy);
+  std::unique_ptr<Miner> plain =
+      MinerRegistry::Global().Create(algorithm, options);
+  EXPECT_TRUE(streaming.ok()) << streaming.status().ToString();
+  EXPECT_TRUE(rebuild.ok()) << rebuild.status().ToString();
+  EXPECT_NE(plain, nullptr);
+  if (!streaming.ok() || !rebuild.ok() || plain == nullptr) return;
+
+  UncertainDatabase accumulated;
+  for (std::size_t op = 0; op < batches.size(); ++op) {
+    const std::string label = "seed=" + std::to_string(spec.seed) +
+                              " op=" + std::to_string(op) +
+                              " threads=" + std::to_string(num_threads);
+    if (force_compact[op]) streaming.value()->Compact();
+
+    Result<MiningResult> a = streaming.value()->MineNext(batches[op]);
+    Result<MiningResult> b = rebuild.value()->MineNext(batches[op]);
+    ASSERT_TRUE(a.ok()) << label << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << label << ": " << b.status().ToString();
+    // The rebuild reference must really be the contiguous layout.
+    EXPECT_FALSE(rebuild.value()->view().has_delta()) << label;
+
+    ASSERT_EQ(a.value().size(), b.value().size()) << label;
+    for (std::size_t i = 0; i < a.value().size(); ++i) {
+      EXPECT_EQ(a.value()[i].itemset, b.value()[i].itemset) << label;
+      EXPECT_EQ(a.value()[i].expected_support, b.value()[i].expected_support)
+          << label << " " << b.value()[i].itemset.ToString();
+      EXPECT_EQ(a.value()[i].variance, b.value()[i].variance)
+          << label << " " << b.value()[i].itemset.ToString();
+    }
+    const MiningCounters& ca = a.value().counters();
+    const MiningCounters& cb = b.value().counters();
+    EXPECT_EQ(ca.candidates_generated, cb.candidates_generated) << label;
+    EXPECT_EQ(ca.candidates_pruned_apriori, cb.candidates_pruned_apriori)
+        << label;
+    EXPECT_EQ(ca.candidates_pruned_chernoff, cb.candidates_pruned_chernoff)
+        << label;
+    EXPECT_EQ(ca.exact_probability_evaluations,
+              cb.exact_probability_evaluations)
+        << label;
+    EXPECT_EQ(ca.database_scans, cb.database_scans) << label;
+
+    // Semantic exactness against a from-scratch non-incremental run.
+    accumulated.Append(batches[op]);
+    Result<MiningResult> c = plain->Mine(FlatView(accumulated),
+                                         MiningTask(params));
+    ASSERT_TRUE(c.ok()) << label << ": " << c.status().ToString();
+    MiningResult reference = std::move(c).value();
+    reference.SortCanonical();
+    ASSERT_EQ(a.value().size(), reference.size()) << label;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(a.value()[i].itemset, reference[i].itemset) << label;
+      EXPECT_NEAR(a.value()[i].expected_support,
+                  reference[i].expected_support, 1e-9)
+          << label << " " << reference[i].itemset.ToString();
+      EXPECT_NEAR(a.value()[i].variance, reference[i].variance, 1e-9)
+          << label << " " << reference[i].itemset.ToString();
+    }
+    if (final_result != nullptr) *final_result = std::move(a).value();
+  }
+}
+
+}  // namespace ufim::testing_util
+
+#endif  // UFIM_TESTS_TESTING_STREAM_HARNESS_H_

@@ -10,6 +10,8 @@
 //   ufim_cli mine data.udb --algorithm TopK --k 20
 //   ufim_cli mine data.udb --algorithm UApriori --min-esup 0.01
 //       --threads 8 --shards 4
+//   ufim_cli mine-stream data.udb --algorithm UApriori --min-esup 0.01
+//       --batch 256 --compact-ratio 0.25
 //
 // Argument handling lives in common/cli_args.h (unit-tested): numeric
 // flags are validated over their full token and unknown flags are
@@ -20,11 +22,13 @@
 #include <string>
 
 #include "common/cli_args.h"
+#include "core/delta_miner.h"
 #include "core/flat_view.h"
 #include "core/miner_registry.h"
 #include "core/postprocess.h"
 #include "core/simd_intersect.h"
 #include "eval/experiment.h"
+#include "eval/stopwatch.h"
 #include "gen/benchmark_datasets.h"
 #include "gen/probability.h"
 #include "io/dataset_io.h"
@@ -43,6 +47,9 @@ int Usage() {
            [--threads <t>] [--shards <s>]
            [--kernel {auto|scalar|gallop|simd}]
            [--top <k>] [--closed] [--maximal] [--rules <min_conf>]
+  ufim_cli mine-stream <path> --algorithm <name> --min-esup <r>
+           [--batch <n>] [--compact-ratio <r>] [--threads <t>]
+           [--kernel {auto|scalar|gallop|simd}]
 
   --threads: worker threads for the parallel mining paths
              (default: hardware concurrency; results are identical at
@@ -53,6 +60,18 @@ int Usage() {
              galloping on skewed list lengths, SIMD when the CPU has
              it, scalar otherwise; results are identical under every
              kernel). Equivalent to setting UFIM_INTERSECT.
+
+  mine-stream replays the dataset as an append-only stream in batches
+  of --batch transactions (default 256) through the incremental
+  DeltaMiner: each batch is mined as its own shard over the streaming
+  delta layout and the running result is recounted exactly, compacting
+  when the delta exceeds --compact-ratio units per base unit (default
+  0.25; 0 compacts every batch). Per-batch progress goes to stderr; the
+  final listing on stdout is identical to the equivalent 'mine' run
+  (expected-support algorithms only). Size batches so that
+  min-esup * batch stays well above 1, or the per-batch shard
+  threshold admits every observed itemset and the SON candidate pool
+  explodes.
 )");
   // The algorithm list comes from the registry, so newly registered
   // miners show up here without CLI edits.
@@ -75,6 +94,22 @@ int Usage() {
 bool OrFail(bool ok, const std::string& error) {
   if (!ok) std::fprintf(stderr, "%s\n", error.c_str());
   return ok;
+}
+
+/// Applies --kernel when present (shared by mine and mine-stream so the
+/// accepted names can never drift apart); false + diagnostic on an
+/// unknown name.
+bool ApplyKernelFlag(const Args& args) {
+  const char* kernel_name = args.Get("kernel");
+  if (kernel_name == nullptr) return true;
+  IntersectKernel kernel;
+  if (!ParseIntersectKernel(kernel_name, &kernel)) {
+    std::fprintf(stderr, "bad --kernel '%s' (auto|scalar|gallop|simd)\n",
+                 kernel_name);
+    return false;
+  }
+  SetIntersectKernel(kernel);
+  return true;
 }
 
 int Generate(const Args& args) {
@@ -275,15 +310,7 @@ int Mine(const Args& args) {
 
   // Execution configuration: every algorithm, threaded and optionally
   // sharded, goes through the same registry-driven experiment path.
-  if (const char* kernel_name = args.Get("kernel")) {
-    IntersectKernel kernel;
-    if (!ParseIntersectKernel(kernel_name, &kernel)) {
-      std::fprintf(stderr, "bad --kernel '%s' (auto|scalar|gallop|simd)\n",
-                   kernel_name);
-      return Usage();
-    }
-    SetIntersectKernel(kernel);
-  }
+  if (!ApplyKernelFlag(args)) return Usage();
   MinerOptions options;
   options.num_threads = num_threads;  // 0 = all hardware threads
   if (num_shards > 1 && entry->family != TaskFamily::kExpectedSupport) {
@@ -300,6 +327,90 @@ int Mine(const Args& args) {
   return 0;
 }
 
+int MineStream(const Args& args) {
+  std::string err;
+  if (!args.Validate({.value_flags = {"algorithm", "min-esup", "batch",
+                                      "compact-ratio", "threads", "kernel"},
+                      .switches = {}},
+                     &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return Usage();
+  }
+  if (args.positional.size() < 2 || args.Get("algorithm") == nullptr) {
+    return Usage();
+  }
+
+  // Validate every numeric flag before touching the dataset.
+  std::size_t num_threads = 0, batch_size = 256;
+  double min_esup = 0.5, compact_ratio = 0.25;
+  if (!OrFail(args.GetSize("threads", 0, &num_threads, &err), err) ||
+      !OrFail(args.GetSize("batch", 256, &batch_size, &err), err) ||
+      !OrFail(args.GetDouble("min-esup", 0.5, &min_esup, &err), err) ||
+      !OrFail(args.GetDouble("compact-ratio", 0.25, &compact_ratio, &err),
+              err)) {
+    return 2;
+  }
+  if (args.Get("min-esup") == nullptr) {
+    std::fprintf(stderr, "mine-stream needs --min-esup\n");
+    return Usage();
+  }
+  if (batch_size == 0) {
+    std::fprintf(stderr, "--batch must be >= 1\n");
+    return 2;
+  }
+  if (compact_ratio < 0.0) {
+    std::fprintf(stderr, "--compact-ratio must be >= 0\n");
+    return 2;
+  }
+  if (!ApplyKernelFlag(args)) return Usage();
+
+  auto db = ReadDataset(args.positional[1]);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  ExpectedSupportParams params;
+  params.min_esup = min_esup;
+  MinerOptions options;
+  options.num_threads = num_threads;  // 0 = all hardware threads
+  CompactionPolicy policy;
+  policy.max_delta_ratio = compact_ratio;
+  auto miner = MakeDeltaMiner(args.Get("algorithm"), params, options, policy);
+  if (!miner.ok()) {
+    std::fprintf(stderr, "%s\n", miner.status().ToString().c_str());
+    return miner.status().code() == StatusCode::kNotFound ? Usage() : 1;
+  }
+
+  // Replay the dataset as an append-only stream. Progress lines go to
+  // stderr so stdout carries exactly the final listing — diffable
+  // against the equivalent one-shot 'mine' run.
+  const std::vector<Transaction>& txns = db->transactions();
+  Stopwatch watch;
+  Result<MiningResult> result = Status::Internal("empty stream");
+  std::size_t batches = 0;
+  for (std::size_t lo = 0; lo == 0 || lo < txns.size(); lo += batch_size) {
+    const std::size_t hi = std::min(lo + batch_size, txns.size());
+    result = miner.value()->MineNext(
+        std::span<const Transaction>(txns.data() + lo, hi - lo));
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    ++batches;
+    std::fprintf(stderr,
+                 "batch %zu: +%zu txns (%zu total), %zu frequent, "
+                 "%zu delta txns, %zu compactions\n",
+                 batches, hi - lo, miner.value()->view().num_transactions(),
+                 result.value().size(),
+                 miner.value()->view().delta_transactions(),
+                 miner.value()->view().compactions());
+    if (hi >= txns.size()) break;
+  }
+  PrintResult(result.value(), ShowOptions{}, watch.ElapsedMillis());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   std::string err;
   std::optional<Args> args =
@@ -313,6 +424,7 @@ int Main(int argc, char** argv) {
   if (command == "generate") return Generate(*args);
   if (command == "stats") return Stats(*args);
   if (command == "mine") return Mine(*args);
+  if (command == "mine-stream") return MineStream(*args);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return Usage();
 }
