@@ -6,6 +6,7 @@
 
 #include "common/math_util.h"
 #include "common/thread_pool.h"
+#include "prob/bound_cascade.h"
 #include "prob/chernoff.h"
 
 namespace ufim {
@@ -480,7 +481,8 @@ namespace {
 /// deterministically in candidate order.
 struct JudgeOutcome {
   std::optional<FrequentItemset> fi;
-  bool chernoff_pruned = false;
+  bool bound_rejected = false;
+  bool bound_accepted = false;
   bool exact_evaluated = false;
 };
 
@@ -546,8 +548,9 @@ std::vector<FrequentItemset> LevelWiseLoop(
         JudgeAll(singles, stats, judge, judge_threads, /*ordinal_base=*/0);
     for (std::size_t c = 0; c < singles.size(); ++c) {
       if (counters != nullptr) {
-        counters->candidates_pruned_chernoff += outcomes[c].chernoff_pruned;
-        counters->exact_probability_evaluations += outcomes[c].exact_evaluated;
+        counters->candidates_rejected_bound += outcomes[c].bound_rejected;
+        counters->candidates_accepted_bound += outcomes[c].bound_accepted;
+        counters->exact_tail_evals += outcomes[c].exact_evaluated;
       }
       if (outcomes[c].fi.has_value()) {
         level.push_back(singles[c]);
@@ -585,8 +588,9 @@ std::vector<FrequentItemset> LevelWiseLoop(
     std::vector<Itemset> next;
     for (std::size_t c = 0; c < candidates.size(); ++c) {
       if (counters != nullptr) {
-        counters->candidates_pruned_chernoff += outcomes[c].chernoff_pruned;
-        counters->exact_probability_evaluations += outcomes[c].exact_evaluated;
+        counters->candidates_rejected_bound += outcomes[c].bound_rejected;
+        counters->candidates_accepted_bound += outcomes[c].bound_accepted;
+        counters->exact_tail_evals += outcomes[c].exact_evaluated;
       }
       if (outcomes[c].fi.has_value()) {
         next.push_back(candidates[c]);
@@ -637,16 +641,39 @@ std::vector<FrequentItemset> MineAprioriGeneric(const UncertainDatabase& db,
 
 std::vector<FrequentItemset> MineProbabilisticApriori(
     const FlatView& view, std::size_t msc, double pft, const TailFn& tail_fn,
-    bool use_chernoff, MiningCounters* counters, std::size_t num_threads,
-    bool parallel_tails) {
+    const ProbabilisticLoopOptions& options, MiningCounters* counters) {
+  const bool cascade = options.prefilter == PrefilterMode::kBounds &&
+                       options.certified_tail;
   auto judge = [&](const Itemset& itemset, CandidateStats& cs,
                    std::size_t ordinal) -> JudgeOutcome {
     JudgeOutcome out;
-    if (use_chernoff && ChernoffCertifiesInfrequent(cs.esup, msc, pft)) {
-      out.chernoff_pruned = true;
+    if (options.use_chernoff && ChernoffCertifiesInfrequent(cs.esup, msc, pft)) {
+      out.bound_rejected = true;
       return out;
     }
+    bool accept_certified = false;
+    if (cascade) {
+      const TailInterval interval =
+          CertifiedTailInterval(cs.esup, cs.esup - cs.sq_sum, msc);
+      switch (ClassifyTail(interval, pft)) {
+        case BoundDecision::kReject:
+          // Certified Pr(sup >= msc) <= pft: the exact tail could only
+          // confirm infrequency, so skip it — the one place the cascade
+          // saves the expensive evaluation.
+          out.bound_rejected = true;
+          return out;
+        case BoundDecision::kAccept:
+          // Certified frequent — but the reported annotation must stay
+          // the exact tail value (identical output with the prefilter
+          // off), so fall through to the evaluation and only count it.
+          accept_certified = true;
+          break;
+        case BoundDecision::kUndecided:
+          break;
+      }
+    }
     out.exact_evaluated = true;
+    out.bound_accepted = accept_certified;
     const double tail = tail_fn(cs.probs, msc, ordinal);
     if (!(tail > pft)) return out;
     FrequentItemset fi;
@@ -657,17 +684,18 @@ std::vector<FrequentItemset> MineProbabilisticApriori(
     out.fi = std::move(fi);
     return out;
   };
-  return LevelWiseLoop(view, judge, /*collect_probs=*/true,
-                       /*decremental_threshold=*/-1.0, counters, num_threads,
-                       /*judge_threads=*/parallel_tails ? num_threads : 1);
+  return LevelWiseLoop(
+      view, judge, /*collect_probs=*/true,
+      /*decremental_threshold=*/-1.0, counters, options.num_threads,
+      /*judge_threads=*/options.parallel_tails ? options.num_threads : 1);
 }
 
 std::vector<FrequentItemset> MineProbabilisticApriori(
     const UncertainDatabase& db, std::size_t msc, double pft,
-    const TailFn& tail_fn, bool use_chernoff, MiningCounters* counters,
-    std::size_t num_threads, bool parallel_tails) {
-  return MineProbabilisticApriori(FlatView(db), msc, pft, tail_fn, use_chernoff,
-                                  counters, num_threads, parallel_tails);
+    const TailFn& tail_fn, const ProbabilisticLoopOptions& options,
+    MiningCounters* counters) {
+  return MineProbabilisticApriori(FlatView(db), msc, pft, tail_fn, options,
+                                  counters);
 }
 
 }  // namespace ufim

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/flat_view.h"
+#include "core/miner.h"
 #include "core/mining_result.h"
 #include "core/uncertain_database.h"
 
@@ -150,26 +151,44 @@ using TailFn = std::function<double(const std::vector<double>& probs,
                                     std::size_t msc,
                                     std::size_t candidate_ordinal)>;
 
-/// The exact probabilistic variant: per candidate, first the O(1)
-/// Chernoff test on esup (when `use_chernoff`), then the exact tail
-/// Pr(sup >= msc) via `tail_fn` (DP or DC). Frequent iff tail > pft.
-///
-/// `num_threads` parallelizes candidate counting, and — when
-/// `parallel_tails` is set — the per-candidate tail evaluations as well,
-/// which dominate DP/DC (and MCSampling) runtime. Set `parallel_tails`
-/// only for a `tail_fn` that is safe to call concurrently: a pure
-/// function of its arguments — including `candidate_ordinal`, which is
-/// how MCSampling's sampler qualifies since its per-candidate RNG
-/// streams are derived, not shared. Tail values are then pure per
-/// candidate, so parallel evaluation stays bit-identical.
+/// Execution options of the probabilistic level-wise loop.
+struct ProbabilisticLoopOptions {
+  /// Per-candidate O(1) Chernoff test on esup before the tail (part of
+  /// the bounded algorithm variants DPB/DCB and of MCSampling's
+  /// definition; counted under candidates_rejected_bound).
+  bool use_chernoff = false;
+  /// Bound-cascade prefilter (kBounds): candidates whose certified
+  /// two-sided interval (prob/bound_cascade.h) excludes pft skip the
+  /// tail. Applies only when `certified_tail` is also true.
+  PrefilterMode prefilter = PrefilterMode::kOff;
+  /// True when `tail_fn` computes the true tail (DP/DC), so a certified
+  /// analytic bound may overrule it. False for estimators (MCSampling):
+  /// the cascade could contradict the estimate and change the reported
+  /// result set, so the framework never applies it there.
+  bool certified_tail = true;
+  /// Worker threads for candidate counting (0 = all hardware threads).
+  std::size_t num_threads = 1;
+  /// Also parallelize per-candidate tail evaluations. Only safe for a
+  /// `tail_fn` that is a pure function of its arguments — including
+  /// `candidate_ordinal`, which is how MCSampling's sampler qualifies
+  /// since its per-candidate RNG streams are derived, not shared.
+  bool parallel_tails = false;
+};
+
+/// The probabilistic variant of the level-wise loop: per candidate, the
+/// O(1) screens above (Chernoff, bound cascade), then the tail
+/// Pr(sup >= msc) via `tail_fn` (DP, DC or an estimator). Frequent iff
+/// tail > pft; the reported frequent_probability is always the tail_fn
+/// value, never a bound, so the prefilter cannot change reported results
+/// — certified *rejects* skip the tail, certified *accepts* are counted
+/// (candidates_accepted_bound) but still evaluated for the annotation.
 std::vector<FrequentItemset> MineProbabilisticApriori(
     const FlatView& view, std::size_t msc, double pft, const TailFn& tail_fn,
-    bool use_chernoff, MiningCounters* counters, std::size_t num_threads = 1,
-    bool parallel_tails = false);
+    const ProbabilisticLoopOptions& options, MiningCounters* counters);
 std::vector<FrequentItemset> MineProbabilisticApriori(
     const UncertainDatabase& db, std::size_t msc, double pft,
-    const TailFn& tail_fn, bool use_chernoff, MiningCounters* counters,
-    std::size_t num_threads = 1, bool parallel_tails = false);
+    const TailFn& tail_fn, const ProbabilisticLoopOptions& options,
+    MiningCounters* counters);
 
 }  // namespace ufim
 

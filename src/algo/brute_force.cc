@@ -139,7 +139,7 @@ Result<MiningResult> BruteForceProbabilistic::MineProbabilistic(
                             ? SingleItem(view, next)
                             : Extend(view, frame.cont, next, scratch);
       if (ext.probs.size() < msc) continue;  // support can never reach msc
-      result.counters().exact_probability_evaluations++;
+      result.counters().exact_tail_evals++;
       const double tail = TailFromPmf(FullPmf(ext.probs), msc);
       if (!(tail > params.pft)) continue;
       Frame child{frame.itemset.empty() ? Itemset{next}

@@ -14,14 +14,18 @@ Result<MiningResult> ExactDC::MineProbabilistic(
   const std::size_t msc = params.MinSupportCount(view.num_transactions());
   const std::size_t fft_threshold = fft_threshold_;
   MiningResult result;
+  ProbabilisticLoopOptions loop;
+  loop.use_chernoff = use_chernoff_;
+  loop.prefilter = prefilter_;
+  loop.num_threads = num_threads_;
+  loop.parallel_tails = true;
   std::vector<FrequentItemset> found = MineProbabilisticApriori(
       view, msc, params.pft,
       [fft_threshold](const std::vector<double>& probs, std::size_t k,
                       std::size_t /*ordinal*/) {
         return PoissonBinomialTailDC(probs, k, fft_threshold);
       },
-      use_chernoff_, &result.counters(), num_threads_,
-      /*parallel_tails=*/true);
+      loop, &result.counters());
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
@@ -32,7 +36,8 @@ UFIM_REGISTER_MINER("DCNB", TaskFamily::kProbabilistic,
                     [](const MinerOptions& options) {
                       return std::make_unique<ExactDC>(
                           /*use_chernoff_pruning=*/false,
-                          options.dc_fft_threshold, options.num_threads);
+                          options.dc_fft_threshold, options.num_threads,
+                          options.prefilter);
                     })
 
 UFIM_REGISTER_MINER("DCB", TaskFamily::kProbabilistic,
@@ -40,7 +45,8 @@ UFIM_REGISTER_MINER("DCB", TaskFamily::kProbabilistic,
                     [](const MinerOptions& options) {
                       return std::make_unique<ExactDC>(
                           /*use_chernoff_pruning=*/true,
-                          options.dc_fft_threshold, options.num_threads);
+                          options.dc_fft_threshold, options.num_threads,
+                          options.prefilter);
                     })
 
 }  // namespace ufim

@@ -20,11 +20,15 @@ class ExactDC final : public ProbabilisticMiner {
   /// `num_threads` parallelizes both candidate counting and the
   /// per-candidate DC tail evaluations (the dominant cost); results are
   /// bit-identical (see MinerOptions::num_threads).
+  /// `prefilter` == kBounds screens candidates with the certified bound
+  /// cascade before the DC evaluation; results are identical to kOff.
   explicit ExactDC(bool use_chernoff_pruning, std::size_t fft_threshold = 64,
-                   std::size_t num_threads = 1)
+                   std::size_t num_threads = 1,
+                   PrefilterMode prefilter = PrefilterMode::kOff)
       : use_chernoff_(use_chernoff_pruning),
         fft_threshold_(fft_threshold),
-        num_threads_(num_threads) {}
+        num_threads_(num_threads),
+        prefilter_(prefilter) {}
 
   std::string_view name() const override { return use_chernoff_ ? "DCB" : "DCNB"; }
   bool is_exact() const override { return true; }
@@ -37,6 +41,7 @@ class ExactDC final : public ProbabilisticMiner {
   bool use_chernoff_;
   std::size_t fft_threshold_;
   std::size_t num_threads_;
+  PrefilterMode prefilter_;
 };
 
 }  // namespace ufim

@@ -13,12 +13,26 @@ Result<MiningResult> ExactDP::MineProbabilistic(
   UFIM_RETURN_IF_ERROR(params.Validate());
   const std::size_t msc = params.MinSupportCount(view.num_transactions());
   MiningResult result;
+  // With the prefilter on, candidates the DP cannot lift above pft are
+  // abandoned mid-evaluation (certified: the early exit only fires when
+  // the completed DP would also land <= pft). The scratch row lives per
+  // worker thread, so the O(msc) pmf allocation is paid once per worker
+  // for the whole run instead of once per tail evaluation.
+  const double reject_threshold =
+      prefilter_ == PrefilterMode::kBounds ? params.pft : -1.0;
+  ProbabilisticLoopOptions loop;
+  loop.use_chernoff = use_chernoff_;
+  loop.prefilter = prefilter_;
+  loop.num_threads = num_threads_;
+  loop.parallel_tails = true;
   std::vector<FrequentItemset> found = MineProbabilisticApriori(
       view, msc, params.pft,
-      [](const std::vector<double>& probs, std::size_t k,
-         std::size_t /*ordinal*/) { return PoissonBinomialTailDP(probs, k); },
-      use_chernoff_, &result.counters(), num_threads_,
-      /*parallel_tails=*/true);
+      [reject_threshold](const std::vector<double>& probs, std::size_t k,
+                         std::size_t /*ordinal*/) {
+        thread_local DpScratch scratch;
+        return PoissonBinomialTailDP(probs, k, reject_threshold, scratch);
+      },
+      loop, &result.counters());
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
@@ -29,7 +43,7 @@ UFIM_REGISTER_MINER("DPNB", TaskFamily::kProbabilistic,
                     [](const MinerOptions& options) {
                       return std::make_unique<ExactDP>(
                           /*use_chernoff_pruning=*/false,
-                          options.num_threads);
+                          options.num_threads, options.prefilter);
                     })
 
 UFIM_REGISTER_MINER("DPB", TaskFamily::kProbabilistic,
@@ -37,7 +51,7 @@ UFIM_REGISTER_MINER("DPB", TaskFamily::kProbabilistic,
                     [](const MinerOptions& options) {
                       return std::make_unique<ExactDP>(
                           /*use_chernoff_pruning=*/true,
-                          options.num_threads);
+                          options.num_threads, options.prefilter);
                     })
 
 }  // namespace ufim

@@ -17,8 +17,17 @@ class ExactDP final : public ProbabilisticMiner {
   /// `num_threads` parallelizes both candidate counting and the
   /// per-candidate DP tail evaluations (the dominant cost); results are
   /// bit-identical (see MinerOptions::num_threads).
-  explicit ExactDP(bool use_chernoff_pruning, std::size_t num_threads = 1)
-      : use_chernoff_(use_chernoff_pruning), num_threads_(num_threads) {}
+  ///
+  /// `prefilter` == kBounds enables the bound cascade
+  /// (ProbabilisticLoopOptions::prefilter) plus a certified mid-DP early
+  /// reject inside each tail evaluation; reported results are identical
+  /// to kOff. Independent of the knob, the DP row is kept in per-worker
+  /// scratch reused across every candidate of every level.
+  explicit ExactDP(bool use_chernoff_pruning, std::size_t num_threads = 1,
+                   PrefilterMode prefilter = PrefilterMode::kOff)
+      : use_chernoff_(use_chernoff_pruning),
+        num_threads_(num_threads),
+        prefilter_(prefilter) {}
 
   std::string_view name() const override { return use_chernoff_ ? "DPB" : "DPNB"; }
   bool is_exact() const override { return true; }
@@ -30,6 +39,7 @@ class ExactDP final : public ProbabilisticMiner {
  private:
   bool use_chernoff_;
   std::size_t num_threads_;
+  PrefilterMode prefilter_;
 };
 
 }  // namespace ufim

@@ -24,8 +24,19 @@ Result<MiningResult> MCSampling::MineProbabilistic(
   // across thread counts, so the estimate per candidate — and therefore
   // the whole result — is bit-identical whether tails are evaluated
   // sequentially or in parallel.
-  auto tail_estimator = [samples, seed](const std::vector<double>& probs,
-                                        std::size_t k, std::size_t ordinal) {
+  // Bounds mode: stop a candidate's sampling once even an all-hit run of
+  // the remaining samples could not lift the estimate above pft. The
+  // returned ceiling is <= pft by the very comparison that triggered the
+  // exit, and the full run's estimate can only be smaller, so the
+  // frequent/infrequent decision — and because infrequent estimates are
+  // never reported, the entire result — is identical to a full run.
+  // Per-candidate RNG streams make the shortcut invisible to every other
+  // candidate.
+  const bool early_exit = prefilter_ == PrefilterMode::kBounds;
+  const double pft = params.pft;
+  auto tail_estimator = [samples, seed, early_exit,
+                         pft](const std::vector<double>& probs, std::size_t k,
+                              std::size_t ordinal) {
     if (k == 0) return 1.0;
     if (probs.size() < k) return 0.0;
     Rng rng(DeriveStreamSeed(seed, ordinal));
@@ -44,13 +55,23 @@ Result<MiningResult> MCSampling::MineProbabilistic(
         --remaining;
       }
       if (count >= k) ++hits;
+      if (early_exit) {
+        const double ceiling =
+            static_cast<double>(hits + (samples - s - 1)) /
+            static_cast<double>(samples);
+        if (ceiling <= pft) return ceiling;
+      }
     }
     return static_cast<double>(hits) / static_cast<double>(samples);
   };
+  ProbabilisticLoopOptions loop;
+  loop.use_chernoff = true;  // part of the algorithm in both modes
+  loop.prefilter = prefilter_;
+  loop.certified_tail = false;  // estimator: bounds may not overrule it
+  loop.num_threads = num_threads_;
+  loop.parallel_tails = true;
   std::vector<FrequentItemset> found = MineProbabilisticApriori(
-      view, msc, params.pft, tail_estimator,
-      /*use_chernoff=*/true, &result.counters(), num_threads_,
-      /*parallel_tails=*/true);
+      view, msc, params.pft, tail_estimator, loop, &result.counters());
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
@@ -61,7 +82,7 @@ UFIM_REGISTER_MINER("MCSampling", TaskFamily::kProbabilistic,
                     [](const MinerOptions& options) {
                       return std::make_unique<MCSampling>(
                           options.mc_samples, options.mc_seed,
-                          options.num_threads);
+                          options.num_threads, options.prefilter);
                     })
 
 }  // namespace ufim

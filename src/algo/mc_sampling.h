@@ -24,10 +24,20 @@ class MCSampling final : public ProbabilisticMiner {
   /// derived from (seed, stable candidate ordinal) — see
   /// DeriveStreamSeed — so concurrent evaluation consumes no shared
   /// state and results are bit-identical at every thread count.
+  /// `prefilter` == kBounds: because the tail is an *estimate*, analytic
+  /// bounds on the true tail may not overrule it (they could disagree
+  /// with the estimator and change the result set), so the framework
+  /// cascade stays off. Instead the sampler stops early once the
+  /// remaining samples can no longer lift the estimate above pft — a
+  /// decision-identical shortcut, so results still match kOff exactly.
   explicit MCSampling(std::size_t num_samples = 1024,
                       std::uint64_t seed = 0xC0FFEE,
-                      std::size_t num_threads = 1)
-      : num_samples_(num_samples), seed_(seed), num_threads_(num_threads) {}
+                      std::size_t num_threads = 1,
+                      PrefilterMode prefilter = PrefilterMode::kOff)
+      : num_samples_(num_samples),
+        seed_(seed),
+        num_threads_(num_threads),
+        prefilter_(prefilter) {}
 
   std::string_view name() const override { return "MCSampling"; }
   bool is_exact() const override { return false; }
@@ -40,6 +50,7 @@ class MCSampling final : public ProbabilisticMiner {
   std::size_t num_samples_;
   std::uint64_t seed_;
   std::size_t num_threads_;
+  PrefilterMode prefilter_;
 };
 
 }  // namespace ufim

@@ -38,6 +38,22 @@ Status TopKParams::Validate() const {
   return Status::OK();
 }
 
+bool ParsePrefilterMode(std::string_view text, PrefilterMode* mode) {
+  if (text == "off") {
+    *mode = PrefilterMode::kOff;
+    return true;
+  }
+  if (text == "bounds") {
+    *mode = PrefilterMode::kBounds;
+    return true;
+  }
+  return false;
+}
+
+std::string_view PrefilterModeName(PrefilterMode mode) {
+  return mode == PrefilterMode::kBounds ? "bounds" : "off";
+}
+
 std::string_view TaskKindName(const MiningTask& task) {
   if (std::holds_alternative<ExpectedSupportParams>(task)) {
     return "expected-support";

@@ -58,6 +58,24 @@ using MiningTask =
 /// "expected-support", "probabilistic" or "top-k" — for diagnostics.
 std::string_view TaskKindName(const MiningTask& task);
 
+/// Candidate-level screening applied before the exact tail evaluation of
+/// the probabilistic apriori family (DP, DC, MCSampling).
+enum class PrefilterMode {
+  /// No screening beyond what the algorithm's own definition prescribes.
+  kOff,
+  /// Two-sided bound cascade (Chernoff + Cantelli + Berry-Esseen-certified
+  /// normal envelope): candidates whose certified interval excludes the
+  /// pft threshold skip the exact tail. Result sets and reported
+  /// probabilities are identical to kOff by construction.
+  kBounds,
+};
+
+/// Parses "off" / "bounds"; returns false on any other spelling.
+bool ParsePrefilterMode(std::string_view text, PrefilterMode* mode);
+
+/// Canonical spelling of a mode ("off", "bounds").
+std::string_view PrefilterModeName(PrefilterMode mode);
+
 /// Tuning knobs shared across miners. Defaults mirror the optimized
 /// configurations the paper's study used.
 struct MinerOptions {
@@ -78,6 +96,8 @@ struct MinerOptions {
   std::size_t mc_samples = 1024;
   /// MCSampling: RNG seed (results are deterministic in it).
   std::uint64_t mc_seed = 0xC0FFEE;
+  /// Probabilistic apriori family: bound-cascade prefilter (--prefilter).
+  PrefilterMode prefilter = PrefilterMode::kOff;
 };
 
 /// The unified mining interface: every algorithm in the repo — the three

@@ -32,8 +32,17 @@ struct FrequentItemset {
 struct MiningCounters {
   std::uint64_t candidates_generated = 0;   ///< itemsets whose support was evaluated
   std::uint64_t candidates_pruned_apriori = 0;  ///< dropped by downward closure
-  std::uint64_t candidates_pruned_chernoff = 0; ///< dropped by the Chernoff bound
-  std::uint64_t exact_probability_evaluations = 0;  ///< full DP/DC computations
+  /// Candidates certified infrequent by an O(1) bound (Chernoff or the
+  /// two-sided bound cascade) without an exact tail evaluation.
+  std::uint64_t candidates_rejected_bound = 0;
+  /// Candidates certified frequent by the bound cascade. Accepts are
+  /// diagnostic only: the exact tail is still evaluated so that reported
+  /// frequent probabilities are identical with the prefilter on or off.
+  std::uint64_t candidates_accepted_bound = 0;
+  /// Exact (or estimator) tail computations performed. Together with
+  /// candidates_rejected_bound this partitions candidates_generated for
+  /// the probabilistic apriori family.
+  std::uint64_t exact_tail_evals = 0;
   std::uint64_t database_scans = 0;
 
   /// Accumulates another run's (or parallel task's) counters. Integer
@@ -42,8 +51,9 @@ struct MiningCounters {
   MiningCounters& operator+=(const MiningCounters& other) {
     candidates_generated += other.candidates_generated;
     candidates_pruned_apriori += other.candidates_pruned_apriori;
-    candidates_pruned_chernoff += other.candidates_pruned_chernoff;
-    exact_probability_evaluations += other.exact_probability_evaluations;
+    candidates_rejected_bound += other.candidates_rejected_bound;
+    candidates_accepted_bound += other.candidates_accepted_bound;
+    exact_tail_evals += other.exact_tail_evals;
     database_scans += other.database_scans;
     return *this;
   }

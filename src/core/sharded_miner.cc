@@ -114,8 +114,9 @@ Result<MiningResult> ShardedMiner::Mine(const FlatView& view,
     const MiningCounters& sc = local[s]->counters();
     agg.candidates_generated += sc.candidates_generated;
     agg.candidates_pruned_apriori += sc.candidates_pruned_apriori;
-    agg.candidates_pruned_chernoff += sc.candidates_pruned_chernoff;
-    agg.exact_probability_evaluations += sc.exact_probability_evaluations;
+    agg.candidates_rejected_bound += sc.candidates_rejected_bound;
+    agg.candidates_accepted_bound += sc.candidates_accepted_bound;
+    agg.exact_tail_evals += sc.exact_tail_evals;
     agg.database_scans += sc.database_scans;
     for (const FrequentItemset& fi : local[s]->itemsets()) {
       if (seen.insert(fi.itemset).second) {

@@ -1,0 +1,77 @@
+#include "prob/bound_cascade.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "prob/chernoff.h"
+#include "prob/normal.h"
+
+namespace ufim {
+
+namespace {
+
+// Absolute widening applied to the final interval. The analytic bounds are
+// exact for the true tail; the slack covers floating-point error both here
+// and in the DP/DC evaluators the decision is compared against (whose
+// accumulated error is orders of magnitude below 1e-9 for any realistic n).
+constexpr double kSlack = 1e-9;
+
+// Shevtsova (2010) constant for the Berry-Esseen bound on sums of
+// independent, non-identically distributed variables.
+constexpr double kBerryEsseenC = 0.56;
+
+// Cantelli upper tail: Pr(S - mu >= a) <= v / (v + a^2) for a > 0.
+double CantelliUpper(double mean, double variance, std::size_t msc) {
+  const double a = static_cast<double>(msc) - mean;
+  if (a <= 0.0) return 1.0;  // threshold not above the mean: vacuous
+  if (variance <= 0.0) return 0.0;
+  return variance / (variance + a * a);
+}
+
+// Cantelli lower tail: Pr(S >= msc) = 1 - Pr(mu - S >= mu - msc + 1)
+// >= 1 - v / (v + b^2) with b = mu - msc + 1 > 0.
+double CantelliLower(double mean, double variance, std::size_t msc) {
+  const double b = mean - static_cast<double>(msc) + 1.0;
+  if (b <= 0.0) return 0.0;  // threshold above the mean: vacuous
+  if (variance <= 0.0) return 1.0;
+  return 1.0 - variance / (variance + b * b);
+}
+
+}  // namespace
+
+TailInterval CertifiedTailInterval(double mean, double variance,
+                                   std::size_t msc) {
+  if (msc == 0) return {1.0, 1.0};  // Pr(S >= 0) == 1 identically
+  const double var = variance > 0.0 ? variance : 0.0;
+
+  double lower = std::max(ChernoffLowerBound(mean, msc),
+                          CantelliLower(mean, var, msc));
+  double upper = std::min(ChernoffUpperBound(mean, msc),
+                          CantelliUpper(mean, var, msc));
+
+  if (var > 0.0) {
+    // Berry-Esseen certified normal envelope around
+    // Pr(S >= msc) = 1 - Pr(S <= msc - 1).
+    const double sigma = std::sqrt(var);
+    const double envelope = kBerryEsseenC / sigma;  // C * psi, psi <= 1/sigma
+    if (envelope < 0.5) {                           // otherwise vacuous
+      const double z = (static_cast<double>(msc) - 1.0 - mean) / sigma;
+      const double estimate = 1.0 - StdNormalCdf(z);
+      lower = std::max(lower, estimate - envelope);
+      upper = std::min(upper, estimate + envelope);
+    }
+  }
+
+  lower = std::max(0.0, lower - kSlack);
+  upper = std::min(1.0, upper + kSlack);
+  if (lower > upper) return {0.0, 1.0};  // inconsistent: fall back to vacuous
+  return {lower, upper};
+}
+
+BoundDecision ClassifyTail(const TailInterval& interval, double pft) {
+  if (interval.upper <= pft) return BoundDecision::kReject;
+  if (interval.lower > pft) return BoundDecision::kAccept;
+  return BoundDecision::kUndecided;
+}
+
+}  // namespace ufim

@@ -1,0 +1,49 @@
+#ifndef UFIM_PROB_BOUND_CASCADE_H_
+#define UFIM_PROB_BOUND_CASCADE_H_
+
+#include <cstddef>
+
+namespace ufim {
+
+/// Certified screening of the frequent probability Pr(sup >= msc) from the
+/// first two support moments alone, in O(1) — the "cheap path first" stage
+/// in front of the exact O(n * msc) Poisson-binomial tail.
+///
+/// The interval is the intersection of three independently valid
+/// two-sided envelopes:
+///   1. Chernoff: the paper's Lemma 1 upper bound plus the multiplicative
+///      lower-tail bound (prob/chernoff.h).
+///   2. Cantelli (one-sided Chebyshev): sigma^2 / (sigma^2 + a^2) on each
+///      side. Unlike the normal envelope this degrades gracefully as
+///      sigma -> 0, collapsing to the exact step function at sigma == 0.
+///   3. Normal approximation with a Berry-Esseen error envelope:
+///      |Pr(S <= x) - Phi((x - mu)/sigma)| <= C * psi with C = 0.56
+///      (Shevtsova 2010) and psi = sum E|X_i - p_i|^3 / sigma^3 <= 1/sigma
+///      because sum p_i(1-p_i)(1-2p_i(1-p_i)) <= sigma^2. This certifies
+///      the normal estimate rather than trusting it.
+///
+/// Every bound is widened by an absolute slack (1e-9) before use so that
+/// floating-point error in either the bound or the exact evaluator can
+/// never flip a certified decision; the result therefore satisfies
+/// lower <= exact tail <= upper for any evaluator accurate to ~1e-10.
+struct TailInterval {
+  double lower = 0.0;
+  double upper = 1.0;
+};
+
+TailInterval CertifiedTailInterval(double mean, double variance,
+                                   std::size_t msc);
+
+/// Three-way outcome of screening an interval against the frequentness
+/// threshold pft (an itemset is frequent iff Pr(sup >= msc) > pft).
+enum class BoundDecision {
+  kReject,     ///< upper <= pft: certifiably NOT frequent
+  kAccept,     ///< lower >  pft: certifiably frequent
+  kUndecided,  ///< pft lies inside the residual uncertainty band
+};
+
+BoundDecision ClassifyTail(const TailInterval& interval, double pft);
+
+}  // namespace ufim
+
+#endif  // UFIM_PROB_BOUND_CASCADE_H_

@@ -25,4 +25,14 @@ bool ChernoffCertifiesInfrequent(double mu, std::size_t msc, double pft) {
   return ChernoffUpperBound(mu, msc) <= pft;
 }
 
+double ChernoffLowerBound(double mu, std::size_t msc) {
+  if (msc == 0) return 1.0;  // Pr(S >= 0) is identically 1.
+  if (mu <= 0.0) return 0.0;
+  const double delta = (mu - static_cast<double>(msc) + 1.0) / mu;
+  if (delta <= 0.0) return 0.0;  // threshold at or above the mean: vacuous
+  const double clamped = delta > 1.0 ? 1.0 : delta;
+  const double lower = 1.0 - std::exp(-clamped * clamped * mu / 2.0);
+  return lower < 0.0 ? 0.0 : lower;
+}
+
 }  // namespace ufim

@@ -28,6 +28,17 @@ double ChernoffUpperBound(double mu, std::size_t msc);
 /// the paper's Table 4 charges to this test.
 bool ChernoffCertifiesInfrequent(double mu, std::size_t msc, double pft);
 
+/// Lower-tail counterpart: a certified lower bound on Pr(sup >= msc).
+/// From the multiplicative Chernoff bound Pr(S <= (1-delta) mu) <=
+/// exp(-delta^2 mu / 2) with (1-delta) mu = msc - 1, i.e.
+/// delta = (mu - msc + 1) / mu, valid when 0 < delta <= 1:
+///
+///   Pr(sup >= msc) = 1 - Pr(S <= msc - 1) >= 1 - exp(-delta^2 mu / 2).
+///
+/// Returns 0.0 when inapplicable (mu <= msc - 1, or mu == 0 with
+/// msc > 0), so the result is always a valid (if vacuous) lower bound.
+double ChernoffLowerBound(double mu, std::size_t msc);
+
 }  // namespace ufim
 
 #endif  // UFIM_PROB_CHERNOFF_H_

@@ -16,17 +16,29 @@ SupportMoments ComputeSupportMoments(const std::vector<double>& probs) {
   return SupportMoments{mean.value(), var.value()};
 }
 
-std::vector<double> PoissonBinomialCappedPmfDP(const std::vector<double>& probs,
-                                               std::size_t cap) {
-  // pmf[j] = Pr(exactly j successes so far) for j < top;
-  // pmf[top] = Pr(>= top) once the overflow bucket is live (top == cap).
-  const std::size_t top = std::min(cap, probs.size());
-  if (top == 0) return {1.0};  // cap == 0 or no trials: all mass at "via >= 0"
-  std::vector<double> pmf(top + 1, 0.0);
+namespace {
+
+// Shared DP core. Fills `pmf` (resized to top + 1) with the cap-truncated
+// distribution: pmf[j] = Pr(exactly j successes so far) for j < top;
+// pmf[top] = Pr(>= top) once the overflow bucket is live. When
+// reject_threshold >= 0, the final overflow mass is periodically bounded
+// from the partial state; once Pr(S_n >= top) is certified to be at least
+// a safety margin below reject_threshold, the DP aborts, stores the bound
+// in *early_bound, and returns true. Returns false after a full run.
+bool TailDpCore(const std::vector<double>& probs, std::size_t top, bool capped,
+                double reject_threshold, std::vector<double>& pmf,
+                double* early_bound) {
+  pmf.assign(top + 1, 0.0);
   pmf[0] = 1.0;
   std::size_t filled = 0;  // highest index with possibly-nonzero mass
-  const bool capped = probs.size() > cap;
-  for (double p : probs) {
+  const std::size_t n = probs.size();
+  // Margin under the caller's threshold: a completed DP differs from the
+  // true tail by accumulated rounding only, so certifying with this much
+  // headroom guarantees the completed evaluation would also land <= the
+  // threshold — early exit can never flip a frequent/infrequent decision.
+  constexpr double kAbortSlack = 1e-7;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = probs[i];
     const std::size_t hi = std::min(filled + 1, top);
     for (std::size_t j = hi; j > 0; --j) {
       const bool overflow_bin = capped && j == top;
@@ -39,7 +51,34 @@ std::vector<double> PoissonBinomialCappedPmfDP(const std::vector<double>& probs,
     }
     pmf[0] *= (1.0 - p);
     filled = hi;
+    if (reject_threshold >= 0.0 && (i & 63u) == 63u && i + 1 < n) {
+      const std::size_t remaining = n - i - 1;
+      if (remaining < top) {
+        // Worlds gain at most one success per remaining trial, so
+        // Pr(S_n >= top) <= Pr(S_i >= top - remaining).
+        double reachable = 0.0;
+        for (std::size_t j = top - remaining; j <= filled; ++j) {
+          reachable += pmf[j];
+        }
+        if (reachable + kAbortSlack <= reject_threshold) {
+          *early_bound = reachable;
+          return true;
+        }
+      }
+    }
   }
+  return false;
+}
+
+}  // namespace
+
+std::vector<double> PoissonBinomialCappedPmfDP(const std::vector<double>& probs,
+                                               std::size_t cap) {
+  const std::size_t top = std::min(cap, probs.size());
+  if (top == 0) return {1.0};  // cap == 0 or no trials: all mass at "via >= 0"
+  std::vector<double> pmf;
+  TailDpCore(probs, top, /*capped=*/probs.size() > cap,
+             /*reject_threshold=*/-1.0, pmf, nullptr);
   return pmf;
 }
 
@@ -47,11 +86,21 @@ double PoissonBinomialTailDP(const std::vector<double>& probs, std::size_t k) {
   if (k == 0) return 1.0;
   if (probs.size() < k) return 0.0;
   const std::vector<double> pmf = PoissonBinomialCappedPmfDP(probs, k);
-  if (probs.size() == k) {
-    // No overflow bucket was needed; tail is exactly Pr(S = k).
-    return pmf[k];
-  }
+  // The last bin holds Pr(>= k) when capped and Pr(= k) == Pr(>= k) when
+  // n == k; either way index k is the tail.
   return pmf[k];
+}
+
+double PoissonBinomialTailDP(const std::vector<double>& probs, std::size_t k,
+                             double reject_threshold, DpScratch& scratch) {
+  if (k == 0) return 1.0;
+  if (probs.size() < k) return 0.0;
+  double early_bound = 0.0;
+  if (TailDpCore(probs, k, /*capped=*/probs.size() > k, reject_threshold,
+                 scratch.pmf, &early_bound)) {
+    return early_bound;
+  }
+  return scratch.pmf[k];
 }
 
 namespace {

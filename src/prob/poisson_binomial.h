@@ -32,6 +32,29 @@ double PoissonBinomialTailDP(const std::vector<double>& probs, std::size_t k);
 std::vector<double> PoissonBinomialCappedPmfDP(const std::vector<double>& probs,
                                                std::size_t cap);
 
+/// Reusable workspace for the tail DP. Level-wise miners keep one per
+/// worker thread so the O(k) pmf row is allocated once and recycled across
+/// every candidate of every level instead of per tail evaluation.
+struct DpScratch {
+  std::vector<double> pmf;
+};
+
+/// Tail DP over reusable scratch, with an optional certified early reject.
+///
+/// When `reject_threshold` >= 0 the partial pmf is periodically used to
+/// bound the final tail from above: after i of n trials, every world with
+/// S_n >= k must already have S_i >= k - (n - i), so
+/// Pr(S_n >= k) <= sum_{j >= k - (n-i)} pmf_i[j]. Once that bound drops
+/// far enough below `reject_threshold` (a 1e-7 safety margin absorbs
+/// floating-point drift) the DP aborts and returns the bound — which is
+/// itself <= reject_threshold, so callers comparing the result against the
+/// threshold make the same infrequent/frequent decision a full evaluation
+/// would. When the DP runs to completion the result is bit-identical to
+/// PoissonBinomialTailDP(probs, k). reject_threshold < 0 disables the
+/// early exit entirely (pure scratch reuse).
+double PoissonBinomialTailDP(const std::vector<double>& probs, std::size_t k,
+                             double reject_threshold, DpScratch& scratch);
+
 /// Exact upper tail Pr(S >= k) by the divide-and-conquer convolution of
 /// Sun et al. (§3.2.2): splits the trial list, recursively computes the
 /// two tail-capped sub-pmfs, and conquers with (FFT) convolution —

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "gen/benchmark_datasets.h"
+#include "prob/poisson_binomial.h"
 #include "testing/random_db.h"
 
 namespace ufim {
@@ -110,10 +111,42 @@ TEST(MineProbabilisticAprioriTest, ChernoffCountersMove) {
   auto zero_tail = [](const std::vector<double>&, std::size_t, std::size_t) {
     return 1.0;
   };
-  MineProbabilisticApriori(db, 30, 0.9, zero_tail, false, &without_bound);
-  EXPECT_EQ(without_bound.candidates_pruned_chernoff, 0u);
-  MineProbabilisticApriori(db, 30, 0.9, zero_tail, true, &with_bound);
-  EXPECT_GT(with_bound.candidates_pruned_chernoff, 0u);
+  ProbabilisticLoopOptions loop;
+  MineProbabilisticApriori(db, 30, 0.9, zero_tail, loop, &without_bound);
+  EXPECT_EQ(without_bound.candidates_rejected_bound, 0u);
+  loop.use_chernoff = true;
+  MineProbabilisticApriori(db, 30, 0.9, zero_tail, loop, &with_bound);
+  EXPECT_GT(with_bound.candidates_rejected_bound, 0u);
+}
+
+TEST(MineProbabilisticAprioriTest, CascadeRejectsSkipTailEvaluations) {
+  UncertainDatabase db = testing_util::MakeRandomDatabase(
+      {.seed = 7, .num_transactions = 120, .num_items = 6});
+  // Exact tail so certified decisions are honest; pft = 0.9 leaves an
+  // undecided band only around the threshold.
+  auto exact_tail = [](const std::vector<double>& probs, std::size_t k,
+                       std::size_t) { return PoissonBinomialTailDP(probs, k); };
+  MiningCounters off, bounds;
+  ProbabilisticLoopOptions loop;
+  auto baseline = MineProbabilisticApriori(db, 60, 0.9, exact_tail, loop, &off);
+  loop.prefilter = PrefilterMode::kBounds;
+  auto screened =
+      MineProbabilisticApriori(db, 60, 0.9, exact_tail, loop, &bounds);
+
+  // Identical results, fewer exact tails, and the reject/eval split still
+  // partitions the candidate count.
+  ASSERT_EQ(screened.size(), baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(screened[i].itemset, baseline[i].itemset);
+    EXPECT_EQ(*screened[i].frequent_probability,
+              *baseline[i].frequent_probability);
+  }
+  EXPECT_EQ(off.candidates_rejected_bound, 0u);
+  EXPECT_EQ(off.exact_tail_evals, off.candidates_generated);
+  EXPECT_GT(bounds.candidates_rejected_bound, 0u);
+  EXPECT_LT(bounds.exact_tail_evals, off.exact_tail_evals);
+  EXPECT_EQ(bounds.candidates_rejected_bound + bounds.exact_tail_evals,
+            bounds.candidates_generated);
 }
 
 }  // namespace

@@ -117,9 +117,9 @@ TEST(ExactMinersTest, ChernoffPruningReducesExactEvaluations) {
   auto without = ExactDP(false).Mine(db, params);
   ASSERT_TRUE(with.ok());
   ASSERT_TRUE(without.ok());
-  EXPECT_LT(with->counters().exact_probability_evaluations,
-            without->counters().exact_probability_evaluations);
-  EXPECT_GT(with->counters().candidates_pruned_chernoff, 0u);
+  EXPECT_LT(with->counters().exact_tail_evals,
+            without->counters().exact_tail_evals);
+  EXPECT_GT(with->counters().candidates_rejected_bound, 0u);
 }
 
 TEST(ExactMinersTest, NamesReflectChernoffFlag) {

@@ -65,7 +65,7 @@ TEST(CountersTest, ChernoffPlusExactEvalsCoverAllCandidates) {
     auto result = CreateProbabilisticMiner(algo)->Mine(db, params);
     ASSERT_TRUE(result.ok());
     const MiningCounters& c = result->counters();
-    EXPECT_EQ(c.candidates_pruned_chernoff + c.exact_probability_evaluations,
+    EXPECT_EQ(c.candidates_rejected_bound + c.exact_tail_evals,
               c.candidates_generated)
         << ToString(algo);
   }
@@ -82,8 +82,8 @@ TEST(CountersTest, UnboundedMinersEvaluateEverything) {
     auto result = CreateProbabilisticMiner(algo)->Mine(db, params);
     ASSERT_TRUE(result.ok());
     const MiningCounters& c = result->counters();
-    EXPECT_EQ(c.candidates_pruned_chernoff, 0u) << ToString(algo);
-    EXPECT_EQ(c.exact_probability_evaluations, c.candidates_generated)
+    EXPECT_EQ(c.candidates_rejected_bound, 0u) << ToString(algo);
+    EXPECT_EQ(c.exact_tail_evals, c.candidates_generated)
         << ToString(algo);
   }
 }

@@ -121,11 +121,11 @@ void CheckAllMiners(const UncertainDatabase& db, const std::string& tag) {
         EXPECT_EQ(run->counters().candidates_generated,
                   baseline->counters().candidates_generated)
             << label;
-        EXPECT_EQ(run->counters().candidates_pruned_chernoff,
-                  baseline->counters().candidates_pruned_chernoff)
+        EXPECT_EQ(run->counters().candidates_rejected_bound,
+                  baseline->counters().candidates_rejected_bound)
             << label;
-        EXPECT_EQ(run->counters().exact_probability_evaluations,
-                  baseline->counters().exact_probability_evaluations)
+        EXPECT_EQ(run->counters().exact_tail_evals,
+                  baseline->counters().exact_tail_evals)
             << label;
       }
     }

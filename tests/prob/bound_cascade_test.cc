@@ -1,0 +1,178 @@
+// Soundness of the bound cascade: every certified interval must bracket
+// the exact Poisson-binomial tail, for any probability vector. This is
+// the contract that lets the prefilter skip exact evaluations without
+// ever changing a mining result.
+#include "prob/bound_cascade.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "prob/chernoff.h"
+#include "prob/poisson_binomial.h"
+
+namespace ufim {
+namespace {
+
+void ExpectBrackets(const std::vector<double>& probs, std::size_t msc) {
+  const SupportMoments m = ComputeSupportMoments(probs);
+  const TailInterval interval =
+      CertifiedTailInterval(m.mean, m.variance, msc);
+  const double exact = PoissonBinomialTailDP(probs, msc);
+  EXPECT_LE(interval.lower, exact + 1e-12)
+      << "n=" << probs.size() << " msc=" << msc << " mean=" << m.mean
+      << " var=" << m.variance;
+  EXPECT_GE(interval.upper, exact - 1e-12)
+      << "n=" << probs.size() << " msc=" << msc << " mean=" << m.mean
+      << " var=" << m.variance;
+  EXPECT_LE(interval.lower, interval.upper);
+  EXPECT_GE(interval.lower, 0.0);
+  EXPECT_LE(interval.upper, 1.0);
+}
+
+void SweepThresholds(const std::vector<double>& probs) {
+  const std::size_t n = probs.size();
+  const std::size_t step = std::max<std::size_t>(1, n / 23);
+  for (std::size_t msc = 0; msc <= n + 2; msc += step) {
+    ExpectBrackets(probs, msc);
+  }
+}
+
+TEST(BoundCascadeTest, RandomUniformVectors) {
+  Rng rng(101);
+  for (std::size_t n : {1u, 2u, 5u, 17u, 64u, 200u, 1000u}) {
+    std::vector<double> probs(n);
+    for (double& p : probs) p = rng.Uniform01();
+    SweepThresholds(probs);
+  }
+}
+
+TEST(BoundCascadeTest, RandomExtremeVectors) {
+  // Mixtures of near-0 and near-1 probabilities: small variance relative
+  // to the mean, the regime where the normal envelope is tightest and a
+  // sloppy Berry-Esseen constant would be caught.
+  Rng rng(202);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 5 + rng.UniformInt(0, 395);
+    std::vector<double> probs(n);
+    for (double& p : probs) {
+      const double u = rng.Uniform01();
+      p = u < 0.5 ? rng.Uniform01() * 0.05 : 1.0 - rng.Uniform01() * 0.05;
+    }
+    SweepThresholds(probs);
+  }
+}
+
+TEST(BoundCascadeTest, DegenerateAllZero) {
+  SweepThresholds(std::vector<double>(40, 0.0));
+}
+
+TEST(BoundCascadeTest, DegenerateAllOne) {
+  // Zero variance with maximal mean: the exact tail is a step function
+  // and Cantelli must reproduce it exactly (the normal envelope is
+  // skipped at sigma == 0).
+  SweepThresholds(std::vector<double>(40, 1.0));
+  const std::vector<double> probs(40, 1.0);
+  const SupportMoments m = ComputeSupportMoments(probs);
+  EXPECT_GT(CertifiedTailInterval(m.mean, m.variance, 40).lower, 0.99);
+  EXPECT_LT(CertifiedTailInterval(m.mean, m.variance, 41).upper, 0.01);
+}
+
+TEST(BoundCascadeTest, DegenerateSingleElement) {
+  for (double p : {0.0, 0.3, 0.5, 0.999, 1.0}) {
+    SweepThresholds({p});
+  }
+}
+
+TEST(BoundCascadeTest, LargeNBeyondSmallSampleCutoff) {
+  // Length far above any Berry-Esseen small-n regime: the 0.56/sigma
+  // envelope is ~0.02 here, so the interval is genuinely informative and
+  // still must bracket the exact tail at every threshold.
+  Rng rng(303);
+  std::vector<double> probs(5000);
+  for (double& p : probs) p = rng.Uniform01();
+  const SupportMoments m = ComputeSupportMoments(probs);
+  for (std::size_t msc : {1u, 2000u, 2400u, 2500u, 2600u, 3000u, 5000u}) {
+    ExpectBrackets(probs, msc);
+  }
+  // Far from the mean the cascade must be decisive.
+  EXPECT_LT(CertifiedTailInterval(m.mean, m.variance, 3000).upper, 0.5);
+  EXPECT_GT(CertifiedTailInterval(m.mean, m.variance, 2000).lower, 0.5);
+}
+
+TEST(BoundCascadeTest, ChernoffLowerNeverExceedsExactTail) {
+  Rng rng(404);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.UniformInt(0, 199);
+    std::vector<double> probs(n);
+    for (double& p : probs) p = rng.Uniform01();
+    const SupportMoments m = ComputeSupportMoments(probs);
+    for (std::size_t msc = 0; msc <= n; msc += std::max<std::size_t>(1, n / 11)) {
+      EXPECT_LE(ChernoffLowerBound(m.mean, msc),
+                PoissonBinomialTailDP(probs, msc) + 1e-12)
+          << "n=" << n << " msc=" << msc;
+    }
+  }
+}
+
+TEST(ClassifyTailTest, ThresholdPlacement) {
+  const TailInterval interval{0.3, 0.6};
+  EXPECT_EQ(ClassifyTail(interval, 0.7), BoundDecision::kReject);
+  EXPECT_EQ(ClassifyTail(interval, 0.6), BoundDecision::kReject);  // <= upper
+  EXPECT_EQ(ClassifyTail(interval, 0.45), BoundDecision::kUndecided);
+  EXPECT_EQ(ClassifyTail(interval, 0.3), BoundDecision::kUndecided);  // not >
+  EXPECT_EQ(ClassifyTail(interval, 0.2), BoundDecision::kAccept);
+}
+
+TEST(BoundCascadeTest, DecisionsNeverContradictExactTail) {
+  // The end-to-end property the miner relies on: whenever the cascade
+  // decides, the exact tail agrees with the decision.
+  Rng rng(505);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.UniformInt(0, 149);
+    std::vector<double> probs(n);
+    for (double& p : probs) p = rng.Uniform01();
+    const SupportMoments m = ComputeSupportMoments(probs);
+    const std::size_t msc = rng.UniformInt(0, n);
+    const double pft = rng.Uniform01() * 0.99;
+    const double exact = PoissonBinomialTailDP(probs, msc);
+    switch (ClassifyTail(CertifiedTailInterval(m.mean, m.variance, msc), pft)) {
+      case BoundDecision::kReject:
+        EXPECT_LE(exact, pft + 1e-12) << "n=" << n << " msc=" << msc;
+        break;
+      case BoundDecision::kAccept:
+        EXPECT_GT(exact, pft - 1e-12) << "n=" << n << " msc=" << msc;
+        break;
+      case BoundDecision::kUndecided:
+        break;
+    }
+  }
+}
+
+TEST(BoundedTailDpTest, CompletedRunsBitIdenticalAbortedRunsStayUnderThreshold) {
+  // The certified mid-DP early exit: either the scratch overload returns
+  // the bitwise-identical exact tail, or it aborted — in which case both
+  // the returned bound and the exact tail must sit at or below the
+  // threshold, so a threshold comparison cannot tell the two apart.
+  Rng rng(606);
+  DpScratch scratch;
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::size_t n = 1 + rng.UniformInt(0, 499);
+    std::vector<double> probs(n);
+    for (double& p : probs) p = rng.Uniform01();
+    const std::size_t msc = rng.UniformInt(0, n + 1);
+    const double pft = rng.Uniform01();
+    const double exact = PoissonBinomialTailDP(probs, msc);
+    const double bounded = PoissonBinomialTailDP(probs, msc, pft, scratch);
+    if (bounded != exact) {
+      EXPECT_LE(bounded, pft) << "n=" << n << " msc=" << msc;
+      EXPECT_LE(exact, pft) << "n=" << n << " msc=" << msc;
+    }
+    // Early exit disabled: always bit-identical.
+    EXPECT_EQ(PoissonBinomialTailDP(probs, msc, -1.0, scratch), exact);
+  }
+}
+
+}  // namespace
+}  // namespace ufim

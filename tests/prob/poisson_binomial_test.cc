@@ -77,6 +77,27 @@ TEST(PoissonBinomialDCTest, FftAndNaiveConquerAgree) {
               PoissonBinomialTailDC(probs, k, /*fft_threshold=*/1 << 20), 1e-9);
 }
 
+// Regression pin for the fft_threshold boundary: operand sizes exactly
+// at, one below, and one above the threshold must all agree with the DP
+// (the conquer step switches implementation at `fft_threshold` operand
+// coefficients, and an off-by-one there would silently corrupt tails for
+// vectors near the switch point).
+TEST(PoissonBinomialDCTest, FftThresholdBoundaryPinned) {
+  Rng rng(12);
+  constexpr std::size_t kThreshold = 16;
+  for (std::size_t n : {kThreshold - 1, kThreshold, kThreshold + 1,
+                        2 * kThreshold - 1, 2 * kThreshold,
+                        2 * kThreshold + 1}) {
+    std::vector<double> probs(n);
+    for (double& p : probs) p = rng.Uniform01();
+    for (std::size_t k : {std::size_t{1}, n / 2, n}) {
+      EXPECT_NEAR(PoissonBinomialTailDC(probs, k, kThreshold),
+                  PoissonBinomialTailDP(probs, k), 1e-10)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
 TEST(PoissonBinomialPmfTest, CappedPmfSumsToOne) {
   Rng rng(8);
   std::vector<double> probs(50);

@@ -127,10 +127,10 @@ inline void RunStreamDifferential(const StreamScheduleSpec& spec,
     EXPECT_EQ(ca.candidates_generated, cb.candidates_generated) << label;
     EXPECT_EQ(ca.candidates_pruned_apriori, cb.candidates_pruned_apriori)
         << label;
-    EXPECT_EQ(ca.candidates_pruned_chernoff, cb.candidates_pruned_chernoff)
+    EXPECT_EQ(ca.candidates_rejected_bound, cb.candidates_rejected_bound)
         << label;
-    EXPECT_EQ(ca.exact_probability_evaluations,
-              cb.exact_probability_evaluations)
+    EXPECT_EQ(ca.exact_tail_evals,
+              cb.exact_tail_evals)
         << label;
     EXPECT_EQ(ca.database_scans, cb.database_scans) << label;
 

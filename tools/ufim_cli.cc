@@ -46,6 +46,7 @@ int Usage() {
            (--min-esup <r> | --min-sup <r> [--pft <p>] | --k <n>)
            [--threads <t>] [--shards <s>]
            [--kernel {auto|scalar|gallop|simd}]
+           [--prefilter {off|bounds}]
            [--top <k>] [--closed] [--maximal] [--rules <min_conf>]
   ufim_cli mine-stream <path> --algorithm <name> --min-esup <r>
            [--batch <n>] [--compact-ratio <r>] [--threads <t>]
@@ -60,6 +61,11 @@ int Usage() {
              galloping on skewed list lengths, SIMD when the CPU has
              it, scalar otherwise; results are identical under every
              kernel). Equivalent to setting UFIM_INTERSECT.
+  --prefilter: candidate screening for the probabilistic miners
+             (DP/DC/MCSampling). 'bounds' certifies obviously
+             (in)frequent candidates from an O(1) two-sided bound
+             cascade so fewer exact tails are computed; output is
+             identical to 'off' (the default) by construction.
 
   mine-stream replays the dataset as an append-only stream in batches
   of --batch transactions (default 256) through the incremental
@@ -232,7 +238,8 @@ int Mine(const Args& args) {
   std::string err;
   if (!args.Validate(
           {.value_flags = {"algorithm", "min-esup", "min-sup", "pft", "k",
-                           "threads", "shards", "kernel", "top", "rules"},
+                           "threads", "shards", "kernel", "prefilter", "top",
+                           "rules"},
            .switches = {"closed", "maximal"}},
           &err)) {
     std::fprintf(stderr, "%s\n", err.c_str());
@@ -313,6 +320,17 @@ int Mine(const Args& args) {
   if (!ApplyKernelFlag(args)) return Usage();
   MinerOptions options;
   options.num_threads = num_threads;  // 0 = all hardware threads
+  if (const char* prefilter_name = args.Get("prefilter")) {
+    if (!ParsePrefilterMode(prefilter_name, &options.prefilter)) {
+      std::fprintf(stderr, "bad --prefilter '%s' (off|bounds)\n",
+                   prefilter_name);
+      return Usage();
+    }
+    if (entry->family != TaskFamily::kProbabilistic) {
+      std::fprintf(stderr, "--prefilter applies to probabilistic algorithms only\n");
+      return Usage();
+    }
+  }
   if (num_shards > 1 && entry->family != TaskFamily::kExpectedSupport) {
     std::fprintf(stderr, "--shards applies to expected-support algorithms only\n");
     return Usage();
