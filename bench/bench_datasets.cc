@@ -48,4 +48,26 @@ UncertainDatabase ZipfDenseDb(double skew, std::size_t n) {
   return AssignZipfProbabilities(MakeConnectLike(n, kSeed), skew, kSeed + 6);
 }
 
+const UncertainDatabase& DominantChainDb(std::size_t n, std::size_t chain_len) {
+  static const UncertainDatabase& db = *new UncertainDatabase([](
+      std::size_t num, std::size_t len) {
+    std::vector<Transaction> txns;
+    txns.reserve(num);
+    for (std::size_t t = 0; t < num; ++t) {
+      std::vector<ProbItem> units;
+      const std::size_t m = 1 + (t % len);
+      units.reserve(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        ProbItem unit;
+        unit.item = static_cast<ItemId>(i);
+        unit.prob = 0.55 + 0.05 * static_cast<double>((t + 3 * i) % 8);
+        units.push_back(unit);
+      }
+      txns.push_back(Transaction(std::move(units)));
+    }
+    return txns;
+  }(n, chain_len));
+  return db;
+}
+
 }  // namespace ufim::bench

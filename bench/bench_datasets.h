@@ -33,6 +33,15 @@ UncertainDatabase QuestDb(std::size_t n);
 /// (the Figure 4/5/6 (k),(l) workload).
 UncertainDatabase ZipfDenseDb(double skew, std::size_t n = 1500);
 
+/// Skewed one-dominant-rank dataset: transaction t holds the chain
+/// items 0..(t mod chain_len), so the least-frequent chain items carry
+/// the deepest conditional subtrees — under per-top-level-rank
+/// parallelism one task mines nearly everything while the rest idle,
+/// the straggler shape the recursive split budget (PR 7) decomposes.
+/// Probabilities cycle a small value set deterministically.
+const UncertainDatabase& DominantChainDb(std::size_t n = 6000,
+                                         std::size_t chain_len = 24);
+
 }  // namespace ufim::bench
 
 #endif  // UFIM_BENCH_BENCH_DATASETS_H_

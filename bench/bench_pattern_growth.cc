@@ -1,28 +1,40 @@
-// Parallel pattern growth: UFP-growth, UH-Mine and NDUH-Mine at 1/2/4/8
-// worker threads over the same prebuilt FlatView.
+// Parallel pattern growth: UFP-growth, UH-Mine and NDUH-Mine across
+// worker-thread counts and recursive split budgets over prebuilt
+// FlatViews.
 //
 // The miners farm out the top-level header ranks of their global
-// structure (UFP-tree / UH-Struct) as dynamically-scheduled tasks —
-// per-rank subtree costs are heavily skewed, which is exactly what the
-// dynamic claim order absorbs — and merge per-rank outputs in fixed rank
-// order, so every configuration returns bit-identical results (enforced
-// by integration_parallel_equivalence_test; this bench only times it).
+// structure (UFP-tree / UH-Struct) as dynamically-scheduled tasks, and
+// since PR 7 recursively split dominant conditional subtrees into
+// nested TaskGroup children on the work-stealing pool whenever a
+// subtree's estimated work crosses the split-budget threshold
+// (MinerOptions.split_budget: 0 = automatic, 1 = never split, larger =
+// more aggressive). Outputs merge in fixed task-index order, so every
+// configuration returns bit-identical results (enforced by
+// integration_parallel_equivalence_test; this bench only times it).
+//
+// Benchmark args are {threads, split_budget}. Each row records the
+// thread count, split budget, the host's hardware_concurrency and the
+// active intersection kernel so that JSON captured in a 1-CPU container
+// (see BENCH_pattern_growth.json) is self-describing: with
+// hardware_concurrency == 1 every multi-thread row measures scheduling
+// overhead only, not speedup.
 //
 // Measured on Kosarak-like sparse data (UH-Mine's favorable regime,
-// where pattern growth is competitive with the apriori family) and on
-// the Quest T25I15 family. Results are recorded in
-// BENCH_pattern_growth.json. Speedups require real cores: on a 1-CPU
-// container every multi-thread row measures scheduling overhead only,
-// which the recorded environment block makes explicit.
+// where pattern growth is competitive with the apriori family), on the
+// Quest T25I15 family, and on a skewed one-dominant-rank chain dataset
+// where a single top-level task owns nearly all the work — the
+// straggler shape the recursive split exists to decompose.
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
 #include <memory>
+#include <thread>
 
 #include "bench_datasets.h"
 #include "core/flat_view.h"
 #include "core/miner.h"
 #include "core/miner_registry.h"
+#include "core/simd_intersect.h"
 
 namespace ufim::bench {
 namespace {
@@ -30,8 +42,10 @@ namespace {
 void RunMiner(benchmark::State& state, const char* algorithm,
               const FlatView& view, const MiningTask& task) {
   const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t split_budget = static_cast<std::size_t>(state.range(1));
   MinerOptions options;
   options.num_threads = threads;
+  options.split_budget = split_budget;
   std::unique_ptr<Miner> miner =
       MinerRegistry::Global().Create(algorithm, options);
   std::size_t found = 0;
@@ -45,7 +59,23 @@ void RunMiner(benchmark::State& state, const char* algorithm,
     benchmark::DoNotOptimize(result);
   }
   state.counters["threads"] = static_cast<double>(threads);
+  state.counters["split_budget"] = static_cast<double>(split_budget);
+  state.counters["hardware_concurrency"] =
+      static_cast<double>(std::thread::hardware_concurrency());
   state.counters["itemsets"] = static_cast<double>(found);
+  state.SetLabel(IntersectKernelName(ForcedIntersectKernel()));
+}
+
+// {threads, split_budget} sweep: serial baseline, then each thread
+// count with splitting off (1), automatic (0), and aggressive (64).
+void ThreadBudgetSweep(benchmark::internal::Benchmark* b) {
+  b->Unit(benchmark::kMillisecond);
+  b->Args({1, 1});
+  for (long threads : {2L, 4L, 8L}) {
+    for (long budget : {1L, 0L, 64L}) {
+      b->Args({threads, budget});
+    }
+  }
 }
 
 const FlatView& KosarakView() {
@@ -55,6 +85,11 @@ const FlatView& KosarakView() {
 
 const FlatView& QuestView() {
   static const FlatView* view = new FlatView(QuestDb(4000));
+  return *view;
+}
+
+const FlatView& DominantChainView() {
+  static const FlatView* view = new FlatView(DominantChainDb());
   return *view;
 }
 
@@ -74,27 +109,42 @@ MiningTask ProbTask(double min_sup, double pft) {
 void BM_UFPGrowthKosarak(benchmark::State& state) {
   RunMiner(state, "UFP-growth", KosarakView(), EsupTask(0.0025));
 }
-BENCHMARK(BM_UFPGrowthKosarak)->Unit(benchmark::kMillisecond)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_UFPGrowthKosarak)->Apply(ThreadBudgetSweep);
 
 void BM_UHMineKosarak(benchmark::State& state) {
   RunMiner(state, "UH-Mine", KosarakView(), EsupTask(0.0025));
 }
-BENCHMARK(BM_UHMineKosarak)->Unit(benchmark::kMillisecond)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_UHMineKosarak)->Apply(ThreadBudgetSweep);
 
 void BM_NDUHMineKosarak(benchmark::State& state) {
   RunMiner(state, "NDUH-Mine", KosarakView(), ProbTask(0.005, 0.5));
 }
-BENCHMARK(BM_NDUHMineKosarak)->Unit(benchmark::kMillisecond)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_NDUHMineKosarak)->Apply(ThreadBudgetSweep);
 
 void BM_UFPGrowthQuest(benchmark::State& state) {
   RunMiner(state, "UFP-growth", QuestView(), EsupTask(0.01));
 }
-BENCHMARK(BM_UFPGrowthQuest)->Unit(benchmark::kMillisecond)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_UFPGrowthQuest)->Apply(ThreadBudgetSweep);
 
 void BM_UHMineQuest(benchmark::State& state) {
   RunMiner(state, "UH-Mine", QuestView(), EsupTask(0.01));
 }
-BENCHMARK(BM_UHMineQuest)->Unit(benchmark::kMillisecond)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_UHMineQuest)->Apply(ThreadBudgetSweep);
+
+void BM_UFPGrowthDominantChain(benchmark::State& state) {
+  RunMiner(state, "UFP-growth", DominantChainView(), EsupTask(0.05));
+}
+BENCHMARK(BM_UFPGrowthDominantChain)->Apply(ThreadBudgetSweep);
+
+void BM_UHMineDominantChain(benchmark::State& state) {
+  RunMiner(state, "UH-Mine", DominantChainView(), EsupTask(0.05));
+}
+BENCHMARK(BM_UHMineDominantChain)->Apply(ThreadBudgetSweep);
+
+void BM_NDUHMineDominantChain(benchmark::State& state) {
+  RunMiner(state, "NDUH-Mine", DominantChainView(), ProbTask(0.08, 0.5));
+}
+BENCHMARK(BM_NDUHMineDominantChain)->Apply(ThreadBudgetSweep);
 
 }  // namespace
 }  // namespace ufim::bench

@@ -16,9 +16,11 @@ class NDUHMine final : public ProbabilisticMiner {
  public:
   /// `num_threads`: workers for the per-rank mining tasks of the shared
   /// UHStructEngine; 1 (default) is the sequential baseline, 0 means all
-  /// hardware threads. Results are bit-identical at every setting.
-  explicit NDUHMine(std::size_t num_threads = 1)
-      : num_threads_(num_threads) {}
+  /// hardware threads. `split_budget`: recursive-splitting budget
+  /// forwarded to UHStructEngine::Mine (0 = auto, 1 = off). Results are
+  /// bit-identical at every setting.
+  explicit NDUHMine(std::size_t num_threads = 1, std::size_t split_budget = 0)
+      : num_threads_(num_threads), split_budget_(split_budget) {}
 
   std::string_view name() const override { return "NDUH-Mine"; }
   bool is_exact() const override { return false; }
@@ -29,6 +31,7 @@ class NDUHMine final : public ProbabilisticMiner {
 
  private:
   std::size_t num_threads_;
+  std::size_t split_budget_;
 };
 
 }  // namespace ufim

@@ -12,15 +12,29 @@ namespace ufim {
 
 namespace {
 
+/// Split policy for recursive task decomposition, shared (read-only)
+/// across all mining tasks of one MineExpected call. Null policy (or
+/// `min_split_nodes` past any real tree) means "never split".
+struct SplitPolicy {
+  /// Participation cap for each nested TaskGroup (resolved, >= 2).
+  std::size_t max_workers = 0;
+  /// A conditional tree this many nodes or larger is mined by spawning
+  /// one child task per extension rank instead of the serial loop. The
+  /// node count is the natural work proxy here: projection cost is
+  /// linear in it, and it is already computed when the decision is made.
+  std::size_t min_split_nodes = 0;
+};
+
 /// Recursive mining context shared down the projection chain. In the
 /// parallel driver each top-level rank task owns its own context
 /// (private `out` and `counters` slots); only the immutable
-/// `rank_to_item` table is shared.
+/// `rank_to_item` table and the split policy are shared.
 struct MineContext {
   double threshold = 0.0;
   const std::vector<ItemId>* rank_to_item = nullptr;
   std::vector<FrequentItemset>* out = nullptr;
   MiningCounters* counters = nullptr;
+  const SplitPolicy* split = nullptr;
 };
 
 FrequentItemset EmitResult(const MineContext& ctx,
@@ -38,6 +52,9 @@ FrequentItemset EmitResult(const MineContext& ctx,
 
 void MineTree(const UFPTree& tree, std::vector<std::uint32_t>& prefix_ranks,
               const MineContext& ctx);
+void MineTreeParallel(const UFPTree& tree,
+                      const std::vector<std::uint32_t>& prefix_ranks,
+                      const MineContext& ctx);
 
 /// Mines one extension rank of `tree`: emits the grown pattern if
 /// frequent, builds the conditional pattern base and tree, and recurses.
@@ -112,7 +129,13 @@ void MineRank(const UFPTree& tree, std::uint32_t rank,
       }
       if (!filtered.empty()) cond.InsertPath(filtered, entry.w, entry.w2);
     }
-    MineTree(cond, prefix_ranks, ctx);
+    // Work-budget heuristic: a dominant conditional tree is worth the
+    // task-spawn overhead; small ones are mined inline.
+    if (ctx.split != nullptr && cond.num_nodes() >= ctx.split->min_split_nodes) {
+      MineTreeParallel(cond, prefix_ranks, ctx);
+    } else {
+      MineTree(cond, prefix_ranks, ctx);
+    }
   }
   prefix_ranks.pop_back();
 }
@@ -126,6 +149,40 @@ void MineTree(const UFPTree& tree, std::vector<std::uint32_t>& prefix_ranks,
   for (std::uint32_t rank = static_cast<std::uint32_t>(tree.num_ranks());
        rank-- > 0;) {
     MineRank(tree, rank, prefix_ranks, ctx);
+  }
+}
+
+/// Parallel MineTree: one child task per extension rank of `tree`,
+/// spawned into a nested TaskGroup (children may split again). Each
+/// child works against the parent's conditional tree read-only — the
+/// parent blocks in Wait, so no copy is needed — with its own prefix
+/// copy and pre-indexed output/counter slots; the parent then merges in
+/// the serial descending-rank order. Per-rank floating-point work is
+/// exactly the serial MineRank's, so results and counters stay
+/// bit-identical to MineTree at every thread count and split budget.
+void MineTreeParallel(const UFPTree& tree,
+                      const std::vector<std::uint32_t>& prefix_ranks,
+                      const MineContext& ctx) {
+  const std::size_t n_ranks = tree.num_ranks();
+  std::vector<std::vector<FrequentItemset>> child_out(n_ranks);
+  std::vector<MiningCounters> child_counters(n_ranks);
+  TaskGroup group(ctx.split->max_workers);
+  for (std::uint32_t rank = static_cast<std::uint32_t>(n_ranks); rank-- > 0;) {
+    group.Spawn([&tree, &prefix_ranks, &ctx, &child_out, &child_counters,
+                 rank] {
+      std::vector<std::uint32_t> prefix = prefix_ranks;
+      MineContext child = ctx;
+      child.out = &child_out[rank];
+      child.counters = &child_counters[rank];
+      MineRank(tree, rank, prefix, child);
+    });
+  }
+  group.Wait();
+  for (std::uint32_t rank = static_cast<std::uint32_t>(n_ranks); rank-- > 0;) {
+    if (ctx.counters != nullptr) *ctx.counters += child_counters[rank];
+    ctx.out->insert(ctx.out->end(),
+                    std::make_move_iterator(child_out[rank].begin()),
+                    std::make_move_iterator(child_out[rank].end()));
   }
 }
 
@@ -181,10 +238,31 @@ Result<MiningResult> UFPGrowth::MineExpected(
   // Recursive projection, task-parallel over the top-level header ranks
   // of the (now frozen, read-only) global tree. Each rank's conditional
   // subproblem is independent; per-rank subtree costs are wildly skewed,
-  // so tasks are claimed dynamically. Every task writes only its own
-  // output/counter slots, and the per-rank arithmetic is exactly the
-  // serial MineTree iteration's, so results and counters are
-  // bit-identical at every thread count.
+  // so tasks are claimed dynamically — and a dominant rank's conditional
+  // tree splits recursively into child tasks under the split-budget
+  // heuristic, so one whale subtree no longer serializes on one worker.
+  // Every task writes only its own output/counter slots, and the
+  // per-rank arithmetic is exactly the serial MineTree iteration's, so
+  // results and counters are bit-identical at every thread count and
+  // split budget.
+  const std::size_t threads =
+      num_threads_ == 0 ? HardwareThreads() : num_threads_;
+  SplitPolicy policy;
+  SplitPolicy* split = nullptr;
+  if (threads > 1 && split_budget_ != 1) {
+    // Budget semantics: 0 = auto (divisor 32, floored so trivial trees
+    // never pay the spawn + prefix-copy overhead), 1 = off, B > 1 =
+    // split exactly when a conditional tree holds >= global_nodes / B
+    // nodes (an explicit budget is a request for that aggressiveness,
+    // so no floor).
+    constexpr std::size_t kMinSplitNodesFloor = 128;
+    policy.max_workers = threads;
+    policy.min_split_nodes =
+        split_budget_ == 0
+            ? std::max(kMinSplitNodesFloor, tree.num_nodes() / 32)
+            : std::max<std::size_t>(1, tree.num_nodes() / split_budget_);
+    split = &policy;
+  }
   const std::size_t n_ranks = rank_to_item.size();
   std::vector<std::vector<FrequentItemset>> per_rank(n_ranks);
   std::vector<MiningCounters> per_rank_counters(n_ranks);
@@ -196,6 +274,7 @@ Result<MiningResult> UFPGrowth::MineExpected(
         ctx.rank_to_item = &rank_to_item;
         ctx.out = &per_rank[rank];
         ctx.counters = &per_rank_counters[rank];
+        ctx.split = split;
         MineRank(tree, static_cast<std::uint32_t>(rank), prefix, ctx);
       });
   // Merge in fixed descending-rank order — the serial MineTree order —
@@ -211,7 +290,8 @@ Result<MiningResult> UFPGrowth::MineExpected(
 UFIM_REGISTER_MINER("UFP-growth", TaskFamily::kExpectedSupport,
                     /*production=*/true,
                     [](const MinerOptions& options) {
-                      return std::make_unique<UFPGrowth>(options.num_threads);
+                      return std::make_unique<UFPGrowth>(options.num_threads,
+                                                         options.split_budget);
                     })
 
 }  // namespace ufim

@@ -19,7 +19,7 @@ Result<MiningResult> UHMine::MineExpected(
   UHStructEngine engine(view, std::move(hooks));
   MiningResult result;
   std::vector<FrequentItemset> found =
-      engine.Mine(&result.counters(), num_threads_);
+      engine.Mine(&result.counters(), num_threads_, split_budget_);
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;
@@ -28,7 +28,8 @@ Result<MiningResult> UHMine::MineExpected(
 UFIM_REGISTER_MINER("UH-Mine", TaskFamily::kExpectedSupport,
                     /*production=*/true,
                     [](const MinerOptions& options) {
-                      return std::make_unique<UHMine>(options.num_threads);
+                      return std::make_unique<UHMine>(options.num_threads,
+                                                      options.split_budget);
                     })
 
 }  // namespace ufim

@@ -2,11 +2,46 @@
 
 #include <algorithm>
 #include <iterator>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "algo/apriori_framework.h"
 #include "common/thread_pool.h"
 
 namespace ufim {
+
+/// Shared (per Mine call) state for recursive task splitting: the split
+/// policy plus a pool of Scratch instances for split-off child tasks.
+/// Scratch is expensive relative to a small subtree (three rank-sized
+/// arrays), so children lease a clean instance from the pool and return
+/// it instead of allocating their own; Recurse restores clean state
+/// before returning, which is exactly the invariant the pool needs.
+struct UHStructEngine::MineState {
+  std::size_t max_workers = 0;      ///< participation cap per nested group
+  std::size_t min_split_units = 0;  ///< head-table units to justify a split
+  std::size_t num_ranks = 0;
+
+  std::mutex mu;
+  std::vector<std::unique_ptr<Scratch>> pool;
+
+  std::unique_ptr<Scratch> AcquireScratch() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!pool.empty()) {
+        std::unique_ptr<Scratch> scratch = std::move(pool.back());
+        pool.pop_back();
+        return scratch;
+      }
+    }
+    return std::make_unique<Scratch>(num_ranks);
+  }
+
+  void ReleaseScratch(std::unique_ptr<Scratch> scratch) {
+    std::lock_guard<std::mutex> lock(mu);
+    pool.push_back(std::move(scratch));
+  }
+};
 
 UHStructEngine::UHStructEngine(const FlatView& view, Hooks hooks)
     : hooks_(std::move(hooks)) {
@@ -56,8 +91,9 @@ FrequentItemset UHStructEngine::MakeResult(
   return fi;
 }
 
-std::vector<FrequentItemset> UHStructEngine::Mine(MiningCounters* counters,
-                                                  std::size_t num_threads) const {
+std::vector<FrequentItemset> UHStructEngine::Mine(
+    MiningCounters* counters, std::size_t num_threads,
+    std::size_t split_budget) const {
   std::vector<FrequentItemset> out;
   if (counters != nullptr) ++counters->database_scans;
 
@@ -114,6 +150,25 @@ std::vector<FrequentItemset> UHStructEngine::Mine(MiningCounters* counters,
   std::vector<Scratch> scratch(workers, Scratch(n_ranks));
   std::vector<std::vector<FrequentItemset>> per_rank(n_ranks);
   std::vector<MiningCounters> per_rank_counters(n_ranks);
+  // Split policy: 0 = auto (divisor 32, floored so shallow subtrees
+  // never pay the spawn + prefix-copy overhead), 1 = off, B > 1 = split
+  // exactly when a prefix's head table holds >= units / B occurrence
+  // entries (an explicit budget is a request for that aggressiveness,
+  // so no floor).
+  const std::size_t threads =
+      num_threads == 0 ? HardwareThreads() : num_threads;
+  MineState state;
+  MineState* split = nullptr;
+  if (threads > 1 && split_budget != 1) {
+    constexpr std::size_t kMinSplitUnitsFloor = 256;
+    state.max_workers = threads;
+    state.min_split_units =
+        split_budget == 0
+            ? std::max(kMinSplitUnitsFloor, units_.size() / 32)
+            : std::max<std::size_t>(1, units_.size() / split_budget);
+    state.num_ranks = n_ranks;
+    split = &state;
+  }
   ParallelForDynamic(
       n_ranks, num_threads, [&](std::size_t rank, std::size_t worker) {
         const std::uint32_t r = static_cast<std::uint32_t>(rank);
@@ -130,7 +185,7 @@ std::vector<FrequentItemset> UHStructEngine::Mine(MiningCounters* counters,
           occurrences.push_back(Occurrence{txn_of(u), u + 1, units_[u].prob});
         }
         Recurse(prefix, occurrences, scratch[worker], rank_out,
-                &rank_counters);
+                &rank_counters, split);
       });
   for (std::size_t r = 0; r < n_ranks; ++r) {
     if (counters != nullptr) *counters += per_rank_counters[r];
@@ -144,7 +199,8 @@ void UHStructEngine::Recurse(std::vector<std::uint32_t>& prefix_ranks,
                              const std::vector<Occurrence>& occurrences,
                              Scratch& scratch,
                              std::vector<FrequentItemset>& out,
-                             MiningCounters* counters) const {
+                             MiningCounters* counters,
+                             MineState* state) const {
   // Pass 1: head-table moments for every extension rank.
   std::vector<std::uint32_t> touched;
   for (const Occurrence& occ : occurrences) {
@@ -199,10 +255,51 @@ void UHStructEngine::Recurse(std::vector<std::uint32_t>& prefix_ranks,
   }
   for (const Extension& ext : frequent) scratch.slot_of[ext.rank] = UINT32_MAX;
 
+  // Work-budget heuristic: a dominant head table (measured by its total
+  // occurrence-list size, the cost driver of everything below) is worth
+  // splitting its sibling extensions into child tasks; small ones stay
+  // on the serial path. Each child emits into a pre-indexed slot with
+  // its own prefix copy, leased scratch and private counters, and the
+  // merge walks ascending extension order — exactly the serial sibling
+  // loop's emission order — so results and counters are bit-identical
+  // to the serial run at every thread count and budget.
+  std::size_t head_units = 0;
+  for (const Extension& ext : frequent) head_units += ext.occurrences.size();
+  if (state != nullptr && frequent.size() > 1 &&
+      head_units >= state->min_split_units) {
+    const std::size_t n_ext = frequent.size();
+    std::vector<std::vector<FrequentItemset>> child_out(n_ext);
+    std::vector<MiningCounters> child_counters(n_ext);
+    TaskGroup group(state->max_workers);
+    for (std::size_t e = 0; e < n_ext; ++e) {
+      group.Spawn([this, &frequent, &prefix_ranks, &child_out, &child_counters,
+                   state, e] {
+        Extension& ext = frequent[e];
+        std::vector<std::uint32_t> prefix = prefix_ranks;
+        prefix.push_back(ext.rank);
+        std::vector<FrequentItemset>& ext_out = child_out[e];
+        ext_out.push_back(MakeResult(prefix, ext.esup, ext.sq_sum));
+        std::unique_ptr<Scratch> leased = state->AcquireScratch();
+        Recurse(prefix, ext.occurrences, *leased, ext_out, &child_counters[e],
+                state);
+        state->ReleaseScratch(std::move(leased));
+        ext.occurrences.clear();
+        ext.occurrences.shrink_to_fit();
+      });
+    }
+    group.Wait();
+    for (std::size_t e = 0; e < n_ext; ++e) {
+      if (counters != nullptr) *counters += child_counters[e];
+      out.insert(out.end(), std::make_move_iterator(child_out[e].begin()),
+                 std::make_move_iterator(child_out[e].end()));
+    }
+    return;
+  }
+
   for (Extension& ext : frequent) {
     prefix_ranks.push_back(ext.rank);
     out.push_back(MakeResult(prefix_ranks, ext.esup, ext.sq_sum));
-    Recurse(prefix_ranks, ext.occurrences, scratch, out, counters);
+    Recurse(prefix_ranks, ext.occurrences, scratch, out, counters, state);
     // Release this branch's head table before moving to the next sibling
     // (H-Mine keeps memory proportional to the recursion path).
     ext.occurrences.clear();

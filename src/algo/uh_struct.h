@@ -30,9 +30,11 @@ namespace ufim {
 ///
 /// Mining is task-parallel over the top-level ranks: each rank's prefix
 /// subtree is explored by one dynamically-scheduled task carrying its own
-/// scratch (accumulators + slot map), with per-rank outputs and counters
-/// merged in ascending rank order — results are bit-identical at every
-/// thread count. After construction the engine is immutable; `Mine` is
+/// scratch (accumulators + slot map), and a dominant subtree recursively
+/// splits its sibling extensions into child tasks under a work-budget
+/// heuristic, with outputs and counters merged in ascending rank order at
+/// every level — results are bit-identical at every thread count and
+/// split budget. After construction the engine is immutable; `Mine` is
 /// const and safe to call concurrently.
 class UHStructEngine {
  public:
@@ -56,12 +58,16 @@ class UHStructEngine {
   /// Runs the depth-first mining and returns all frequent itemsets
   /// (unsorted; caller normalizes). `counters` may be null. The
   /// top-level ranks are mined by up to `num_threads` workers (1 =
-  /// sequential baseline, 0 = all hardware threads); results and
+  /// sequential baseline, 0 = all hardware threads), and a dominant
+  /// prefix subtree recursively splits its sibling extensions into
+  /// child tasks under the split-budget heuristic (`split_budget`: 0 =
+  /// auto threshold, 1 = off, larger = more aggressive); results and
   /// counters are identical at every setting. The hooks must be safe to
   /// call concurrently when `num_threads` != 1 (the stateless predicate
   /// closures every caller in this repo uses qualify).
   std::vector<FrequentItemset> Mine(MiningCounters* counters,
-                                    std::size_t num_threads = 1) const;
+                                    std::size_t num_threads = 1,
+                                    std::size_t split_budget = 0) const;
 
   /// Number of items retained in the head table (for tests).
   std::size_t num_frequent_items() const { return rank_to_item_.size(); }
@@ -96,10 +102,15 @@ class UHStructEngine {
           slot_of(num_ranks, UINT32_MAX) {}
   };
 
+  /// Per-Mine-call parallel state: the split policy plus a pool of
+  /// clean Scratch instances leased by split-off child tasks (defined in
+  /// the .cc). Null means "never split" (serial runs, budget 1).
+  struct MineState;
+
   void Recurse(std::vector<std::uint32_t>& prefix_ranks,
                const std::vector<Occurrence>& occurrences, Scratch& scratch,
-               std::vector<FrequentItemset>& out,
-               MiningCounters* counters) const;
+               std::vector<FrequentItemset>& out, MiningCounters* counters,
+               MineState* state) const;
 
   FrequentItemset MakeResult(const std::vector<std::uint32_t>& prefix_ranks,
                              double esup, double sq_sum) const;

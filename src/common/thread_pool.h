@@ -1,11 +1,15 @@
 #ifndef UFIM_COMMON_THREAD_POOL_H_
 #define UFIM_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -16,16 +20,61 @@ namespace ufim {
 /// permits std::thread::hardware_concurrency() == 0).
 std::size_t HardwareThreads();
 
-/// A fixed-size pool of worker threads draining one shared FIFO queue.
-/// Deliberately work-stealing-free: the mining workloads it serves are
-/// pre-partitioned into a handful of coarse contiguous chunks, so a
-/// single locked queue is contention-free in practice and keeps the
-/// execution order easy to reason about (determinism of the parallel
-/// counting paths is argued from the partitioning, not the scheduler).
-///
-/// Tasks must not block on other tasks of the same pool; `ParallelFor`
-/// preserves that invariant by running nested invocations inline on the
-/// calling worker instead of re-submitting (see below).
+namespace internal {
+
+/// A Chase-Lev work-stealing deque of task pointers (Le, Pop, Cohen &
+/// Nardelli, PPoPP'13 memory orderings). Exactly one thread — the slot
+/// owner — may Push/Pop at the bottom (LIFO); any thread may Steal from
+/// the top (FIFO). The buffer grows geometrically; retired buffers are
+/// kept alive until destruction because a concurrent thief may still be
+/// reading one (its CAS on `top_` then decides who owns the element).
+class TaskDeque {
+ public:
+  TaskDeque();
+  ~TaskDeque();
+
+  TaskDeque(const TaskDeque&) = delete;
+  TaskDeque& operator=(const TaskDeque&) = delete;
+
+  /// Owner only. Pushes onto the bottom, growing the buffer if full.
+  void Push(void* task);
+
+  /// Owner only. Pops from the bottom (most recently pushed first);
+  /// nullptr when empty.
+  void* Pop();
+
+  /// Any thread. Steals from the top (oldest first); nullptr when empty
+  /// or when the race for the element was lost (callers just rescan).
+  void* Steal();
+
+ private:
+  struct Buffer;
+
+  void Grow(std::int64_t top, std::int64_t bottom);
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_;
+  /// Superseded buffers, freed only at destruction (owner-only access).
+  std::vector<std::unique_ptr<Buffer>> retired_;
+};
+
+class TaskGroupImpl;
+
+}  // namespace internal
+
+/// A fixed-size pool of worker threads. Two kinds of work flow through
+/// it:
+///   * one-off closures via `Submit` (a mutex-guarded FIFO injection
+///     queue — coarse, rare, and the only thing the pool-wide mutex
+///     guards), and
+///   * fork-join task groups (`TaskGroup`), whose tasks live in
+///     per-participant Chase-Lev deques — pushed LIFO by the thread that
+///     spawned them, stolen FIFO by the other participants. Idle pool
+///     workers discover groups needing help through lightweight help
+///     tokens placed on the injection queue.
+/// Workers therefore sleep on one condition variable exactly as a plain
+/// FIFO pool would; all the lock-free machinery is scoped inside groups.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to at least 1).
@@ -46,39 +95,98 @@ class ThreadPool {
   std::future<void> Submit(std::function<void()> fn);
 
   /// The process-wide pool, sized to HardwareThreads(), created on first
-  /// use and kept alive for the process lifetime. All `ParallelFor`
-  /// calls share it; per-call `num_threads` caps how many of its workers
-  /// one call occupies.
+  /// use and kept alive for the process lifetime. All `TaskGroup` /
+  /// `ParallelFor` calls share it; per-call `num_threads` caps how many
+  /// of its workers one call occupies.
   static ThreadPool& Global();
 
   /// True when the calling thread is a worker of any ThreadPool.
   static bool InWorker();
 
  private:
+  friend class TaskGroup;
+
+  /// Asks an idle worker to help drain `group`; no-op when none is idle
+  /// by the time the token is popped (the token re-checks).
+  void PostHelpToken(std::shared_ptr<internal::TaskGroupImpl> group);
+
   void WorkerLoop();
 
+  struct Injected;
+
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<Injected> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
 };
 
+/// A fork-join group of tasks scheduled over the shared pool's
+/// work-stealing deques. The owning thread creates the group, spawns
+/// tasks (tasks may themselves spawn into the group, or create nested
+/// groups of their own — nesting runs parallel, it does not degrade to
+/// serial), and blocks in `Wait`, which executes pending tasks itself
+/// rather than idling.
+///
+/// Scheduling: a spawn from a participating thread pushes onto that
+/// participant's own deque (LIFO — the child runs next on this thread
+/// unless stolen, keeping working sets hot); idle participants steal the
+/// *oldest* task of another participant (FIFO — stealing the biggest
+/// remaining subtree first under recursive decomposition). Which thread
+/// runs which task is scheduling-dependent; determinism is the caller's
+/// contract: tasks write only pre-indexed result slots, and the caller
+/// merges slots in task-index order after Wait.
+///
+/// Error contract: a throwing task never cancels the others; Wait runs
+/// every spawned task to completion, then rethrows the exception of the
+/// lowest-spawn-index failing task.
+///
+/// A group is not thread-safe for concurrent Spawn/Wait from unrelated
+/// threads: Spawn may be called by the owner and from inside the group's
+/// own tasks; Wait only by the owner.
+class TaskGroup {
+ public:
+  /// `max_workers` caps how many threads (owner included) participate:
+  /// 1 runs every task inline in Wait, 0 means HardwareThreads().
+  explicit TaskGroup(std::size_t max_workers = 0,
+                     ThreadPool& pool = ThreadPool::Global());
+
+  /// Waits (without rethrowing) if Wait was never called.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Registers task `fn` with the next spawn index (0, 1, ...) and makes
+  /// it available for execution. Returns the task's index.
+  std::size_t Spawn(std::function<void()> fn);
+
+  /// Runs and steals group tasks until every spawned task has completed,
+  /// then rethrows the exception of the lowest-index failing task, if
+  /// any. May be called repeatedly (spawn / wait phases).
+  void Wait();
+
+ private:
+  ThreadPool& pool_;
+  std::shared_ptr<internal::TaskGroupImpl> impl_;
+};
+
 /// Runs body(i) for every i in [0, n), partitioned into at most
 /// `num_threads` contiguous chunks (chunk c covers [c*n/k, (c+1)*n/k)).
-/// The calling thread executes the first chunk itself; the rest run on
-/// the global pool. Blocks until every index completed.
+/// The calling thread executes the first chunk itself and helps run the
+/// rest while waiting (work-stealing TaskGroup underneath). Blocks until
+/// every index completed.
 ///
 /// Determinism: the chunk decomposition is a pure function of (n,
-/// num_threads) and every index is executed by exactly one thread, so
-/// any per-index state is computed exactly as in the serial loop. The
-/// parallel counting kernels get bit-identical results by partitioning
-/// work so that no floating-point reduction crosses a chunk boundary.
+/// num_threads), every index is executed by exactly one thread, and each
+/// chunk runs whole on one thread, so any per-index or per-chunk state is
+/// computed exactly as in the serial loop. The parallel counting kernels
+/// get bit-identical results by partitioning work so that no
+/// floating-point reduction crosses a chunk boundary.
 ///
-/// num_threads == 0 means HardwareThreads(). num_threads <= 1, n <= 1,
-/// or a call from inside a pool worker (a nested ParallelFor) all run
-/// the plain serial loop — nested parallelism degrades to sequential
-/// execution instead of deadlocking on a saturated pool.
+/// num_threads == 0 means HardwareThreads(); num_threads <= 1 or n <= 1
+/// runs the plain serial loop. Nested calls (from inside pool tasks) are
+/// real parallel fork-joins, not serial fallbacks.
 ///
 /// If one or more bodies throw, the remaining chunks still run to
 /// completion and the exception of the lowest-numbered failing chunk is
@@ -114,22 +222,20 @@ std::size_t ParallelWorkerCount(std::size_t n, std::size_t num_threads);
 /// claimed one at a time from a shared atomic cursor by
 /// `ParallelWorkerCount(n, num_threads)` workers (the calling thread is
 /// worker 0). A worker that draws a heavy index no longer stalls a whole
-/// contiguous chunk behind it — this is the scheduler the pattern-growth
-/// miners use for their top-level header ranks, whose per-rank subtree
-/// costs differ by orders of magnitude.
+/// contiguous chunk behind it.
 ///
 /// Determinism: every index is executed exactly once, whole, by one
 /// worker. Which worker runs it (and in what real-time order) is
 /// scheduling-dependent, so bodies must confine writes to per-index
 /// slots and per-worker scratch (`worker` < ParallelWorkerCount(n,
-/// num_threads) identifies a private scratch slot); callers merge per-index
-/// results in a fixed order afterwards. Under that discipline results
-/// are bit-identical at every thread count, including the serial
+/// num_threads) identifies a private scratch slot); callers merge
+/// per-index results in a fixed order afterwards. Under that discipline
+/// results are bit-identical at every thread count, including the serial
 /// fallback.
 ///
-/// num_threads == 0 means HardwareThreads(). num_threads <= 1, n <= 1,
-/// or a call from inside a pool worker (nesting) all run the plain
-/// serial loop with worker == 0.
+/// num_threads == 0 means HardwareThreads(); num_threads <= 1 or n <= 1
+/// runs the plain serial loop with worker == 0. Nested calls fork real
+/// nested groups, each with its own private worker-id space.
 ///
 /// If bodies throw, every index is still attempted and the exception of
 /// the lowest-numbered failing index is rethrown in the caller.

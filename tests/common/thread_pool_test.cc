@@ -138,10 +138,11 @@ TEST(ParallelForTest, ExceptionPropagatesAfterAllChunksFinish) {
   EXPECT_EQ(after.load(), 10);
 }
 
-TEST(ParallelForTest, NestedParallelForRunsSerialAndCompletes) {
-  // A body that itself calls ParallelFor: the inner call detects it is
-  // on a pool worker and degrades to the serial loop instead of
-  // deadlocking on a saturated pool.
+TEST(ParallelForTest, NestedParallelForRunsParallelAndCompletes) {
+  // A body that itself calls ParallelFor: the inner call forks a real
+  // nested task group (work-stealing scheduler; nothing in the pool
+  // sleeps waiting on another task) instead of deadlocking on a
+  // saturated pool or degrading to serial.
   std::vector<std::atomic<int>> hits(64);
   ParallelFor(8, 4, [&hits](std::size_t outer) {
     ParallelFor(8, 4, [&hits, outer](std::size_t inner) {
@@ -225,17 +226,152 @@ TEST(ParallelForDynamicTest, LowestFailingIndexExceptionWinsAndAllRun) {
   EXPECT_EQ(after.load(), 10);
 }
 
-TEST(ParallelForDynamicTest, NestedCallRunsSerialAndCompletes) {
+TEST(ParallelForDynamicTest, NestedCallRunsParallelAndCompletes) {
+  // Each nested call forks its own group with a private worker-id space:
+  // ids stay below the nested call's ParallelWorkerCount regardless of
+  // which pool threads end up helping.
+  const std::size_t nested_workers = ParallelWorkerCount(8, 4);
   std::vector<std::atomic<int>> hits(64);
-  ParallelForDynamic(8, 4, [&hits](std::size_t outer, std::size_t) {
-    ParallelForDynamic(8, 4, [&hits, outer](std::size_t inner,
-                                            std::size_t worker) {
-      EXPECT_EQ(worker, 0u);  // nested: serial fallback on the worker
+  ParallelForDynamic(8, 4, [&](std::size_t outer, std::size_t) {
+    ParallelForDynamic(8, 4, [&hits, nested_workers, outer](
+                                 std::size_t inner, std::size_t worker) {
+      EXPECT_LT(worker, nested_workers);
       ++hits[outer * 8 + inner];
     });
   });
   for (std::size_t i = 0; i < hits.size(); ++i) {
     EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(TaskGroupTest, SpawnedTasksAllRunAndStealsCoverEveryIndex) {
+  // Many more tasks than participants: whatever mix of local pops and
+  // steals the scheduler picks, every task must run exactly once.
+  constexpr std::size_t kTasks = 512;
+  std::vector<std::atomic<int>> hits(kTasks);
+  TaskGroup group(8);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    const std::size_t index = group.Spawn([&hits, i] { ++hits[i]; });
+    EXPECT_EQ(index, i);  // spawn indices are sequential
+  }
+  group.Wait();
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(TaskGroupTest, TasksSpawnIntoTheirOwnGroup) {
+  // Tasks fan out by spawning more tasks into the same group; Wait must
+  // cover work spawned after it started draining.
+  std::atomic<int> runs{0};
+  TaskGroup group(4);
+  for (int i = 0; i < 4; ++i) {
+    group.Spawn([&group, &runs] {
+      ++runs;
+      for (int j = 0; j < 8; ++j) {
+        group.Spawn([&runs] { ++runs; });
+      }
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(runs.load(), 4 + 4 * 8);
+}
+
+namespace {
+
+// Recursive fork-join over nested groups: sums [lo, hi) by splitting in
+// half until small. Exercises nested TaskGroup spawn from inside a
+// running task — the shape the miners' recursive splitting uses.
+std::size_t NestedTreeSum(std::size_t lo, std::size_t hi) {
+  if (hi - lo <= 4) {
+    std::size_t acc = 0;
+    for (std::size_t i = lo; i < hi; ++i) acc += i;
+    return acc;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::size_t left = 0, right = 0;
+  TaskGroup group(4);
+  group.Spawn([&left, lo, mid] { left = NestedTreeSum(lo, mid); });
+  group.Spawn([&right, mid, hi] { right = NestedTreeSum(mid, hi); });
+  group.Wait();
+  return left + right;
+}
+
+}  // namespace
+
+TEST(TaskGroupTest, NestedGroupsComputeDeterministicValue) {
+  constexpr std::size_t kN = 1000;
+  EXPECT_EQ(NestedTreeSum(0, kN), kN * (kN - 1) / 2);
+}
+
+TEST(TaskGroupTest, LowestSpawnIndexExceptionWinsAndAllTasksRun) {
+  std::vector<std::atomic<int>> ran(10);
+  TaskGroup group(4);
+  for (std::size_t i = 0; i < 10; ++i) {
+    group.Spawn([&ran, i] {
+      ++ran[i];
+      if (i == 3) throw std::out_of_range("index 3");
+      if (i == 7) throw std::runtime_error("index 7");
+    });
+  }
+  // A throwing task never cancels the others; the exception of the
+  // lowest spawn index is the one rethrown, regardless of which task
+  // happened to fail first in real time.
+  EXPECT_THROW(group.Wait(), std::out_of_range);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(ran[i].load(), 1) << i;
+  }
+}
+
+TEST(TaskGroupTest, ReusableAcrossSpawnWaitPhases) {
+  std::atomic<int> runs{0};
+  TaskGroup group(4);
+  for (int phase = 0; phase < 5; ++phase) {
+    for (int i = 0; i < 16; ++i) {
+      group.Spawn([&runs] { ++runs; });
+    }
+    group.Wait();
+    EXPECT_EQ(runs.load(), (phase + 1) * 16);
+  }
+}
+
+TEST(TaskGroupTest, DestructorWaitsWithoutRethrow) {
+  std::atomic<int> runs{0};
+  {
+    TaskGroup group(4);
+    group.Spawn([&runs] { ++runs; });
+    group.Spawn([] { throw std::runtime_error("never observed"); });
+    group.Spawn([&runs] { ++runs; });
+    // No Wait: the destructor must run every task to completion and
+    // swallow the stored exception.
+  }
+  EXPECT_EQ(runs.load(), 2);
+}
+
+TEST(TaskGroupTest, StressNestedSpawnAndSteal) {
+  // TSan-exercised stress loop: repeated fork-joins with same-group
+  // fan-out and nested child groups, racing local pops against steals.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    TaskGroup group(8);
+    for (std::size_t i = 0; i < 32; ++i) {
+      group.Spawn([&group, &sum, i] {
+        sum += i;
+        if (i % 4 == 0) {
+          TaskGroup child(2);
+          for (std::size_t j = 0; j < 4; ++j) {
+            child.Spawn([&sum] { sum += 1; });
+          }
+          child.Wait();
+        } else {
+          group.Spawn([&sum] { sum += 1000; });
+        }
+      });
+    }
+    group.Wait();
+    // 32 tasks summing 0..31, 8 of them spawn 4 nested (+1 each), the
+    // other 24 spawn one same-group task (+1000 each).
+    EXPECT_EQ(sum.load(), 496u + 8 * 4 + 24 * 1000) << "round " << round;
   }
 }
 

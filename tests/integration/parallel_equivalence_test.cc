@@ -221,6 +221,97 @@ TEST(ParallelEquivalenceTest, PatternGrowthMinersDeepRecursion) {
   }
 }
 
+/// A staircase database with one dominant chain: transaction t holds
+/// items 0..(t mod kChainLen), so the least-frequent chain items carry
+/// the deepest conditional subtrees — the one-whale-subtree shape that
+/// serialized under PR 4's per-top-level-rank scheme and that the
+/// recursive split (PR 7) decomposes. Probabilities cycle through a
+/// small set of values so UFP-tree nodes share only sometimes, keeping
+/// the conditional trees large.
+UncertainDatabase MakeDominantChainDatabase(std::size_t num_transactions,
+                                            std::size_t chain_len) {
+  std::vector<Transaction> txns;
+  txns.reserve(num_transactions);
+  for (std::size_t t = 0; t < num_transactions; ++t) {
+    std::vector<ProbItem> units;
+    const std::size_t len = 1 + (t % chain_len);
+    for (std::size_t i = 0; i < len; ++i) {
+      ProbItem unit;
+      unit.item = static_cast<ItemId>(i);
+      unit.prob = 0.5 + 0.05 * static_cast<double>((t + 3 * i) % 8);
+      units.push_back(unit);
+    }
+    txns.push_back(Transaction(std::move(units)));
+  }
+  return UncertainDatabase(std::move(txns));
+}
+
+/// The recursive split matrix of ISSUE 7: on the dominant-chain
+/// database, every pattern-growth miner must be bit-identical to its
+/// serial scalar baseline across {1,2,8} threads × {scalar, gallop,
+/// simd} × split budgets {off (1), auto (0), aggressive (64)} — results
+/// and counters both, since splitting may only change *where* a subtree
+/// is mined, never what is evaluated.
+TEST(ParallelEquivalenceTest, PatternGrowthSplitBudgetsOnDominantRank) {
+  const UncertainDatabase db = MakeDominantChainDatabase(320, 16);
+  FlatView view(db);
+  struct Case {
+    const char* name;
+    MiningTask task;
+  };
+  ExpectedSupportParams esup_params;
+  esup_params.min_esup = 0.05;
+  ProbabilisticParams prob_params;
+  prob_params.min_sup = 0.08;
+  prob_params.pft = 0.5;
+  const Case cases[] = {
+      {"UFP-growth", esup_params},
+      {"UH-Mine", esup_params},
+      {"NDUH-Mine", prob_params},
+  };
+  constexpr std::size_t kBudgets[] = {1, 0, 64};  // off, auto, aggressive
+  for (const Case& c : cases) {
+    Result<MiningResult> baseline = Status::Internal("not run");
+    {
+      ScopedKernel forced(IntersectKernel::kScalar);
+      MinerOptions options;
+      options.num_threads = 1;
+      options.split_budget = 1;  // serial, splitting off
+      baseline =
+          MinerRegistry::Global().Create(c.name, options)->Mine(view, c.task);
+    }
+    ASSERT_TRUE(baseline.ok()) << c.name;
+    ASSERT_GT(baseline->size(), 50u)
+        << c.name << ": chain database not deep enough to be meaningful";
+    for (const IntersectKernel kernel : kKernels) {
+      ScopedKernel forced(kernel);
+      for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{8}}) {
+        for (std::size_t budget : kBudgets) {
+          MinerOptions options;
+          options.num_threads = threads;
+          options.split_budget = budget;
+          auto run =
+              MinerRegistry::Global().Create(c.name, options)->Mine(view,
+                                                                    c.task);
+          ASSERT_TRUE(run.ok()) << c.name;
+          const std::string label = std::string("dominant/") + c.name + "@" +
+                                    std::to_string(threads) + "/b" +
+                                    std::to_string(budget) + "/" +
+                                    IntersectKernelName(kernel);
+          ExpectIdentical(run.value(), baseline.value(), label);
+          EXPECT_EQ(run->counters().candidates_generated,
+                    baseline->counters().candidates_generated)
+              << label;
+          EXPECT_EQ(run->counters().database_scans,
+                    baseline->counters().database_scans)
+              << label;
+        }
+      }
+    }
+  }
+}
+
 /// The UH-Struct engine's mining scratch (moment accumulators + slot
 /// map) is task-local since PR 4 and `Mine` is const: one engine may
 /// serve concurrent Mine calls — each itself multi-threaded — without

@@ -44,19 +44,24 @@ int Usage() {
   ufim_cli stats <path>
   ufim_cli mine <path> --algorithm <name>
            (--min-esup <r> | --min-sup <r> [--pft <p>] | --k <n>)
-           [--threads <t>] [--shards <s>]
+           [--threads <t>] [--shards <s>] [--split-budget <n>]
            [--kernel {auto|scalar|gallop|simd}]
            [--prefilter {off|bounds}]
            [--top <k>] [--closed] [--maximal] [--rules <min_conf>]
   ufim_cli mine-stream <path> --algorithm <name> --min-esup <r>
            [--batch <n>] [--compact-ratio <r>] [--threads <t>]
-           [--kernel {auto|scalar|gallop|simd}]
+           [--split-budget <n>] [--kernel {auto|scalar|gallop|simd}]
 
   --threads: worker threads for the parallel mining paths
              (default: hardware concurrency; results are identical at
              every setting). --shards: partition the database into <s>
              transaction shards mined independently and merged exactly
              (expected-support algorithms only).
+  --split-budget: recursive task-splitting budget for the pattern-growth
+             miners' dominant conditional subtrees (0 = automatic
+             threshold, the default; 1 = split never, i.e. top-level
+             rank tasks only; larger = split more aggressively).
+             Results are identical at every setting.
   --kernel:  force the posting-intersection kernel (default auto:
              galloping on skewed list lengths, SIMD when the CPU has
              it, scalar otherwise; results are identical under every
@@ -238,8 +243,8 @@ int Mine(const Args& args) {
   std::string err;
   if (!args.Validate(
           {.value_flags = {"algorithm", "min-esup", "min-sup", "pft", "k",
-                           "threads", "shards", "kernel", "prefilter", "top",
-                           "rules"},
+                           "threads", "shards", "split-budget", "kernel",
+                           "prefilter", "top", "rules"},
            .switches = {"closed", "maximal"}},
           &err)) {
     std::fprintf(stderr, "%s\n", err.c_str());
@@ -250,7 +255,7 @@ int Mine(const Args& args) {
   }
 
   // Validate every numeric flag before touching the dataset.
-  std::size_t num_threads = 0, num_shards = 1, k = 10;
+  std::size_t num_threads = 0, num_shards = 1, split_budget = 0, k = 10;
   double min_esup = 0.5, min_sup = 0.5, pft = 0.9;
   ShowOptions show;
   show.closed = args.Get("closed") != nullptr;
@@ -260,6 +265,7 @@ int Mine(const Args& args) {
     double rules_conf = 0.8;
     if (!OrFail(args.GetSize("threads", 0, &num_threads, &err), err) ||
         !OrFail(args.GetSize("shards", 1, &num_shards, &err), err) ||
+        !OrFail(args.GetSize("split-budget", 0, &split_budget, &err), err) ||
         !OrFail(args.GetSize("k", 10, &k, &err), err) ||
         !OrFail(args.GetDouble("min-esup", 0.5, &min_esup, &err), err) ||
         !OrFail(args.GetDouble("min-sup", 0.5, &min_sup, &err), err) ||
@@ -320,6 +326,7 @@ int Mine(const Args& args) {
   if (!ApplyKernelFlag(args)) return Usage();
   MinerOptions options;
   options.num_threads = num_threads;  // 0 = all hardware threads
+  options.split_budget = split_budget;  // 0 = automatic threshold
   if (const char* prefilter_name = args.Get("prefilter")) {
     if (!ParsePrefilterMode(prefilter_name, &options.prefilter)) {
       std::fprintf(stderr, "bad --prefilter '%s' (off|bounds)\n",
@@ -348,7 +355,8 @@ int Mine(const Args& args) {
 int MineStream(const Args& args) {
   std::string err;
   if (!args.Validate({.value_flags = {"algorithm", "min-esup", "batch",
-                                      "compact-ratio", "threads", "kernel"},
+                                      "compact-ratio", "threads",
+                                      "split-budget", "kernel"},
                       .switches = {}},
                      &err)) {
     std::fprintf(stderr, "%s\n", err.c_str());
@@ -359,9 +367,10 @@ int MineStream(const Args& args) {
   }
 
   // Validate every numeric flag before touching the dataset.
-  std::size_t num_threads = 0, batch_size = 256;
+  std::size_t num_threads = 0, split_budget = 0, batch_size = 256;
   double min_esup = 0.5, compact_ratio = 0.25;
   if (!OrFail(args.GetSize("threads", 0, &num_threads, &err), err) ||
+      !OrFail(args.GetSize("split-budget", 0, &split_budget, &err), err) ||
       !OrFail(args.GetSize("batch", 256, &batch_size, &err), err) ||
       !OrFail(args.GetDouble("min-esup", 0.5, &min_esup, &err), err) ||
       !OrFail(args.GetDouble("compact-ratio", 0.25, &compact_ratio, &err),
@@ -392,6 +401,7 @@ int MineStream(const Args& args) {
   params.min_esup = min_esup;
   MinerOptions options;
   options.num_threads = num_threads;  // 0 = all hardware threads
+  options.split_budget = split_budget;  // 0 = automatic threshold
   CompactionPolicy policy;
   policy.max_delta_ratio = compact_ratio;
   auto miner = MakeDeltaMiner(args.Get("algorithm"), params, options, policy);
