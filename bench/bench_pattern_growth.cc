@@ -27,10 +27,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <thread>
 
 #include "bench_datasets.h"
+#include "common/run_context.h"
 #include "core/flat_view.h"
 #include "core/miner.h"
 #include "core/miner_registry.h"
@@ -46,6 +49,7 @@ void RunMiner(benchmark::State& state, const char* algorithm,
   MinerOptions options;
   options.num_threads = threads;
   options.split_budget = split_budget;
+  const RunContext ctx = options.run_context;  // shared-state handle
   std::unique_ptr<Miner> miner =
       MinerRegistry::Global().Create(algorithm, options);
   std::size_t found = 0;
@@ -58,6 +62,17 @@ void RunMiner(benchmark::State& state, const char* algorithm,
     found = result->size();
     benchmark::DoNotOptimize(result);
   }
+  // Checkpoint density, measured by one count-only run outside the timed
+  // loop (counting mode pays for an extra atomic increment per poll, so
+  // it never runs while the clock does). checkpoints * the fast-path
+  // cost ceiling pinned by common_run_context_test bounds the
+  // cancellation overhead of a row well under the 1% budget.
+  ctx.ArmFaultAtCheckpoint(std::numeric_limits<std::uint64_t>::max(),
+                           StatusCode::kCancelled);
+  if (miner->Mine(view, task).ok()) {
+    state.counters["checkpoints"] = static_cast<double>(ctx.checkpoints());
+  }
+  ctx.Reset();
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["split_budget"] = static_cast<double>(split_budget);
   state.counters["hardware_concurrency"] =

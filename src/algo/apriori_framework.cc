@@ -232,7 +232,8 @@ std::vector<CandidateStats> ProbeSweep(const FlatView& view,
                                        const std::vector<Itemset>& candidates,
                                        bool collect_probs,
                                        double decremental_threshold,
-                                       std::size_t num_threads) {
+                                       std::size_t num_threads,
+                                       const RunContext* context) {
   const std::size_t n_items = view.num_items();
   const std::size_t n_cands = candidates.size();
   std::vector<CandidateStats> stats(n_cands);
@@ -267,12 +268,16 @@ std::vector<CandidateStats> ProbeSweep(const FlatView& view,
   }
   for (std::size_t base = 0; base < num_shards; base += wave) {
     const std::size_t batch = std::min(wave, num_shards - base);
-    ParallelFor(batch, num_threads, [&](std::size_t j) {
-      const std::size_t s = base + j;
-      SweepShard(view, candidates, buckets, active, collect_probs,
-                 s * n_txn / num_shards, (s + 1) * n_txn / num_shards,
-                 slots[j]);
-    });
+    ParallelFor(
+        batch, num_threads,
+        [&](std::size_t j) {
+          PollRunContext(context);  // checkpoint: one per sweep shard
+          const std::size_t s = base + j;
+          SweepShard(view, candidates, buckets, active, collect_probs,
+                     s * n_txn / num_shards, (s + 1) * n_txn / num_shards,
+                     slots[j]);
+        },
+        context);
     // Ordered merge: shard s is always folded in before shard s+1, in
     // ascending candidate order, and only candidates the shard actually
     // touched are folded (a pure function of the data) — so the
@@ -332,7 +337,8 @@ std::vector<CandidateStats> EvaluateCandidates(const FlatView& view,
                                                const std::vector<Itemset>& candidates,
                                                bool collect_probs,
                                                double decremental_threshold,
-                                               std::size_t num_threads) {
+                                               std::size_t num_threads,
+                                               const RunContext* context) {
   if (candidates.empty()) return {};
   if (num_threads == 0) num_threads = HardwareThreads();
 
@@ -369,7 +375,7 @@ std::vector<CandidateStats> EvaluateCandidates(const FlatView& view,
   sweep_cost = sweep_cost * scale + static_cast<double>(view.num_units());
   if (join_cost >= sweep_cost) {
     return ProbeSweep(view, candidates, collect_probs, decremental_threshold,
-                      num_threads);
+                      num_threads, context);
   }
 
   // Posting-join path: partitioned by candidate — each candidate's join
@@ -386,10 +392,12 @@ std::vector<CandidateStats> EvaluateCandidates(const FlatView& view,
       [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
         JoinScratch& scratch = scratches[chunk];
         for (std::size_t c = lo; c < hi; ++c) {
+          PollRunContext(context);  // checkpoint: one per candidate join
           JoinCandidate(view, candidates[c], collect_probs,
                         decremental_threshold, scratch, stats[c]);
         }
-      });
+      },
+      context);
   return stats;
 }
 
@@ -500,11 +508,16 @@ std::vector<JudgeOutcome> JudgeAll(const std::vector<Itemset>& candidates,
                                    std::vector<CandidateStats>& stats,
                                    const JudgeFn& judge,
                                    std::size_t judge_threads,
-                                   std::size_t ordinal_base) {
+                                   std::size_t ordinal_base,
+                                   const RunContext* context) {
   std::vector<JudgeOutcome> outcomes(candidates.size());
-  ParallelFor(candidates.size(), judge_threads, [&](std::size_t c) {
-    outcomes[c] = judge(candidates[c], stats[c], ordinal_base + c);
-  });
+  ParallelFor(
+      candidates.size(), judge_threads,
+      [&](std::size_t c) {
+        PollRunContext(context);  // checkpoint: one per judged candidate
+        outcomes[c] = judge(candidates[c], stats[c], ordinal_base + c);
+      },
+      context);
   return outcomes;
 }
 
@@ -516,8 +529,10 @@ std::vector<JudgeOutcome> JudgeAll(const std::vector<Itemset>& candidates,
 std::vector<FrequentItemset> LevelWiseLoop(
     const FlatView& view, const JudgeFn& judge, bool collect_probs,
     double decremental_threshold, MiningCounters* counters,
-    std::size_t num_threads, std::size_t judge_threads) {
+    std::size_t num_threads, std::size_t judge_threads,
+    const RunContext* context) {
   std::vector<FrequentItemset> results;
+  PollRunContext(context);  // checkpoint: run entry
 
   // Level 1: items, straight off the view's cached moments; the per-item
   // posting arrays already hold the per-transaction probabilities.
@@ -544,8 +559,8 @@ std::vector<FrequentItemset> LevelWiseLoop(
       }
       stats.push_back(std::move(cs));
     }
-    std::vector<JudgeOutcome> outcomes =
-        JudgeAll(singles, stats, judge, judge_threads, /*ordinal_base=*/0);
+    std::vector<JudgeOutcome> outcomes = JudgeAll(
+        singles, stats, judge, judge_threads, /*ordinal_base=*/0, context);
     for (std::size_t c = 0; c < singles.size(); ++c) {
       if (counters != nullptr) {
         counters->candidates_rejected_bound += outcomes[c].bound_rejected;
@@ -569,6 +584,7 @@ std::vector<FrequentItemset> LevelWiseLoop(
 
   // Levels k >= 2.
   while (!level.empty()) {
+    PollRunContext(context);  // checkpoint: one per level
     std::uint64_t pruned = 0;
     std::vector<Itemset> candidates = GenerateCandidates(level, &pruned);
     if (counters != nullptr) {
@@ -581,9 +597,9 @@ std::vector<FrequentItemset> LevelWiseLoop(
     }
     std::vector<CandidateStats> stats =
         EvaluateCandidates(view, candidates, collect_probs,
-                           decremental_threshold, num_threads);
-    std::vector<JudgeOutcome> outcomes =
-        JudgeAll(candidates, stats, judge, judge_threads, ordinal_base);
+                           decremental_threshold, num_threads, context);
+    std::vector<JudgeOutcome> outcomes = JudgeAll(
+        candidates, stats, judge, judge_threads, ordinal_base, context);
     ordinal_base += candidates.size();
     std::vector<Itemset> next;
     for (std::size_t c = 0; c < candidates.size(); ++c) {
@@ -609,7 +625,8 @@ std::vector<FrequentItemset> MineAprioriGeneric(const FlatView& view,
                                                 const AprioriCallbacks& callbacks,
                                                 double decremental_threshold,
                                                 MiningCounters* counters,
-                                                std::size_t num_threads) {
+                                                std::size_t num_threads,
+                                                const RunContext* context) {
   auto judge = [&callbacks](const Itemset& itemset, CandidateStats& cs,
                             std::size_t /*ordinal*/) -> JudgeOutcome {
     JudgeOutcome out;
@@ -627,16 +644,17 @@ std::vector<FrequentItemset> MineAprioriGeneric(const FlatView& view,
   // Judging stays on the calling thread: AprioriCallbacks carry no
   // thread-safety contract, and the predicates are O(1) anyway.
   return LevelWiseLoop(view, judge, /*collect_probs=*/false, decremental_threshold,
-                       counters, num_threads, /*judge_threads=*/1);
+                       counters, num_threads, /*judge_threads=*/1, context);
 }
 
 std::vector<FrequentItemset> MineAprioriGeneric(const UncertainDatabase& db,
                                                 const AprioriCallbacks& callbacks,
                                                 double decremental_threshold,
                                                 MiningCounters* counters,
-                                                std::size_t num_threads) {
+                                                std::size_t num_threads,
+                                                const RunContext* context) {
   return MineAprioriGeneric(FlatView(db), callbacks, decremental_threshold,
-                            counters, num_threads);
+                            counters, num_threads, context);
 }
 
 std::vector<FrequentItemset> MineProbabilisticApriori(
@@ -687,7 +705,8 @@ std::vector<FrequentItemset> MineProbabilisticApriori(
   return LevelWiseLoop(
       view, judge, /*collect_probs=*/true,
       /*decremental_threshold=*/-1.0, counters, options.num_threads,
-      /*judge_threads=*/options.parallel_tails ? options.num_threads : 1);
+      /*judge_threads=*/options.parallel_tails ? options.num_threads : 1,
+      options.context);
 }
 
 std::vector<FrequentItemset> MineProbabilisticApriori(

@@ -88,11 +88,15 @@ std::vector<Itemset> GenerateCandidates(const std::vector<Itemset>& frequent_k,
 ///
 /// `num_threads`: 0 means all hardware threads, 1 (the default) the
 /// sequential baseline.
+///
+/// `context`, when non-null, is polled once per candidate join (or per
+/// sweep shard); a trip unwinds with RunAbortedError.
 std::vector<CandidateStats> EvaluateCandidates(const FlatView& view,
                                                const std::vector<Itemset>& candidates,
                                                bool collect_probs,
                                                double decremental_threshold = -1.0,
-                                               std::size_t num_threads = 1);
+                                               std::size_t num_threads = 1,
+                                               const RunContext* context = nullptr);
 
 /// Row-oriented convenience overload for one-shot callers: delegates to
 /// the row-scan baseline rather than paying a full index build per call.
@@ -127,17 +131,21 @@ struct AprioriCallbacks {
 /// (only meaningful when the predicate is an esup threshold).
 /// `num_threads` parallelizes candidate counting; the callbacks are
 /// always invoked from the calling thread, so they need not be
-/// thread-safe.
+/// thread-safe. `context`, when non-null, is polled per level, per
+/// candidate evaluation and per judged candidate; a trip unwinds with
+/// RunAbortedError (the Miner facade converts it to a Status).
 std::vector<FrequentItemset> MineAprioriGeneric(const FlatView& view,
                                                 const AprioriCallbacks& callbacks,
                                                 double decremental_threshold,
                                                 MiningCounters* counters,
-                                                std::size_t num_threads = 1);
+                                                std::size_t num_threads = 1,
+                                                const RunContext* context = nullptr);
 std::vector<FrequentItemset> MineAprioriGeneric(const UncertainDatabase& db,
                                                 const AprioriCallbacks& callbacks,
                                                 double decremental_threshold,
                                                 MiningCounters* counters,
-                                                std::size_t num_threads = 1);
+                                                std::size_t num_threads = 1,
+                                                const RunContext* context = nullptr);
 
 /// Tail evaluator of the probabilistic apriori loop: Pr(sup >= msc) from
 /// a candidate's nonzero containment probabilities. `candidate_ordinal`
@@ -173,6 +181,9 @@ struct ProbabilisticLoopOptions {
   /// `candidate_ordinal`, which is how MCSampling's sampler qualifies
   /// since its per-candidate RNG streams are derived, not shared.
   bool parallel_tails = false;
+  /// Cancellation/deadline/budget token, polled per level, per candidate
+  /// evaluation and per judged candidate; nullptr = unconstrained.
+  const RunContext* context = nullptr;
 };
 
 /// The probabilistic variant of the level-wise loop: per candidate, the

@@ -97,6 +97,9 @@ Result<MiningResult> BruteForceExpected::MineExpected(
   auto dfs = [&](auto&& self, const Frame& frame) -> void {
     for (ItemId next = frame.itemset.empty() ? 0 : frame.itemset.items().back() + 1;
          next < n_items; ++next) {
+      // Checkpoint: one per enumerated candidate (the guarded facade
+      // converts the throw into a Status).
+      PollRunContext(&run_context());
       result.counters().candidates_generated++;
       Containment ext = frame.itemset.empty()
                             ? SingleItem(view, next)
@@ -134,6 +137,9 @@ Result<MiningResult> BruteForceProbabilistic::MineProbabilistic(
   auto dfs = [&](auto&& self, const Frame& frame) -> void {
     for (ItemId next = frame.itemset.empty() ? 0 : frame.itemset.items().back() + 1;
          next < n_items; ++next) {
+      // Checkpoint: one per enumerated candidate (the guarded facade
+      // converts the throw into a Status).
+      PollRunContext(&run_context());
       result.counters().candidates_generated++;
       Containment ext = frame.itemset.empty()
                             ? SingleItem(view, next)

@@ -25,6 +25,7 @@ Result<MiningResult> ExactDP::MineProbabilistic(
   loop.prefilter = prefilter_;
   loop.num_threads = num_threads_;
   loop.parallel_tails = true;
+  loop.context = &run_context();
   std::vector<FrequentItemset> found = MineProbabilisticApriori(
       view, msc, params.pft,
       [reject_threshold](const std::vector<double>& probs, std::size_t k,

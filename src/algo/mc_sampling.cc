@@ -70,6 +70,7 @@ Result<MiningResult> MCSampling::MineProbabilistic(
   loop.certified_tail = false;  // estimator: bounds may not overrule it
   loop.num_threads = num_threads_;
   loop.parallel_tails = true;
+  loop.context = &run_context();
   std::vector<FrequentItemset> found = MineProbabilisticApriori(
       view, msc, params.pft, tail_estimator, loop, &result.counters());
   for (FrequentItemset& fi : found) result.Add(std::move(fi));

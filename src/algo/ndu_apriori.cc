@@ -25,7 +25,7 @@ Result<MiningResult> NDUApriori::MineProbabilistic(
   };
   std::vector<FrequentItemset> found = MineAprioriGeneric(
       view, callbacks, /*decremental_threshold=*/-1.0, &result.counters(),
-      num_threads_);
+      num_threads_, &run_context());
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;

@@ -24,7 +24,8 @@ Result<MiningResult> NDUHMine::MineProbabilistic(
   UHStructEngine engine(view, std::move(hooks));
   MiningResult result;
   std::vector<FrequentItemset> found =
-      engine.Mine(&result.counters(), num_threads_, split_budget_);
+      engine.Mine(&result.counters(), num_threads_, split_budget_,
+                  &run_context());
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;

@@ -21,7 +21,7 @@ Result<MiningResult> PDUApriori::MineProbabilistic(
   };
   std::vector<FrequentItemset> found = MineAprioriGeneric(
       view, callbacks, /*decremental_threshold=*/lambda_star,
-      &result.counters(), num_threads_);
+      &result.counters(), num_threads_, &run_context());
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;

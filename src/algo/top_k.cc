@@ -35,6 +35,7 @@ using MinHeap =
 
 struct SearchContext {
   const FlatView* view = nullptr;
+  const RunContext* run = nullptr;
   std::size_t k = 0;
   /// Items in descending expected-support order (exploration order).
   std::vector<ItemId> order;
@@ -68,6 +69,10 @@ void Dfs(SearchContext& ctx, const Itemset& prefix, const Containment& cont,
          std::uint32_t last_pos) {
   const FlatView& view = *ctx.view;
   for (std::uint32_t p = last_pos + 1; p < ctx.order.size(); ++p) {
+    // Checkpoint: one per attempted DFS extension. The search is serial
+    // and every container is owned by this call chain, so an abort here
+    // unwinds cleanly.
+    PollRunContext(ctx.run);
     const ItemId item = ctx.order[p];
     ++ctx.counters.candidates_generated;
     // Batch join: one vectorized intersection, then a gather over the
@@ -100,10 +105,12 @@ void Dfs(SearchContext& ctx, const Itemset& prefix, const Containment& cont,
 
 }  // namespace
 
-Result<MiningResult> MineTopKExpected(const FlatView& view, std::size_t k) {
+Result<MiningResult> MineTopKExpected(const FlatView& view, std::size_t k,
+                                      const RunContext* context) {
   if (k == 0) return Status::InvalidArgument("top-k mining requires k > 0");
   SearchContext ctx;
   ctx.view = &view;
+  ctx.run = context;
   ctx.k = k;
 
   std::vector<ItemStats> stats = CollectItemStats(view);
@@ -121,6 +128,7 @@ Result<MiningResult> MineTopKExpected(const FlatView& view, std::size_t k) {
     Offer(ctx, Itemset{is.item}, is.esup, is.sq_sum);
   }
   for (std::uint32_t p = 0; p < ctx.order.size(); ++p) {
+    PollRunContext(ctx.run);  // checkpoint: one per starting item
     const ItemId item = ctx.order[p];
     if (stats[p].esup <= Bound(ctx)) continue;  // no extension can qualify
     Containment cont;
@@ -148,8 +156,9 @@ Result<MiningResult> MineTopKExpected(const FlatView& view, std::size_t k) {
 }
 
 Result<MiningResult> MineTopKExpected(const UncertainDatabase& db,
-                                      std::size_t k) {
-  return MineTopKExpected(FlatView(db), k);
+                                      std::size_t k,
+                                      const RunContext* context) {
+  return MineTopKExpected(FlatView(db), k, context);
 }
 
 Result<MiningResult> TopKMiner::Mine(const FlatView& view,
@@ -160,7 +169,10 @@ Result<MiningResult> TopKMiner::Mine(const FlatView& view,
                                    std::string(TaskKindName(task)) + " tasks");
   }
   UFIM_RETURN_IF_ERROR(params->Validate());
-  return MineTopKExpected(view, params->k);
+  // Overrides the variant dispatcher directly, so it needs its own abort
+  // guard (the typed entry points' guards never run for this miner).
+  return internal::GuardMine(
+      [&] { return MineTopKExpected(view, params->k, &run_context()); });
 }
 
 UFIM_REGISTER_MINER("TopK", TaskFamily::kTopK,

@@ -20,12 +20,16 @@ namespace ufim {
 ///
 /// Returns fewer than k itemsets only when fewer exist. Results carry
 /// (esup, variance) like every other miner and are sorted by descending
-/// expected support.
-Result<MiningResult> MineTopKExpected(const FlatView& view, std::size_t k);
+/// expected support. `context` (optional) is polled once per DFS
+/// extension; a tripped token unwinds with RunAbortedError (callers going
+/// through `TopKMiner` get it converted to a Status).
+Result<MiningResult> MineTopKExpected(const FlatView& view, std::size_t k,
+                                      const RunContext* context = nullptr);
 
 /// Convenience overload that builds a FlatView first.
 Result<MiningResult> MineTopKExpected(const UncertainDatabase& db,
-                                      std::size_t k);
+                                      std::size_t k,
+                                      const RunContext* context = nullptr);
 
 /// The `Miner` facade over MineTopKExpected: answers `TopKParams` tasks,
 /// registered as "TopK" so the CLI, experiment runner and benches reach

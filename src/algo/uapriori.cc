@@ -20,7 +20,7 @@ Result<MiningResult> UApriori::MineExpected(
   std::vector<FrequentItemset> found =
       MineAprioriGeneric(view, callbacks,
                          decremental_pruning_ ? threshold : -1.0,
-                         &result.counters(), num_threads_);
+                         &result.counters(), num_threads_, &run_context());
   for (FrequentItemset& fi : found) result.Add(std::move(fi));
   result.SortCanonical();
   return result;

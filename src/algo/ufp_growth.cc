@@ -35,6 +35,7 @@ struct MineContext {
   std::vector<FrequentItemset>* out = nullptr;
   MiningCounters* counters = nullptr;
   const SplitPolicy* split = nullptr;
+  const RunContext* run = nullptr;
 };
 
 FrequentItemset EmitResult(const MineContext& ctx,
@@ -63,6 +64,10 @@ void MineTreeParallel(const UFPTree& tree,
 void MineRank(const UFPTree& tree, std::uint32_t rank,
               std::vector<std::uint32_t>& prefix_ranks,
               const MineContext& ctx) {
+  // Checkpoint at entry: local scratch is still clean here, so the
+  // unwind leaves nothing half-built (prefix_ranks push/pop below is
+  // bracketed — a throw between them only abandons a task-local vector).
+  PollRunContext(ctx.run);
   const std::vector<std::uint32_t>& header = tree.header(rank);
   if (header.empty()) return;
   if (ctx.counters != nullptr) ++ctx.counters->candidates_generated;
@@ -166,7 +171,7 @@ void MineTreeParallel(const UFPTree& tree,
   const std::size_t n_ranks = tree.num_ranks();
   std::vector<std::vector<FrequentItemset>> child_out(n_ranks);
   std::vector<MiningCounters> child_counters(n_ranks);
-  TaskGroup group(ctx.split->max_workers);
+  TaskGroup group(ctx.split->max_workers, ctx.run);
   for (std::uint32_t rank = static_cast<std::uint32_t>(n_ranks); rank-- > 0;) {
     group.Spawn([&tree, &prefix_ranks, &ctx, &child_out, &child_counters,
                  rank] {
@@ -178,6 +183,9 @@ void MineTreeParallel(const UFPTree& tree,
     });
   }
   group.Wait();
+  // Wait's error rethrow covers tasks that started; the poll covers
+  // tasks the tripped token made the group skip entirely.
+  PollRunContext(ctx.run);
   for (std::uint32_t rank = static_cast<std::uint32_t>(n_ranks); rank-- > 0;) {
     if (ctx.counters != nullptr) *ctx.counters += child_counters[rank];
     ctx.out->insert(ctx.out->end(),
@@ -191,6 +199,7 @@ void MineTreeParallel(const UFPTree& tree,
 Result<MiningResult> UFPGrowth::MineExpected(
     const FlatView& view, const ExpectedSupportParams& params) const {
   UFIM_RETURN_IF_ERROR(params.Validate());
+  PollRunContext(&run_context());  // checkpoint: run entry
   const double threshold =
       params.min_esup * static_cast<double>(view.num_transactions());
   MiningResult result;
@@ -267,7 +276,8 @@ Result<MiningResult> UFPGrowth::MineExpected(
   std::vector<std::vector<FrequentItemset>> per_rank(n_ranks);
   std::vector<MiningCounters> per_rank_counters(n_ranks);
   ParallelForDynamic(
-      n_ranks, num_threads_, [&](std::size_t rank, std::size_t /*worker*/) {
+      n_ranks, num_threads_,
+      [&](std::size_t rank, std::size_t /*worker*/) {
         std::vector<std::uint32_t> prefix;
         MineContext ctx;
         ctx.threshold = threshold;
@@ -275,8 +285,10 @@ Result<MiningResult> UFPGrowth::MineExpected(
         ctx.out = &per_rank[rank];
         ctx.counters = &per_rank_counters[rank];
         ctx.split = split;
+        ctx.run = &run_context();
         MineRank(tree, static_cast<std::uint32_t>(rank), prefix, ctx);
-      });
+      },
+      &run_context());
   // Merge in fixed descending-rank order — the serial MineTree order —
   // regardless of which worker mined which rank.
   for (std::uint32_t rank = static_cast<std::uint32_t>(n_ranks); rank-- > 0;) {

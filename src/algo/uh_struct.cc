@@ -93,7 +93,7 @@ FrequentItemset UHStructEngine::MakeResult(
 
 std::vector<FrequentItemset> UHStructEngine::Mine(
     MiningCounters* counters, std::size_t num_threads,
-    std::size_t split_budget) const {
+    std::size_t split_budget, const RunContext* context) const {
   std::vector<FrequentItemset> out;
   if (counters != nullptr) ++counters->database_scans;
 
@@ -185,8 +185,9 @@ std::vector<FrequentItemset> UHStructEngine::Mine(
           occurrences.push_back(Occurrence{txn_of(u), u + 1, units_[u].prob});
         }
         Recurse(prefix, occurrences, scratch[worker], rank_out,
-                &rank_counters, split);
-      });
+                &rank_counters, split, context);
+      },
+      context);
   for (std::size_t r = 0; r < n_ranks; ++r) {
     if (counters != nullptr) *counters += per_rank_counters[r];
     out.insert(out.end(), std::make_move_iterator(per_rank[r].begin()),
@@ -199,8 +200,13 @@ void UHStructEngine::Recurse(std::vector<std::uint32_t>& prefix_ranks,
                              const std::vector<Occurrence>& occurrences,
                              Scratch& scratch,
                              std::vector<FrequentItemset>& out,
-                             MiningCounters* counters,
-                             MineState* state) const {
+                             MiningCounters* counters, MineState* state,
+                             const RunContext* context) const {
+  // Checkpoint: one per prefix subtree. Entry is a scratch-clean point
+  // (the caller resets accumulators and restores the slot map before
+  // every recursive call), so an abort here unwinds without leaving a
+  // dirty Scratch behind for the pool.
+  PollRunContext(context);
   // Pass 1: head-table moments for every extension rank.
   std::vector<std::uint32_t> touched;
   for (const Occurrence& occ : occurrences) {
@@ -270,10 +276,10 @@ void UHStructEngine::Recurse(std::vector<std::uint32_t>& prefix_ranks,
     const std::size_t n_ext = frequent.size();
     std::vector<std::vector<FrequentItemset>> child_out(n_ext);
     std::vector<MiningCounters> child_counters(n_ext);
-    TaskGroup group(state->max_workers);
+    TaskGroup group(state->max_workers, context);
     for (std::size_t e = 0; e < n_ext; ++e) {
       group.Spawn([this, &frequent, &prefix_ranks, &child_out, &child_counters,
-                   state, e] {
+                   state, context, e] {
         Extension& ext = frequent[e];
         std::vector<std::uint32_t> prefix = prefix_ranks;
         prefix.push_back(ext.rank);
@@ -281,13 +287,16 @@ void UHStructEngine::Recurse(std::vector<std::uint32_t>& prefix_ranks,
         ext_out.push_back(MakeResult(prefix, ext.esup, ext.sq_sum));
         std::unique_ptr<Scratch> leased = state->AcquireScratch();
         Recurse(prefix, ext.occurrences, *leased, ext_out, &child_counters[e],
-                state);
+                state, context);
         state->ReleaseScratch(std::move(leased));
         ext.occurrences.clear();
         ext.occurrences.shrink_to_fit();
       });
     }
     group.Wait();
+    // Wait rethrows from tasks that ran; the poll covers siblings the
+    // tripped token made the group skip outright.
+    PollRunContext(context);
     for (std::size_t e = 0; e < n_ext; ++e) {
       if (counters != nullptr) *counters += child_counters[e];
       out.insert(out.end(), std::make_move_iterator(child_out[e].begin()),
@@ -299,7 +308,8 @@ void UHStructEngine::Recurse(std::vector<std::uint32_t>& prefix_ranks,
   for (Extension& ext : frequent) {
     prefix_ranks.push_back(ext.rank);
     out.push_back(MakeResult(prefix_ranks, ext.esup, ext.sq_sum));
-    Recurse(prefix_ranks, ext.occurrences, scratch, out, counters, state);
+    Recurse(prefix_ranks, ext.occurrences, scratch, out, counters, state,
+            context);
     // Release this branch's head table before moving to the next sibling
     // (H-Mine keeps memory proportional to the recursion path).
     ext.occurrences.clear();

@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/run_context.h"
 #include "core/flat_view.h"
 #include "core/mining_result.h"
 #include "core/uncertain_database.h"
@@ -65,9 +66,15 @@ class UHStructEngine {
   /// counters are identical at every setting. The hooks must be safe to
   /// call concurrently when `num_threads` != 1 (the stateless predicate
   /// closures every caller in this repo uses qualify).
+  ///
+  /// `context` (optional) is polled at every `Recurse` entry — a
+  /// scratch-clean point, so a tripped token unwinds with RunAbortedError
+  /// without corrupting pooled scratch — and propagated into the nested
+  /// split task groups so cancelled subtrees stop claiming work.
   std::vector<FrequentItemset> Mine(MiningCounters* counters,
                                     std::size_t num_threads = 1,
-                                    std::size_t split_budget = 0) const;
+                                    std::size_t split_budget = 0,
+                                    const RunContext* context = nullptr) const;
 
   /// Number of items retained in the head table (for tests).
   std::size_t num_frequent_items() const { return rank_to_item_.size(); }
@@ -110,7 +117,7 @@ class UHStructEngine {
   void Recurse(std::vector<std::uint32_t>& prefix_ranks,
                const std::vector<Occurrence>& occurrences, Scratch& scratch,
                std::vector<FrequentItemset>& out, MiningCounters* counters,
-               MineState* state) const;
+               MineState* state, const RunContext* context) const;
 
   FrequentItemset MakeResult(const std::vector<std::uint32_t>& prefix_ranks,
                              double esup, double sq_sum) const;

@@ -1,0 +1,102 @@
+#include "common/run_context.h"
+
+#include <chrono>
+
+#include "eval/memory_tracker.h"
+
+namespace ufim {
+namespace {
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void RunContext::SetDeadlineAfter(std::chrono::nanoseconds budget) const {
+  state_->deadline_ns.store(NowNs() + budget.count(),
+                            std::memory_order_release);
+}
+
+void RunContext::SetMemoryBudgetBytes(std::size_t bytes) const {
+  state_->budget_baseline.store(memory_tracker::CurrentBytes(),
+                                std::memory_order_relaxed);
+  state_->budget_bytes.store(bytes, std::memory_order_release);
+}
+
+void RunContext::Reset() const {
+  State* s = state_.get();
+  s->counting.store(false, std::memory_order_relaxed);
+  s->deadline_ns.store(kNoDeadline, std::memory_order_relaxed);
+  s->budget_bytes.store(0, std::memory_order_relaxed);
+  s->budget_baseline.store(0, std::memory_order_relaxed);
+  s->checkpoints.store(0, std::memory_order_relaxed);
+  s->fault_at.store(0, std::memory_order_relaxed);
+  s->fault_code.store(0, std::memory_order_relaxed);
+  s->tripped.store(0, std::memory_order_release);
+}
+
+void RunContext::ArmFaultAtCheckpoint(std::uint64_t nth,
+                                      StatusCode code) const {
+  State* s = state_.get();
+  s->fault_code.store(static_cast<int>(code), std::memory_order_relaxed);
+  s->fault_at.store(nth == 0 ? 1 : nth, std::memory_order_relaxed);
+  s->checkpoints.store(0, std::memory_order_relaxed);
+  s->counting.store(true, std::memory_order_release);
+}
+
+void RunContext::Trip(StatusCode code) const {
+  int expected = 0;
+  state_->tripped.compare_exchange_strong(expected, static_cast<int>(code),
+                                          std::memory_order_acq_rel);
+}
+
+Status RunContext::TrippedStatus(int code) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kCancelled:
+      return Status::Cancelled("run cancelled");
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded("run deadline exceeded");
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted("run memory budget exceeded");
+    default:
+      return Status(static_cast<StatusCode>(code), "run aborted");
+  }
+}
+
+Status RunContext::PollLimits() const {
+  State* s = state_.get();
+  const std::int64_t deadline = s->deadline_ns.load(std::memory_order_acquire);
+  if (deadline != kNoDeadline && NowNs() > deadline) {
+    Trip(StatusCode::kDeadlineExceeded);
+  } else {
+    const std::size_t budget = s->budget_bytes.load(std::memory_order_acquire);
+    if (budget != 0) {
+      const std::size_t now = memory_tracker::CurrentBytes();
+      const std::size_t base =
+          s->budget_baseline.load(std::memory_order_relaxed);
+      if (now > base && now - base > budget) {
+        Trip(StatusCode::kResourceExhausted);
+      }
+    }
+  }
+  const int code = s->tripped.load(std::memory_order_relaxed);
+  return code == 0 ? Status::OK() : TrippedStatus(code);
+}
+
+Status RunContext::CountedCheck() const {
+  State* s = state_.get();
+  const std::uint64_t n =
+      s->checkpoints.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t at = s->fault_at.load(std::memory_order_relaxed);
+  if (at != 0 && n >= at) {
+    Trip(static_cast<StatusCode>(s->fault_code.load(std::memory_order_relaxed)));
+  }
+  const int code = s->tripped.load(std::memory_order_relaxed);
+  if (code != 0) return TrippedStatus(code);
+  return PollLimits();
+}
+
+}  // namespace ufim

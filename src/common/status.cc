@@ -16,8 +16,31 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
+}
+
+bool StatusCodeFromString(std::string_view name, StatusCode* code) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,         StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,   StatusCode::kOutOfRange,
+      StatusCode::kIOError,    StatusCode::kInternal,
+      StatusCode::kCancelled,  StatusCode::kDeadlineExceeded,
+      StatusCode::kResourceExhausted,
+  };
+  for (StatusCode c : kAll) {
+    if (StatusCodeToString(c) == name) {
+      *code = c;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string Status::ToString() const {

@@ -19,10 +19,17 @@ enum class StatusCode {
   kOutOfRange = 3,
   kIOError = 4,
   kInternal = 5,
+  kCancelled = 6,
+  kDeadlineExceeded = 7,
+  kResourceExhausted = 8,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"…).
 std::string_view StatusCodeToString(StatusCode code);
+
+/// Inverse of StatusCodeToString. Returns false for unrecognized names
+/// ("Unknown" included — it is not a real code).
+bool StatusCodeFromString(std::string_view name, StatusCode* code);
 
 /// A cheap, copyable success-or-error value.
 ///
@@ -63,6 +70,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <utility>
 
 namespace ufim {
@@ -165,6 +166,10 @@ class TaskGroupImpl {
   void RunTask(Task* task);
 
   const std::size_t num_slots_;
+  /// Handle copy of the attached cancellation token (nullopt = none); a
+  /// copy, not a pointer, so late help-token arrivals can never touch a
+  /// dead context.
+  std::optional<RunContext> ctx_;
   std::vector<std::unique_ptr<TaskDeque>> deques_;  ///< one per slot
   std::atomic<std::size_t> pending_{0};
   std::atomic<std::size_t> next_index_{0};
@@ -230,7 +235,11 @@ TaskGroupImpl::Task* TaskGroupImpl::FindWork(std::size_t slot) {
 
 void TaskGroupImpl::RunTask(Task* task) {
   try {
-    task->fn();
+    // Observe the cancellation token between tasks: once it trips,
+    // not-yet-started tasks are skipped (their accounting below still
+    // runs, so WaitAll sees exact completion). In-flight tasks drain via
+    // their own body checkpoints.
+    if (!ctx_ || !ctx_->aborted()) task->fn();
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
     errors_.emplace_back(task->index, std::current_exception());
@@ -393,10 +402,12 @@ bool ThreadPool::InWorker() { return t_in_worker; }
 // ---------------------------------------------------------------------------
 // TaskGroup.
 
-TaskGroup::TaskGroup(std::size_t max_workers, ThreadPool& pool)
+TaskGroup::TaskGroup(std::size_t max_workers, const RunContext* context,
+                     ThreadPool& pool)
     : pool_(pool),
       impl_(std::make_shared<internal::TaskGroupImpl>(std::max<std::size_t>(
           max_workers == 0 ? HardwareThreads() : max_workers, 1))) {
+  if (context != nullptr) impl_->ctx_ = *context;
   {
     std::lock_guard<std::mutex> lock(impl_->mu_);
     impl_->slot_taken_[0] = true;  // the owner occupies slot 0 for life
@@ -444,11 +455,16 @@ void TaskGroup::Wait() {
 // Parallel loop helpers.
 
 void ParallelFor(std::size_t n, std::size_t num_threads,
-                 const std::function<void(std::size_t)>& body) {
+                 const std::function<void(std::size_t)>& body,
+                 const RunContext* context) {
   if (num_threads == 0) num_threads = HardwareThreads();
   const std::size_t chunks = std::min(num_threads, n);
   if (chunks <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (context != nullptr && context->aborted()) break;
+      body(i);
+    }
+    PollRunContext(context);
     return;
   }
 
@@ -456,22 +472,28 @@ void ParallelFor(std::size_t n, std::size_t num_threads,
   // other chunks still run whole, and the lowest-numbered failing chunk
   // is the one rethrown (chunk 0 — the caller's — is the lowest).
   std::vector<std::exception_ptr> chunk_errors(chunks);
-  TaskGroup group(chunks);
+  TaskGroup group(chunks, context);
   std::exception_ptr early_error;
   try {
     for (std::size_t c = 1; c < chunks; ++c) {
       const std::size_t lo = c * n / chunks;
       const std::size_t hi = (c + 1) * n / chunks;
-      group.Spawn([&body, &chunk_errors, c, lo, hi] {
+      group.Spawn([&body, &chunk_errors, context, c, lo, hi] {
         try {
-          for (std::size_t i = lo; i < hi; ++i) body(i);
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (context != nullptr && context->aborted()) break;
+            body(i);
+          }
         } catch (...) {
           chunk_errors[c] = std::current_exception();
         }
       });
     }
     const std::size_t hi0 = n / chunks;
-    for (std::size_t i = 0; i < hi0; ++i) body(i);
+    for (std::size_t i = 0; i < hi0; ++i) {
+      if (context != nullptr && context->aborted()) break;
+      body(i);
+    }
   } catch (...) {
     // Spawn itself (allocation) or the caller's chunk threw; every
     // spawned chunk still runs to completion below.
@@ -482,6 +504,9 @@ void ParallelFor(std::size_t n, std::size_t num_threads,
   for (std::size_t c = 0; c < chunks; ++c) {
     if (chunk_errors[c]) std::rethrow_exception(chunk_errors[c]);
   }
+  // A tripped context may have made workers skip indices silently; the
+  // poll turns that into an unwind the caller cannot miss.
+  PollRunContext(context);
 }
 
 std::size_t ParallelWorkerCount(std::size_t n, std::size_t num_threads) {
@@ -494,10 +519,15 @@ std::size_t ParallelWorkerCount(std::size_t n, std::size_t num_threads) {
 
 void ParallelForDynamic(
     std::size_t n, std::size_t num_threads,
-    const std::function<void(std::size_t, std::size_t)>& body) {
+    const std::function<void(std::size_t, std::size_t)>& body,
+    const RunContext* context) {
   const std::size_t workers = ParallelWorkerCount(n, num_threads);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (context != nullptr && context->aborted()) break;
+      body(i, 0);
+    }
+    PollRunContext(context);
     return;
   }
 
@@ -505,8 +535,11 @@ void ParallelForDynamic(
   // depend on which worker happened to claim the failing index.
   std::atomic<std::size_t> cursor{0};
   std::vector<std::exception_ptr> errors(n);
-  auto drain = [&cursor, &errors, &body, n](std::size_t worker) {
+  auto drain = [&cursor, &errors, &body, context, n](std::size_t worker) {
     for (;;) {
+      // Stop claiming work once the token trips; the index in flight
+      // drains via its own body checkpoints.
+      if (context != nullptr && context->aborted()) return;
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
@@ -517,7 +550,7 @@ void ParallelForDynamic(
     }
   };
 
-  TaskGroup group(workers);
+  TaskGroup group(workers, context);
   std::exception_ptr spawn_error;
   try {
     for (std::size_t w = 1; w < workers; ++w) {
@@ -534,6 +567,9 @@ void ParallelForDynamic(
     if (errors[i]) std::rethrow_exception(errors[i]);
   }
   if (spawn_error) std::rethrow_exception(spawn_error);
+  // Unclaimed indices after a trip must surface as an abort, never as a
+  // silently-shortened loop.
+  PollRunContext(context);
 }
 
 std::size_t ParallelChunkCount(std::size_t n, std::size_t num_threads) {
@@ -543,12 +579,16 @@ std::size_t ParallelChunkCount(std::size_t n, std::size_t num_threads) {
 
 void ParallelForChunks(
     std::size_t n, std::size_t num_threads,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    const RunContext* context) {
   const std::size_t k = ParallelChunkCount(n, num_threads);
   if (k == 0) return;
-  ParallelFor(k, num_threads, [&body, n, k](std::size_t chunk) {
-    body(chunk, chunk * n / k, (chunk + 1) * n / k);
-  });
+  ParallelFor(
+      k, num_threads,
+      [&body, n, k](std::size_t chunk) {
+        body(chunk, chunk * n / k, (chunk + 1) * n / k);
+      },
+      context);
 }
 
 }  // namespace ufim

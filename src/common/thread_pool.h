@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/run_context.h"
+
 namespace ufim {
 
 /// Number of hardware threads, clamped to at least 1 (the standard
@@ -141,6 +143,13 @@ class ThreadPool {
 /// every spawned task to completion, then rethrows the exception of the
 /// lowest-spawn-index failing task.
 ///
+/// Cancellation: when a `RunContext` is attached and trips, participants
+/// observe the token *between* tasks — in-flight task bodies drain to
+/// completion (they poll their own checkpoints), but not-yet-started tasks
+/// are skipped (still accounted, so Wait's bookkeeping is exact). Callers
+/// that attach a context must poll it after Wait (`PollRunContext`) so
+/// skipped work is never mistaken for completed work.
+///
 /// A group is not thread-safe for concurrent Spawn/Wait from unrelated
 /// threads: Spawn may be called by the owner and from inside the group's
 /// own tasks; Wait only by the owner.
@@ -148,7 +157,10 @@ class TaskGroup {
  public:
   /// `max_workers` caps how many threads (owner included) participate:
   /// 1 runs every task inline in Wait, 0 means HardwareThreads().
+  /// `context`, when non-null, attaches a cancellation token for the
+  /// lifetime of the group (the group keeps its own handle copy).
   explicit TaskGroup(std::size_t max_workers = 0,
+                     const RunContext* context = nullptr,
                      ThreadPool& pool = ThreadPool::Global());
 
   /// Waits (without rethrowing) if Wait was never called.
@@ -191,8 +203,14 @@ class TaskGroup {
 /// If one or more bodies throw, the remaining chunks still run to
 /// completion and the exception of the lowest-numbered failing chunk is
 /// rethrown in the caller.
+///
+/// When `context` is non-null, workers poll it between indices and stop
+/// starting new ones once it trips; the call then unwinds with
+/// `RunAbortedError` (after draining in-flight bodies), so a cancelled
+/// loop can never be mistaken for a completed one.
 void ParallelFor(std::size_t n, std::size_t num_threads,
-                 const std::function<void(std::size_t)>& body);
+                 const std::function<void(std::size_t)>& body,
+                 const RunContext* context = nullptr);
 
 /// Number of chunks `ParallelForChunks` decomposes [0, n) into:
 /// min(num_threads, n), with num_threads == 0 meaning HardwareThreads().
@@ -210,7 +228,8 @@ std::size_t ParallelChunkCount(std::size_t n, std::size_t num_threads);
 void ParallelForChunks(
     std::size_t n, std::size_t num_threads,
     const std::function<void(std::size_t chunk, std::size_t lo,
-                             std::size_t hi)>& body);
+                             std::size_t hi)>& body,
+    const RunContext* context = nullptr);
 
 /// Number of worker slots `ParallelForDynamic` uses for a given (n,
 /// num_threads): min(num_threads, n), with num_threads == 0 meaning
@@ -239,9 +258,14 @@ std::size_t ParallelWorkerCount(std::size_t n, std::size_t num_threads);
 ///
 /// If bodies throw, every index is still attempted and the exception of
 /// the lowest-numbered failing index is rethrown in the caller.
+///
+/// When `context` is non-null, workers check it before claiming each
+/// index from the cursor and stop claiming once it trips; the call then
+/// unwinds with `RunAbortedError` after the in-flight bodies drain.
 void ParallelForDynamic(
     std::size_t n, std::size_t num_threads,
-    const std::function<void(std::size_t index, std::size_t worker)>& body);
+    const std::function<void(std::size_t index, std::size_t worker)>& body,
+    const RunContext* context = nullptr);
 
 }  // namespace ufim
 

@@ -10,6 +10,26 @@
 
 namespace ufim {
 
+namespace {
+
+/// Rolls the view's open append transaction back unless the caller
+/// committed first — so every early return (and any exception unwinding
+/// to the GuardMine boundary) restores the pre-append stream.
+class AppendTxnGuard {
+ public:
+  explicit AppendTxnGuard(StreamingFlatView& view) : view_(view) {}
+  ~AppendTxnGuard() {
+    if (view_.in_append_txn()) view_.RollbackAppend();
+  }
+  AppendTxnGuard(const AppendTxnGuard&) = delete;
+  AppendTxnGuard& operator=(const AppendTxnGuard&) = delete;
+
+ private:
+  StreamingFlatView& view_;
+};
+
+}  // namespace
+
 DeltaMiner::DeltaMiner(std::unique_ptr<Miner> inner,
                        ExpectedSupportParams params, CompactionPolicy policy,
                        std::size_t num_threads)
@@ -19,11 +39,12 @@ DeltaMiner::DeltaMiner(std::unique_ptr<Miner> inner,
       view_(policy),
       num_threads_(num_threads == 0 ? HardwareThreads() : num_threads) {}
 
+void DeltaMiner::set_run_context(RunContext context) {
+  inner_->set_run_context(context);  // copies share the token
+  run_context_ = std::move(context);
+}
+
 Result<MiningResult> DeltaMiner::MineNext(std::span<const Transaction> batch) {
-  // Sticky failure: a batch appended under an inner-miner error was
-  // never shard-mined, and accepting a retry of it would append (and
-  // count) it twice. See the header contract.
-  if (!poisoned_.ok()) return poisoned_;
   UFIM_RETURN_IF_ERROR(params_.Validate());
   const MiningTask task = params_;
   if (!inner_->Supports(task)) {
@@ -31,47 +52,62 @@ Result<MiningResult> DeltaMiner::MineNext(std::span<const Transaction> batch) {
         name_ + " needs an expected-support inner miner");
   }
 
-  view_.Append(batch);
-  const FlatView full = view_.View();
-  const std::size_t n_txn = full.num_transactions();
+  // The guard converts recount-phase checkpoint throws into a clean
+  // Status at this facade (the inner miner guards its own Mine).
+  return internal::GuardMine([&]() -> Result<MiningResult> {
+    PollRunContext(&run_context_);  // checkpoint: batch entry
 
-  MiningResult result;
+    // Transactional append: any failure before CommitAppend — inner
+    // shard-mine error, cancellation, allocation failure — rolls the
+    // batch back to the pre-append watermark on the way out, so a retry
+    // of the same batch appends it exactly once.
+    view_.BeginAppend();
+    AppendTxnGuard rollback_unless_committed(view_);
+    view_.Append(batch);
+    const FlatView full = view_.View();
+    const std::size_t n_txn = full.num_transactions();
 
-  // Phase 1: mine the appended suffix as its own SON shard, at the same
-  // min_esup ratio (the shard threshold is ratio * |shard|, exactly as
-  // ShardedMiner's static shards). The slice spans the base/delta seam
-  // transparently, so this works identically pre- and post-compaction.
-  if (n_txn > mined_upto_) {
-    const FlatView suffix = full.Slice(mined_upto_, n_txn);
-    Result<MiningResult> local = inner_->Mine(suffix, task);
-    if (!local.ok()) {
-      poisoned_ = local.status();
-      return poisoned_;
+    MiningResult result;
+
+    // Phase 1: mine the appended suffix as its own SON shard, at the same
+    // min_esup ratio (the shard threshold is ratio * |shard|, exactly as
+    // ShardedMiner's static shards). The slice spans the base/delta seam
+    // transparently, so this works identically pre- and post-compaction.
+    if (n_txn > mined_upto_) {
+      const FlatView suffix = full.Slice(mined_upto_, n_txn);
+      Result<MiningResult> local = inner_->Mine(suffix, task);
+      UFIM_RETURN_IF_ERROR(local.status());
+      result.counters() += local->counters();
+      for (const FrequentItemset& fi : local->itemsets()) {
+        pool_.insert(fi.itemset);
+      }
+      mined_upto_ = n_txn;
+      ++shards_mined_;
     }
-    result.counters() += local->counters();
-    for (const FrequentItemset& fi : local->itemsets()) {
-      pool_.insert(fi.itemset);
-    }
-    mined_upto_ = n_txn;
-    ++shards_mined_;
-  }
+    // The shard is mined and the pool updated — commit (running any
+    // deferred compaction) before the recount, so a recount failure
+    // leaves a consistent stream that an empty-batch call re-mines.
+    const bool compacted = view_.CommitAppend();
 
-  // Phase 2: exact recount of the whole candidate pool over the full
-  // view. Canonical candidate order keeps the recount independent of
-  // pool insertion history (and of the unordered_set's iteration order).
-  std::vector<Itemset> singles;
-  std::vector<Itemset> larger;
-  for (const Itemset& is : pool_) {
-    (is.size() == 1 ? singles : larger).push_back(is);
-  }
-  std::sort(singles.begin(), singles.end());
-  std::sort(larger.begin(), larger.end());
-  const double threshold =
-      params_.min_esup * static_cast<double>(n_txn);
-  RecountExpectedCandidates(full, singles, larger, threshold, num_threads_,
-                            result);
-  result.SortCanonical();
-  return result;
+    // Phase 2: exact recount of the whole candidate pool over the full
+    // view. Canonical candidate order keeps the recount independent of
+    // pool insertion history (and of the unordered_set's iteration
+    // order). Re-take the view: compaction invalidates slices.
+    const FlatView recount_view = compacted ? view_.View() : full;
+    std::vector<Itemset> singles;
+    std::vector<Itemset> larger;
+    for (const Itemset& is : pool_) {
+      (is.size() == 1 ? singles : larger).push_back(is);
+    }
+    std::sort(singles.begin(), singles.end());
+    std::sort(larger.begin(), larger.end());
+    const double threshold =
+        params_.min_esup * static_cast<double>(n_txn);
+    RecountExpectedCandidates(recount_view, singles, larger, threshold,
+                              num_threads_, result, &run_context_);
+    result.SortCanonical();
+    return result;
+  });
 }
 
 Result<std::unique_ptr<DeltaMiner>> MakeDeltaMiner(
@@ -87,8 +123,10 @@ Result<std::unique_ptr<DeltaMiner>> MakeDeltaMiner(
         "streaming mining supports expected-support algorithms only; '" +
         std::string(algorithm) + "' is not one");
   }
-  return std::make_unique<DeltaMiner>(entry->make(options), params, policy,
-                                      options.num_threads);
+  auto miner = std::make_unique<DeltaMiner>(entry->make(options), params,
+                                            policy, options.num_threads);
+  miner->set_run_context(options.run_context);
+  return miner;
 }
 
 }  // namespace ufim

@@ -65,14 +65,23 @@ class DeltaMiner {
   /// over every transaction appended so far. An empty batch re-mines the
   /// current state (recount only).
   ///
-  /// An inner-miner error *poisons* the stream: the failing batch is
-  /// already appended but its suffix shard was never mined, so rather
-  /// than let a retry of the same batch double-append (and silently
-  /// double-count) it, every subsequent call returns the original
-  /// error. Build a fresh DeltaMiner to recover. (Parameter validation
-  /// and task-support errors happen before the append and do not
-  /// poison.)
+  /// **Transactional.** The append runs under the view's
+  /// BeginAppend/CommitAppend protocol: if the inner shard mine fails
+  /// (including cancellation through the attached RunContext), the batch
+  /// is rolled back to the pre-append watermark and the error returned —
+  /// the stream is *not* poisoned. Retrying the same batch after a
+  /// transient failure appends it exactly once and yields the same
+  /// result as if the failure never happened. The candidate pool and
+  /// shard watermark advance only on a successful shard mine, and the
+  /// batch commits before the recount, so a recount-phase failure leaves
+  /// a consistent committed stream that an empty-batch retry re-mines.
   Result<MiningResult> MineNext(std::span<const Transaction> batch);
+
+  /// Attaches the cooperative cancellation / deadline / budget token,
+  /// shared with the inner shard miner. `MakeDeltaMiner` forwards
+  /// `MinerOptions::run_context` automatically.
+  void set_run_context(RunContext context);
+  const RunContext& run_context() const { return run_context_; }
 
   /// Read-only storage access. Mutation stays behind MineNext (and the
   /// Compact forwarder below): appending to the view directly would
@@ -98,7 +107,7 @@ class DeltaMiner {
   std::size_t num_threads_;
   std::size_t mined_upto_ = 0;  ///< transactions covered by mined shards
   std::size_t shards_mined_ = 0;
-  Status poisoned_ = Status::OK();  ///< sticky inner-miner failure
+  RunContext run_context_;
   std::unordered_set<Itemset, ItemsetHash> pool_;
 };
 

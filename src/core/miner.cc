@@ -82,7 +82,7 @@ Status UnsupportedTask(const Miner& miner, const MiningTask& task) {
 Result<MiningResult> ExpectedSupportMiner::Mine(const FlatView& view,
                                                 const MiningTask& task) const {
   if (const auto* params = std::get_if<ExpectedSupportParams>(&task)) {
-    return MineExpected(view, *params);
+    return Mine(view, *params);  // guarded typed entry point
   }
   return UnsupportedTask(*this, task);
 }
@@ -90,7 +90,7 @@ Result<MiningResult> ExpectedSupportMiner::Mine(const FlatView& view,
 Result<MiningResult> ProbabilisticMiner::Mine(const FlatView& view,
                                               const MiningTask& task) const {
   if (const auto* params = std::get_if<ProbabilisticParams>(&task)) {
-    return MineProbabilistic(view, *params);
+    return Mine(view, *params);  // guarded typed entry point
   }
   return UnsupportedTask(*this, task);
 }

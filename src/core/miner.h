@@ -3,10 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <string_view>
 #include <variant>
 
 #include "common/result.h"
+#include "common/run_context.h"
 #include "common/status.h"
 #include "core/flat_view.h"
 #include "core/mining_result.h"
@@ -105,6 +107,11 @@ struct MinerOptions {
   std::uint64_t mc_seed = 0xC0FFEE;
   /// Probabilistic apriori family: bound-cascade prefilter (--prefilter).
   PrefilterMode prefilter = PrefilterMode::kOff;
+  /// Cooperative cancellation / deadline / memory-budget token, polled at
+  /// the miners' checkpoint sites and observed by the execution layer
+  /// between tasks. Copies share state: keep a handle to `Cancel()` or arm
+  /// limits on while a mine runs. The default is live but unconstrained.
+  RunContext run_context;
 };
 
 /// The unified mining interface: every algorithm in the repo — the three
@@ -130,7 +137,10 @@ class Miner {
   virtual bool is_exact() const = 0;
 
   /// Runs the task over a prebuilt columnar view. Returns
-  /// InvalidArgument when `Supports(task)` is false.
+  /// InvalidArgument when `Supports(task)` is false; kCancelled /
+  /// kDeadlineExceeded / kResourceExhausted when the miner's `RunContext`
+  /// trips mid-run (the view, scratch pools, and the thread pool stay
+  /// valid and reusable — see common/run_context.h).
   virtual Result<MiningResult> Mine(const FlatView& view,
                                     const MiningTask& task) const = 0;
 
@@ -138,7 +148,41 @@ class Miner {
   /// overload when mining the same database repeatedly.
   Result<MiningResult> Mine(const UncertainDatabase& db,
                             const MiningTask& task) const;
+
+  /// Attaches the cooperative cancellation / deadline / budget token this
+  /// miner polls at its checkpoint sites. `MinerRegistry::Create` forwards
+  /// `MinerOptions::run_context` automatically; direct constructions keep
+  /// a live but unconstrained default. Copies share state, so callers keep
+  /// their own handle to `Cancel()` a running mine. Virtual so wrapper
+  /// miners (e.g. ShardedMiner) can propagate the token to their inner
+  /// miner.
+  virtual void set_run_context(RunContext context) {
+    run_context_ = std::move(context);
+  }
+  const RunContext& run_context() const { return run_context_; }
+
+ protected:
+  RunContext run_context_;
 };
+
+namespace internal {
+
+/// Facade boundary of the no-exceptions-cross-the-public-API convention:
+/// runs `fn` and converts the internal abort unwind (`RunAbortedError`,
+/// thrown at RunContext checkpoints) and allocation failure into clean
+/// error Statuses. Every `Miner::Mine` entry point funnels through this.
+template <typename Fn>
+Result<MiningResult> GuardMine(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const RunAbortedError& aborted) {
+    return aborted.status();
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("allocation failed during mining");
+  }
+}
+
+}  // namespace internal
 
 /// Adapter base of the expected-support-based miners (UApriori,
 /// UFP-growth, UH-Mine, brute force). Subclasses implement
@@ -155,14 +199,16 @@ class ExpectedSupportMiner : public Miner {
                             const MiningTask& task) const final;
   using Miner::Mine;
 
-  /// Typed entry points (tests and legacy call sites).
+  /// Typed entry points (tests and legacy call sites). Guarded like the
+  /// variant dispatch: a checkpoint abort surfaces as a Status here too.
   Result<MiningResult> Mine(const FlatView& view,
                             const ExpectedSupportParams& params) const {
-    return MineExpected(view, params);
+    return internal::GuardMine([&] { return MineExpected(view, params); });
   }
   Result<MiningResult> Mine(const UncertainDatabase& db,
                             const ExpectedSupportParams& params) const {
-    return MineExpected(FlatView(db), params);
+    return internal::GuardMine(
+        [&] { return MineExpected(FlatView(db), params); });
   }
 
   /// Finds all itemsets with esup(X) >= N * params.min_esup. Every
@@ -191,11 +237,13 @@ class ProbabilisticMiner : public Miner {
 
   Result<MiningResult> Mine(const FlatView& view,
                             const ProbabilisticParams& params) const {
-    return MineProbabilistic(view, params);
+    return internal::GuardMine(
+        [&] { return MineProbabilistic(view, params); });
   }
   Result<MiningResult> Mine(const UncertainDatabase& db,
                             const ProbabilisticParams& params) const {
-    return MineProbabilistic(FlatView(db), params);
+    return internal::GuardMine(
+        [&] { return MineProbabilistic(FlatView(db), params); });
   }
 
   /// Finds all itemsets with Pr(sup(X) >= N*min_sup) > pft.

@@ -33,7 +33,9 @@ std::unique_ptr<Miner> MinerRegistry::Create(std::string_view name,
                                              const MinerOptions& options) const {
   const MinerEntry* entry = Find(name);
   if (entry == nullptr) return nullptr;
-  return entry->make(options);
+  std::unique_ptr<Miner> miner = entry->make(options);
+  if (miner != nullptr) miner->set_run_context(options.run_context);
+  return miner;
 }
 
 std::vector<std::string> MinerRegistry::Names(bool production_only) const {

@@ -15,7 +15,9 @@ void RecountExpectedCandidates(const FlatView& view,
                                const std::vector<Itemset>& singles,
                                const std::vector<Itemset>& larger,
                                double threshold, std::size_t num_threads,
-                               MiningResult& result) {
+                               MiningResult& result,
+                               const RunContext* context) {
+  PollRunContext(context);  // checkpoint: recount phase entry
   ++result.counters().database_scans;
   result.counters().candidates_generated += singles.size() + larger.size();
 
@@ -39,6 +41,7 @@ void RecountExpectedCandidates(const FlatView& view,
                                                     std::size_t hi) {
     JoinScratch& scratch = scratches[chunk];
     for (std::size_t c = lo; c < hi; ++c) {
+      PollRunContext(context);  // checkpoint: one per recounted candidate
       KahanSum esup;
       double sq_sum = 0.0;
       view.JoinPostingsBatched(larger[c], scratch, [&](const JoinBatch& b) {
@@ -50,7 +53,7 @@ void RecountExpectedCandidates(const FlatView& view,
       });
       moments[c] = {esup.value(), sq_sum};
     }
-  });
+  }, context);
   for (std::size_t c = 0; c < larger.size(); ++c) {
     if (moments[c].first >= threshold) {
       FrequentItemset fi;
@@ -68,6 +71,11 @@ ShardedMiner::ShardedMiner(std::unique_ptr<Miner> inner,
       name_("Sharded(" + std::string(inner_->name()) + ")"),
       num_shards_(std::max<std::size_t>(num_shards, 1)),
       num_threads_(num_threads == 0 ? HardwareThreads() : num_threads) {}
+
+void ShardedMiner::set_run_context(RunContext context) {
+  inner_->set_run_context(context);  // copies share the token
+  Miner::set_run_context(std::move(context));
+}
 
 bool ShardedMiner::Supports(const MiningTask& task) const {
   // Only expected support is additive across shards; see class comment.
@@ -88,53 +96,63 @@ Result<MiningResult> ShardedMiner::Mine(const FlatView& view,
   const std::size_t shards = std::min(num_shards_, std::max<std::size_t>(n_txn, 1));
   if (shards <= 1) return inner_->Mine(view, task);
 
-  // Phase 1: mine every shard independently at the same min_esup ratio.
-  // Shard boundaries are a pure function of (n_txn, shards), so the
-  // candidate union — and with it the final answer — is reproducible.
-  std::vector<Result<MiningResult>> local;
-  local.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    local.push_back(Status::Internal("shard not mined"));
-  }
-  ParallelFor(shards, num_threads_, [&](std::size_t s) {
-    const FlatView shard =
-        view.Slice(s * n_txn / shards, (s + 1) * n_txn / shards);
-    local[s] = inner_->Mine(shard, task);
-  });
+  // The driver polls at phase boundaries and inside the recount; the
+  // guard converts those throws (and the context-carrying ParallelFor's
+  // final poll) into a clean Status at this facade.
+  return internal::GuardMine([&]() -> Result<MiningResult> {
+    PollRunContext(&run_context());  // checkpoint: shard phase entry
 
-  MiningResult result;
-  std::unordered_set<Itemset, ItemsetHash> seen;
-  std::vector<Itemset> singles;
-  std::vector<Itemset> larger;
-  for (std::size_t s = 0; s < shards; ++s) {
-    if (!local[s].ok()) return local[s].status();
-    // Counters aggregate the work done across all shards plus the merge
-    // pass below — the uniform work measures stay meaningful.
-    MiningCounters& agg = result.counters();
-    const MiningCounters& sc = local[s]->counters();
-    agg.candidates_generated += sc.candidates_generated;
-    agg.candidates_pruned_apriori += sc.candidates_pruned_apriori;
-    agg.candidates_rejected_bound += sc.candidates_rejected_bound;
-    agg.candidates_accepted_bound += sc.candidates_accepted_bound;
-    agg.exact_tail_evals += sc.exact_tail_evals;
-    agg.database_scans += sc.database_scans;
-    for (const FrequentItemset& fi : local[s]->itemsets()) {
-      if (seen.insert(fi.itemset).second) {
-        (fi.itemset.size() == 1 ? singles : larger).push_back(fi.itemset);
+    // Phase 1: mine every shard independently at the same min_esup ratio.
+    // Shard boundaries are a pure function of (n_txn, shards), so the
+    // candidate union — and with it the final answer — is reproducible.
+    std::vector<Result<MiningResult>> local;
+    local.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      local.push_back(Status::Internal("shard not mined"));
+    }
+    ParallelFor(
+        shards, num_threads_,
+        [&](std::size_t s) {
+          const FlatView shard =
+              view.Slice(s * n_txn / shards, (s + 1) * n_txn / shards);
+          local[s] = inner_->Mine(shard, task);
+        },
+        &run_context());
+
+    MiningResult result;
+    std::unordered_set<Itemset, ItemsetHash> seen;
+    std::vector<Itemset> singles;
+    std::vector<Itemset> larger;
+    for (std::size_t s = 0; s < shards; ++s) {
+      UFIM_RETURN_IF_ERROR(local[s].status());
+      // Counters aggregate the work done across all shards plus the merge
+      // pass below — the uniform work measures stay meaningful.
+      MiningCounters& agg = result.counters();
+      const MiningCounters& sc = local[s]->counters();
+      agg.candidates_generated += sc.candidates_generated;
+      agg.candidates_pruned_apriori += sc.candidates_pruned_apriori;
+      agg.candidates_rejected_bound += sc.candidates_rejected_bound;
+      agg.candidates_accepted_bound += sc.candidates_accepted_bound;
+      agg.exact_tail_evals += sc.exact_tail_evals;
+      agg.database_scans += sc.database_scans;
+      for (const FrequentItemset& fi : local[s]->itemsets()) {
+        if (seen.insert(fi.itemset).second) {
+          (fi.itemset.size() == 1 ? singles : larger).push_back(fi.itemset);
+        }
       }
     }
-  }
-  // Canonical candidate order keeps the recount (and any strategy the
-  // kernels pick) independent of shard completion order.
-  std::sort(singles.begin(), singles.end());
-  std::sort(larger.begin(), larger.end());
+    // Canonical candidate order keeps the recount (and any strategy the
+    // kernels pick) independent of shard completion order.
+    std::sort(singles.begin(), singles.end());
+    std::sort(larger.begin(), larger.end());
 
-  // Phase 2: exact recount of the union over the full view.
-  const double threshold = params->min_esup * static_cast<double>(n_txn);
-  RecountExpectedCandidates(view, singles, larger, threshold, num_threads_,
-                            result);
-  result.SortCanonical();
-  return result;
+    // Phase 2: exact recount of the union over the full view.
+    const double threshold = params->min_esup * static_cast<double>(n_txn);
+    RecountExpectedCandidates(view, singles, larger, threshold, num_threads_,
+                              result, &run_context());
+    result.SortCanonical();
+    return result;
+  });
 }
 
 }  // namespace ufim

@@ -21,12 +21,16 @@ namespace ufim {
 /// `result` with their exact full-view moments, and bumps its counters
 /// (one database scan, one generated candidate each). Shared by
 /// `ShardedMiner` (static shards) and `DeltaMiner` (streaming suffix
-/// shards) so the two merge paths can never diverge.
+/// shards) so the two merge paths can never diverge. `context` (optional)
+/// is polled once per size->=2 candidate join; a tripped token unwinds
+/// with RunAbortedError, which the calling miner's guarded facade
+/// converts to a Status.
 void RecountExpectedCandidates(const FlatView& view,
                                const std::vector<Itemset>& singles,
                                const std::vector<Itemset>& larger,
                                double threshold, std::size_t num_threads,
-                               MiningResult& result);
+                               MiningResult& result,
+                               const RunContext* context = nullptr);
 
 /// Shard-partitioned execution driver: runs any expected-support miner
 /// per contiguous transaction shard and merges to the *exact* global
@@ -79,6 +83,10 @@ class ShardedMiner final : public Miner {
   Result<MiningResult> Mine(const FlatView& view,
                             const MiningTask& task) const override;
   using Miner::Mine;
+
+  /// Propagates the token to the inner miner, so cancellation observed at
+  /// the driver's phase boundaries also stops the per-shard mining.
+  void set_run_context(RunContext context) override;
 
   std::size_t num_shards() const { return num_shards_; }
 

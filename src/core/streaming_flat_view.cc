@@ -1,5 +1,6 @@
 #include "core/streaming_flat_view.h"
 
+#include <cassert>
 #include <utility>
 
 namespace ufim {
@@ -13,6 +14,81 @@ StreamingFlatView::StreamingFlatView(const UncertainDatabase& db,
   FlatView::BuildStorage(db, *storage_);
   storage_->delta_tids.resize(storage_->num_items);
   storage_->delta_probs.resize(storage_->num_items);
+}
+
+void StreamingFlatView::BeginAppend() {
+  assert(!txn_.has_value() && "append transaction already open");
+  const FlatView::Storage& s = *storage_;
+  AppendTxn txn;
+  txn.full_size = s.full_size;
+  txn.num_items = s.num_items;
+  txn.delta_units = s.delta_units.size();
+  txn.delta_txn_offsets = s.delta_txn_offsets.size();
+  txn_ = std::move(txn);
+}
+
+void StreamingFlatView::SnapshotForTxn(ItemId item) {
+  const FlatView::Storage& s = *storage_;
+  // Tids assigned inside the transaction are >= the transaction's
+  // starting full_size, and per-item delta tids strictly ascend — so the
+  // tail tid tells in O(1) whether this item was already dirtied (and
+  // snapshotted) by this transaction.
+  const std::vector<TransactionId>& tids = s.delta_tids[item];
+  if (!tids.empty() &&
+      static_cast<std::size_t>(tids.back()) >= txn_->full_size) {
+    return;
+  }
+  AppendTxn::ItemSnapshot snap;
+  snap.item = item;
+  snap.delta_len = tids.size();
+  snap.esup_acc = s.item_esup_acc[item];
+  snap.esup = s.item_esup[item];
+  snap.sq_sum = s.item_sq_sum[item];
+  txn_->items.push_back(std::move(snap));
+}
+
+bool StreamingFlatView::CommitAppend() {
+  assert(txn_.has_value() && "no open append transaction");
+  txn_.reset();
+  // Deferred policy check, same rule as a bare Append's tail.
+  const FlatView::Storage& s = *storage_;
+  const bool compact =
+      policy_.max_delta_ratio <= 0.0
+          ? has_delta()
+          : policy_.ShouldCompact(s.units.size(), s.delta_units.size());
+  if (compact) {
+    Compact();
+    return true;
+  }
+  return false;
+}
+
+void StreamingFlatView::RollbackAppend() {
+  assert(txn_.has_value() && "no open append transaction");
+  FlatView::Storage& s = *storage_;
+  const AppendTxn& txn = *txn_;
+  // Per-item posting tails and moment cells first; items created inside
+  // the transaction are truncated away by the universe shrink below, so
+  // writing their cells here is harmless.
+  for (const AppendTxn::ItemSnapshot& snap : txn.items) {
+    s.delta_tids[snap.item].resize(snap.delta_len);
+    s.delta_probs[snap.item].resize(snap.delta_len);
+    s.item_esup_acc[snap.item] = snap.esup_acc;
+    s.item_esup[snap.item] = snap.esup;
+    s.item_sq_sum[snap.item] = snap.sq_sum;
+  }
+  if (s.num_items != txn.num_items) {
+    s.num_items = txn.num_items;
+    s.delta_tids.resize(txn.num_items);
+    s.delta_probs.resize(txn.num_items);
+    s.item_esup.resize(txn.num_items);
+    s.item_sq_sum.resize(txn.num_items);
+    s.item_esup_acc.resize(txn.num_items);
+  }
+  s.delta_units.resize(txn.delta_units);
+  s.delta_txn_offsets.resize(txn.delta_txn_offsets);
+  s.full_size = txn.full_size;
+  txn_.reset();
 }
 
 bool StreamingFlatView::Append(std::span<const Transaction> batch) {
@@ -30,6 +106,7 @@ bool StreamingFlatView::Append(std::span<const Transaction> batch) {
         s.item_sq_sum.resize(s.num_items, 0.0);
         s.item_esup_acc.resize(s.num_items, KahanSum());
       }
+      if (txn_.has_value()) SnapshotForTxn(u.item);
       s.delta_units.push_back(u);
       s.delta_tids[u.item].push_back(tid);
       s.delta_probs[u.item].push_back(u.prob);
@@ -43,6 +120,10 @@ bool StreamingFlatView::Append(std::span<const Transaction> batch) {
     s.delta_txn_offsets.push_back(s.delta_units.size());
     ++s.full_size;
   }
+  // Inside an append transaction the compaction is deferred to
+  // CommitAppend: folding uncommitted rows into the base would make them
+  // unrecoverable on rollback.
+  if (txn_.has_value()) return false;
   // Ratio <= 0 means "always contiguous": even a unit-less delta (only
   // empty transactions appended) folds, so the rebuild reference of the
   // differential harness really is the from-scratch layout.
@@ -58,6 +139,7 @@ bool StreamingFlatView::Append(std::span<const Transaction> batch) {
 }
 
 void StreamingFlatView::Compact() {
+  assert(!txn_.has_value() && "cannot compact inside an append transaction");
   FlatView::Storage& s = *storage_;
   if (s.full_size == s.base_size) return;
 

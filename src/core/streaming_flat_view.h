@@ -3,8 +3,11 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <span>
+#include <vector>
 
+#include "common/math_util.h"
 #include "core/flat_view.h"
 #include "core/transaction.h"
 #include "core/uncertain_database.h"
@@ -104,8 +107,29 @@ class StreamingFlatView {
 
   /// Merges the delta into the contiguous base (O(total units)); no-op
   /// without a delta. Invalidates existing views. Mining results are
-  /// unaffected — compaction changes the physical layout only.
+  /// unaffected — compaction changes the physical layout only. Must not
+  /// be called inside an open append transaction.
   void Compact();
+
+  /// Transactional append protocol, used by `DeltaMiner` to make a
+  /// failed mine-over-append recoverable. Between `BeginAppend()` and
+  /// `CommitAppend()`, `Append` writes into the delta as usual but
+  /// records an O(batch-distinct-items) undo log and defers any policy
+  /// compaction (a compaction would fold the uncommitted rows into the
+  /// base, where they could no longer be cheaply removed).
+  /// `RollbackAppend()` restores the exact pre-BeginAppend state —
+  /// posting tails, CSR tails, item universe and the persistent Kahan
+  /// moment accumulators are all bit-identical to before, so the
+  /// equivalence contract above keeps holding after a rollback.
+  /// `CommitAppend()` drops the undo log and runs the deferred
+  /// compaction check; like `Append` it returns true when it compacted.
+  /// Both close the transaction; both invalidate existing views.
+  void BeginAppend();
+  bool CommitAppend();
+  void RollbackAppend();
+
+  /// True between BeginAppend and Commit/RollbackAppend.
+  bool in_append_txn() const { return txn_.has_value(); }
 
   /// Full view over everything appended so far. Valid until the next
   /// Append/Compact.
@@ -114,9 +138,33 @@ class StreamingFlatView {
   }
 
  private:
+  /// Undo log for one open append transaction: the scalar watermarks plus
+  /// a pre-touch snapshot of every item the appends dirtied (posting-tail
+  /// length and the three moment cells, including the Kahan compensation
+  /// term — restoring the accumulator object restores the exact bits).
+  struct AppendTxn {
+    std::size_t full_size = 0;
+    std::size_t num_items = 0;
+    std::size_t delta_units = 0;
+    std::size_t delta_txn_offsets = 0;
+    struct ItemSnapshot {
+      ItemId item = 0;
+      std::size_t delta_len = 0;
+      KahanSum esup_acc;
+      double esup = 0.0;
+      double sq_sum = 0.0;
+    };
+    std::vector<ItemSnapshot> items;
+  };
+
+  /// Records `item`'s pre-append state in the open transaction's undo
+  /// log, once per distinct item.
+  void SnapshotForTxn(ItemId item);
+
   std::shared_ptr<FlatView::Storage> storage_;
   CompactionPolicy policy_;
   std::size_t compactions_ = 0;
+  std::optional<AppendTxn> txn_;
 };
 
 }  // namespace ufim

@@ -56,6 +56,9 @@ Result<ExperimentMeasurement> RunRegisteredExperiment(
   if (num_shards > 1) {
     miner = std::make_unique<ShardedMiner>(std::move(miner), num_shards,
                                            options.num_threads);
+    // The registry attached the token to the inner miner; the sharded
+    // driver polls it at its own phase boundaries too.
+    miner->set_run_context(options.run_context);
   }
   return RunExperiment(*miner, view, task);
 }

@@ -1,0 +1,188 @@
+// RunContext unit coverage: the cancellation token, soft deadline and
+// memory budget (this binary links the alloc hooks), the deterministic
+// checkpoint-fault trigger, Reset-based retry, and the execution-layer
+// contract (TaskGroup / ParallelFor observe a tripped token and the pool
+// stays reusable afterwards). The cross-miner cancellation sweeps live
+// in tests/integration/fault_injection_test.cc.
+#include "common/run_context.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "eval/memory_tracker.h"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define UFIM_TEST_SANITIZED 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define UFIM_TEST_SANITIZED 1
+#endif
+
+namespace ufim {
+namespace {
+
+constexpr std::uint64_t kCountOnly =
+    std::numeric_limits<std::uint64_t>::max();
+
+TEST(RunContextTest, DefaultIsLiveAndUnconstrained) {
+  RunContext ctx;
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(ctx.CheckPoint().ok());
+  EXPECT_FALSE(ctx.aborted());
+  EXPECT_TRUE(ctx.status().ok());
+}
+
+TEST(RunContextTest, CancelTripsAndCopiesShareTheToken) {
+  RunContext ctx;
+  RunContext copy = ctx;
+  copy.Cancel();
+  EXPECT_TRUE(ctx.aborted());
+  EXPECT_EQ(ctx.CheckPoint().code(), StatusCode::kCancelled);
+  EXPECT_EQ(ctx.status().code(), StatusCode::kCancelled);
+  // Idempotent, and the first trip wins over later causes.
+  copy.Cancel();
+  ctx.SetDeadlineAfter(std::chrono::nanoseconds(-1));
+  EXPECT_EQ(ctx.CheckPoint().code(), StatusCode::kCancelled);
+}
+
+TEST(RunContextTest, DeadlineTripsWithinThePollWindow) {
+  RunContext ctx;
+  ctx.SetDeadlineAfterMillis(0);
+  // The amortized fast path reads the clock only ~every 32nd poll per
+  // thread, so the trip lands within one window of polls.
+  Status s = Status::OK();
+  for (int i = 0; i < 64 && s.ok(); ++i) s = ctx.CheckPoint();
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RunContextTest, DeadlineCheckedEveryPollInCountingMode) {
+  RunContext ctx;
+  ctx.SetDeadlineAfter(std::chrono::nanoseconds(-1));
+  ctx.ArmFaultAtCheckpoint(kCountOnly, StatusCode::kInternal);
+  EXPECT_EQ(ctx.CheckPoint().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RunContextTest, MemoryBudgetTripsOnTrackedGrowth) {
+  ASSERT_TRUE(memory_tracker::HooksInstalled())
+      << "this test binary must link ufim_alloc_hooks";
+  RunContext ctx;
+  ctx.SetMemoryBudgetBytes(1024);
+  // Allocate well past the budget and keep it live across the poll.
+  auto ballast = std::make_unique<std::vector<char>>(std::size_t{1} << 20);
+  ctx.ArmFaultAtCheckpoint(kCountOnly, StatusCode::kInternal);
+  EXPECT_EQ(ctx.CheckPoint().code(), StatusCode::kResourceExhausted);
+  ASSERT_FALSE(ballast->empty());
+}
+
+TEST(RunContextTest, MemoryBudgetIsRelativeToTheArmTimeBaseline) {
+  ASSERT_TRUE(memory_tracker::HooksInstalled());
+  // Pre-existing allocations do not count: the budget measures growth
+  // from the moment it is armed.
+  auto preexisting = std::make_unique<std::vector<char>>(std::size_t{1} << 20);
+  RunContext ctx;
+  ctx.SetMemoryBudgetBytes(std::size_t{8} << 20);
+  ctx.ArmFaultAtCheckpoint(kCountOnly, StatusCode::kInternal);
+  EXPECT_TRUE(ctx.CheckPoint().ok());
+  ASSERT_FALSE(preexisting->empty());
+}
+
+TEST(RunContextTest, ArmedFaultFiresAtTheExactCheckpoint) {
+  RunContext ctx;
+  ctx.ArmFaultAtCheckpoint(3, StatusCode::kCancelled);
+  EXPECT_TRUE(ctx.CheckPoint().ok());
+  EXPECT_TRUE(ctx.CheckPoint().ok());
+  EXPECT_EQ(ctx.CheckPoint().code(), StatusCode::kCancelled);
+  EXPECT_EQ(ctx.checkpoints(), 3u);
+  // Sticky once tripped.
+  EXPECT_FALSE(ctx.CheckPoint().ok());
+}
+
+TEST(RunContextTest, CountOnlyArmingCountsWithoutFaulting) {
+  RunContext ctx;
+  ctx.ArmFaultAtCheckpoint(kCountOnly, StatusCode::kCancelled);
+  for (int i = 0; i < 17; ++i) EXPECT_TRUE(ctx.CheckPoint().ok());
+  EXPECT_EQ(ctx.checkpoints(), 17u);
+}
+
+TEST(RunContextTest, ResetRestoresAFreshContext) {
+  RunContext ctx;
+  ctx.ArmFaultAtCheckpoint(1, StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(ctx.CheckPoint().ok());
+  ctx.Reset();
+  EXPECT_FALSE(ctx.aborted());
+  EXPECT_EQ(ctx.checkpoints(), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(ctx.CheckPoint().ok());
+}
+
+TEST(RunContextTest, PollOrThrowCarriesTheStatus) {
+  RunContext ctx;
+  ctx.Cancel();
+  try {
+    ctx.PollOrThrow();
+    FAIL() << "expected RunAbortedError";
+  } catch (const RunAbortedError& aborted) {
+    EXPECT_EQ(aborted.status().code(), StatusCode::kCancelled);
+  }
+  PollRunContext(nullptr);  // nullptr form is a no-op, never throws
+}
+
+TEST(RunContextTest, TaskGroupSkipsTasksOnceTripped) {
+  RunContext ctx;
+  ctx.Cancel();
+  std::atomic<int> ran{0};
+  TaskGroup group(2, &ctx);
+  for (int i = 0; i < 8; ++i) group.Spawn([&] { ran.fetch_add(1); });
+  group.Wait();
+  // Skipped work must not be mistaken for completed work: callers poll
+  // after Wait and unwind.
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_THROW(PollRunContext(&ctx), RunAbortedError);
+}
+
+TEST(RunContextTest, ParallelForUnwindsAndThePoolStaysReusable) {
+  RunContext ctx;
+  ctx.Cancel();
+  std::atomic<int> ran{0};
+  auto body = [&](std::size_t) { ran.fetch_add(1); };
+  EXPECT_THROW(ParallelFor(1000, 4, body, &ctx), RunAbortedError);
+  EXPECT_EQ(ran.load(), 0);
+  // Same objects, fresh token: the pool and the loop run normally — the
+  // cancelled run left nothing behind.
+  ctx.Reset();
+  ParallelFor(1000, 4, body, &ctx);
+  EXPECT_EQ(ran.load(), 1000);
+}
+
+TEST(RunContextTest, CheckPointFastPathStaysCheap) {
+  RunContext ctx;
+  constexpr int kIters = 1 << 20;
+  int ok = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) ok += ctx.CheckPoint().ok() ? 1 : 0;
+  const double ns_per_call =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count()) /
+      kIters;
+  EXPECT_EQ(ok, kIters);
+  // Loose absolute ceiling: the fast path is a relaxed load plus a
+  // thread-local tick. If it regresses to locking or reading the clock
+  // every call, this trips long before the <1% mining budget would.
+#if defined(UFIM_TEST_SANITIZED)
+  constexpr double kMaxNsPerCall = 4000.0;
+#else
+  constexpr double kMaxNsPerCall = 250.0;
+#endif
+  EXPECT_LT(ns_per_call, kMaxNsPerCall);
+}
+
+}  // namespace
+}  // namespace ufim

@@ -19,6 +19,11 @@ TEST(StatusTest, FactoryHelpersCarryCodeAndMessage) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
 }
 
@@ -39,6 +44,32 @@ TEST(StatusTest, CodeToStringCoversAllCodes) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
   EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+}
+
+TEST(StatusTest, CodeFromStringRoundTripsEveryCode) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kIOError, StatusCode::kInternal,
+        StatusCode::kCancelled, StatusCode::kDeadlineExceeded,
+        StatusCode::kResourceExhausted}) {
+    StatusCode parsed = StatusCode::kInternal;
+    ASSERT_TRUE(StatusCodeFromString(StatusCodeToString(code), &parsed))
+        << StatusCodeToString(code);
+    EXPECT_EQ(parsed, code);
+  }
+}
+
+TEST(StatusTest, CodeFromStringRejectsUnknownNames) {
+  StatusCode parsed = StatusCode::kOk;
+  EXPECT_FALSE(StatusCodeFromString("Unknown", &parsed));
+  EXPECT_FALSE(StatusCodeFromString("", &parsed));
+  EXPECT_FALSE(StatusCodeFromString("cancelled", &parsed));  // case-sensitive
+  EXPECT_EQ(parsed, StatusCode::kOk);  // untouched on failure
 }
 
 Status FailsThenPropagates(bool fail) {

@@ -154,45 +154,64 @@ TEST(DeltaMinerTest, RegistryPlumbingRejectsBadInners) {
   EXPECT_EQ(probabilistic.status().code(), StatusCode::kInvalidArgument);
 }
 
-/// Inner miner that succeeds `successes` times, then always fails — for
-/// pinning the error contract of a fallible shard miner.
+/// Inner miner that fails calls [fail_from, fail_from + failures)
+/// (0-based) and delegates to UApriori otherwise — for pinning the
+/// transactional retry contract around a transiently failing shard
+/// miner.
 class FlakyMiner final : public ExpectedSupportMiner {
  public:
-  explicit FlakyMiner(int successes) : successes_(successes) {}
+  FlakyMiner(int fail_from, int failures)
+      : fail_from_(fail_from), fail_until_(fail_from + failures) {}
   std::string_view name() const override { return "Flaky"; }
   Result<MiningResult> MineExpected(
       const FlatView& view, const ExpectedSupportParams& params) const override {
-    if (successes_-- <= 0) return Status::Internal("shard miner down");
+    const int call = calls_++;
+    if (call >= fail_from_ && call < fail_until_) {
+      return Status::Internal("shard miner down");
+    }
     UApriori inner;
     return inner.Mine(view, params);
   }
 
  private:
-  mutable int successes_;
+  int fail_from_;
+  int fail_until_;
+  mutable int calls_ = 0;
 };
 
-TEST(DeltaMinerTest, InnerFailurePoisonsTheStream) {
-  // The failing batch is appended before the suffix mine can fail; a
-  // retry must NOT double-append it, so the miner goes sticky-failed.
+TEST(DeltaMinerTest, TransientInnerFailureRollsBackAndRetrySucceeds) {
+  // A failed suffix mine rolls the appended batch back to the pre-append
+  // watermark, so retrying the same batch appends it exactly once and
+  // the stream continues as if the failure never happened.
   ExpectedSupportParams params;
   params.min_esup = 0.3;
-  DeltaMiner delta(std::make_unique<FlakyMiner>(1), params);
+  DeltaMiner delta(std::make_unique<FlakyMiner>(1, 1), params);
 
   const std::vector<Transaction> b1 = {Txn({{0, 0.9}}), Txn({{0, 0.8}})};
   ASSERT_TRUE(delta.MineNext(b1).ok());
+  const std::size_t txns_before = delta.view().num_transactions();
 
-  const std::vector<Transaction> b2 = {Txn({{1, 0.9}})};
+  // b2 introduces a previously-unseen item, so the rollback also has to
+  // shrink the grown item universe back.
+  const std::vector<Transaction> b2 = {Txn({{0, 0.7}, {1, 0.9}})};
   Result<MiningResult> failed = delta.MineNext(b2);
   ASSERT_FALSE(failed.ok());
-  const std::size_t txns_after_failure = delta.view().num_transactions();
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(delta.view().num_transactions(), txns_before);
+  EXPECT_EQ(delta.shards_mined(), 1u);
 
-  // Retrying the same batch (or anything else) reports the original
-  // error and appends nothing further.
+  // The retry succeeds and appends the batch exactly once.
   Result<MiningResult> retried = delta.MineNext(b2);
-  ASSERT_FALSE(retried.ok());
-  EXPECT_EQ(retried.status().ToString(), failed.status().ToString());
-  EXPECT_EQ(delta.view().num_transactions(), txns_after_failure);
-  EXPECT_FALSE(delta.MineNext({}).ok());
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(delta.view().num_transactions(), txns_before + 1);
+  EXPECT_EQ(delta.shards_mined(), 2u);
+
+  // ... and the result matches an identical stream that never failed.
+  DeltaMiner clean(std::make_unique<FlakyMiner>(99, 0), params);
+  ASSERT_TRUE(clean.MineNext(b1).ok());
+  Result<MiningResult> reference = clean.MineNext(b2);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(retried.value().ToString(), reference.value().ToString());
 }
 
 TEST(DeltaMinerTest, InvalidParamsSurfaceOnMineNext) {

@@ -16,12 +16,14 @@
 // Argument handling lives in common/cli_args.h (unit-tested): numeric
 // flags are validated over their full token and unknown flags are
 // rejected per subcommand, both with a non-zero exit.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
 
 #include "common/cli_args.h"
+#include "common/run_context.h"
 #include "core/delta_miner.h"
 #include "core/flat_view.h"
 #include "core/miner_registry.h"
@@ -47,10 +49,12 @@ int Usage() {
            [--threads <t>] [--shards <s>] [--split-budget <n>]
            [--kernel {auto|scalar|gallop|simd}]
            [--prefilter {off|bounds}]
+           [--deadline-ms <ms>] [--memory-budget-mb <mb>]
            [--top <k>] [--closed] [--maximal] [--rules <min_conf>]
   ufim_cli mine-stream <path> --algorithm <name> --min-esup <r>
            [--batch <n>] [--compact-ratio <r>] [--threads <t>]
            [--split-budget <n>] [--kernel {auto|scalar|gallop|simd}]
+           [--deadline-ms <ms>] [--memory-budget-mb <mb>]
 
   --threads: worker threads for the parallel mining paths
              (default: hardware concurrency; results are identical at
@@ -71,6 +75,14 @@ int Usage() {
              (in)frequent candidates from an O(1) two-sided bound
              cascade so fewer exact tails are computed; output is
              identical to 'off' (the default) by construction.
+  --deadline-ms: soft wall-clock deadline for the mining run. The
+             miners poll it cooperatively and a run that overshoots
+             stops at the next checkpoint with a DeadlineExceeded
+             error and a non-zero exit — no partial results, no
+             leaked state.
+  --memory-budget-mb: cooperative cap on mining-phase allocation
+             growth (measured from the start of the run); exceeding
+             it fails the run with ResourceExhausted the same way.
 
   mine-stream replays the dataset as an append-only stream in batches
   of --batch transactions (default 256) through the incremental
@@ -121,6 +133,22 @@ bool ApplyKernelFlag(const Args& args) {
   }
   SetIntersectKernel(kernel);
   return true;
+}
+
+/// Builds the cooperative run-limit token from --deadline-ms /
+/// --memory-budget-mb (0 = unconstrained). Called right before mining so
+/// the deadline clock and the memory baseline start at the run, not at
+/// argument parsing or dataset load.
+RunContext MakeRunLimits(std::size_t deadline_ms,
+                         std::size_t memory_budget_mb) {
+  RunContext run;
+  if (deadline_ms > 0) {
+    run.SetDeadlineAfterMillis(static_cast<std::int64_t>(deadline_ms));
+  }
+  if (memory_budget_mb > 0) {
+    run.SetMemoryBudgetBytes(memory_budget_mb * (std::size_t{1} << 20));
+  }
+  return run;
 }
 
 int Generate(const Args& args) {
@@ -244,7 +272,8 @@ int Mine(const Args& args) {
   if (!args.Validate(
           {.value_flags = {"algorithm", "min-esup", "min-sup", "pft", "k",
                            "threads", "shards", "split-budget", "kernel",
-                           "prefilter", "top", "rules"},
+                           "prefilter", "deadline-ms", "memory-budget-mb",
+                           "top", "rules"},
            .switches = {"closed", "maximal"}},
           &err)) {
     std::fprintf(stderr, "%s\n", err.c_str());
@@ -256,6 +285,7 @@ int Mine(const Args& args) {
 
   // Validate every numeric flag before touching the dataset.
   std::size_t num_threads = 0, num_shards = 1, split_budget = 0, k = 10;
+  std::size_t deadline_ms = 0, memory_budget_mb = 0;
   double min_esup = 0.5, min_sup = 0.5, pft = 0.9;
   ShowOptions show;
   show.closed = args.Get("closed") != nullptr;
@@ -266,6 +296,9 @@ int Mine(const Args& args) {
     if (!OrFail(args.GetSize("threads", 0, &num_threads, &err), err) ||
         !OrFail(args.GetSize("shards", 1, &num_shards, &err), err) ||
         !OrFail(args.GetSize("split-budget", 0, &split_budget, &err), err) ||
+        !OrFail(args.GetSize("deadline-ms", 0, &deadline_ms, &err), err) ||
+        !OrFail(args.GetSize("memory-budget-mb", 0, &memory_budget_mb, &err),
+                err) ||
         !OrFail(args.GetSize("k", 10, &k, &err), err) ||
         !OrFail(args.GetDouble("min-esup", 0.5, &min_esup, &err), err) ||
         !OrFail(args.GetDouble("min-sup", 0.5, &min_sup, &err), err) ||
@@ -343,6 +376,7 @@ int Mine(const Args& args) {
     return Usage();
   }
   FlatView view(*db);
+  options.run_context = MakeRunLimits(deadline_ms, memory_budget_mb);
   auto m = RunRegisteredExperiment(algo_name, view, task, options, num_shards);
   if (!m.ok()) {
     std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
@@ -356,7 +390,8 @@ int MineStream(const Args& args) {
   std::string err;
   if (!args.Validate({.value_flags = {"algorithm", "min-esup", "batch",
                                       "compact-ratio", "threads",
-                                      "split-budget", "kernel"},
+                                      "split-budget", "kernel", "deadline-ms",
+                                      "memory-budget-mb"},
                       .switches = {}},
                      &err)) {
     std::fprintf(stderr, "%s\n", err.c_str());
@@ -368,9 +403,13 @@ int MineStream(const Args& args) {
 
   // Validate every numeric flag before touching the dataset.
   std::size_t num_threads = 0, split_budget = 0, batch_size = 256;
+  std::size_t deadline_ms = 0, memory_budget_mb = 0;
   double min_esup = 0.5, compact_ratio = 0.25;
   if (!OrFail(args.GetSize("threads", 0, &num_threads, &err), err) ||
       !OrFail(args.GetSize("split-budget", 0, &split_budget, &err), err) ||
+      !OrFail(args.GetSize("deadline-ms", 0, &deadline_ms, &err), err) ||
+      !OrFail(args.GetSize("memory-budget-mb", 0, &memory_budget_mb, &err),
+              err) ||
       !OrFail(args.GetSize("batch", 256, &batch_size, &err), err) ||
       !OrFail(args.GetDouble("min-esup", 0.5, &min_esup, &err), err) ||
       !OrFail(args.GetDouble("compact-ratio", 0.25, &compact_ratio, &err),
@@ -402,6 +441,7 @@ int MineStream(const Args& args) {
   MinerOptions options;
   options.num_threads = num_threads;  // 0 = all hardware threads
   options.split_budget = split_budget;  // 0 = automatic threshold
+  options.run_context = MakeRunLimits(deadline_ms, memory_budget_mb);
   CompactionPolicy policy;
   policy.max_delta_ratio = compact_ratio;
   auto miner = MakeDeltaMiner(args.Get("algorithm"), params, options, policy);
