@@ -67,10 +67,16 @@ void RunMiner(benchmark::State& state, const char* algorithm,
   // it never runs while the clock does). checkpoints * the fast-path
   // cost ceiling pinned by common_run_context_test bounds the
   // cancellation overhead of a row well under the 1% budget.
+  ctx.AssertQuiescent();  // timed loop finished; no mine in flight
   ctx.ArmFaultAtCheckpoint(std::numeric_limits<std::uint64_t>::max(),
                            StatusCode::kCancelled);
-  if (miner->Mine(view, task).ok()) {
+  // A failure here is a broken configuration, not a missing counter —
+  // surface it instead of silently omitting "checkpoints" (the old
+  // `if (....ok())` swallowed the error; PR-9 ignored-Status audit).
+  if (Result<MiningResult> counted = miner->Mine(view, task); counted.ok()) {
     state.counters["checkpoints"] = static_cast<double>(ctx.checkpoints());
+  } else {
+    state.SkipWithError(counted.status().ToString().c_str());
   }
   ctx.Reset();
   state.counters["threads"] = static_cast<double>(threads);

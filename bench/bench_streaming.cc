@@ -77,6 +77,7 @@ void BM_AppendStorage(benchmark::State& state) {
   const std::size_t batch = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     StreamingFlatView sv(Stream().base);
+    sv.AssertSoleWriter();  // single-threaded bench: sole writer by construction
     for (std::size_t lo = 0; lo < kStreamTxns; lo += batch) {
       sv.Append(Batch(lo, batch));
     }

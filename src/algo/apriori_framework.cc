@@ -50,9 +50,11 @@ std::vector<Itemset> GenerateCandidates(const std::vector<Itemset>& frequent_k,
                                         std::uint64_t* pruned) {
   std::vector<Itemset> candidates;
   if (frequent_k.empty()) return candidates;
-  // Membership set for the subset-pruning step.
-  std::unordered_set<Itemset, ItemsetHash> frequent(frequent_k.begin(),
-                                                    frequent_k.end());
+  // Membership set for the subset-pruning step (lookup only, never
+  // iterated — named so the unordered-iteration lint can tell it apart
+  // from the ordered result vectors).
+  std::unordered_set<Itemset, ItemsetHash> frequent_lookup(frequent_k.begin(),
+                                                           frequent_k.end());
   for (std::size_t i = 0; i < frequent_k.size(); ++i) {
     // frequent_k is sorted, so all joins of i share a contiguous range of
     // prefix-compatible partners directly after i.
@@ -63,7 +65,8 @@ std::vector<Itemset> GenerateCandidates(const std::vector<Itemset>& frequent_k,
       // parents are subsets by construction; check the remaining k-1.
       bool ok = true;
       for (std::size_t drop = 0; drop + 2 < joined.size() && ok; ++drop) {
-        if (frequent.find(joined.WithoutIndex(drop)) == frequent.end()) {
+        if (frequent_lookup.find(joined.WithoutIndex(drop)) ==
+            frequent_lookup.end()) {
           ok = false;
         }
       }

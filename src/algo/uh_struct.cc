@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <iterator>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "algo/apriori_framework.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace ufim {
@@ -22,12 +23,14 @@ struct UHStructEngine::MineState {
   std::size_t min_split_units = 0;  ///< head-table units to justify a split
   std::size_t num_ranks = 0;
 
-  std::mutex mu;
-  std::vector<std::unique_ptr<Scratch>> pool;
+  /// Guards the scratch free list — the only state split-off child
+  /// tasks share (each leased Scratch is thread-private while out).
+  Mutex mu;
+  std::vector<std::unique_ptr<Scratch>> pool UFIM_GUARDED_BY(mu);
 
   std::unique_ptr<Scratch> AcquireScratch() {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (!pool.empty()) {
         std::unique_ptr<Scratch> scratch = std::move(pool.back());
         pool.pop_back();
@@ -38,7 +41,7 @@ struct UHStructEngine::MineState {
   }
 
   void ReleaseScratch(std::unique_ptr<Scratch> scratch) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     pool.push_back(std::move(scratch));
   }
 };

@@ -1,0 +1,66 @@
+#ifndef UFIM_COMMON_MUTEX_H_
+#define UFIM_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace ufim {
+
+/// `std::mutex` with Clang Thread Safety Analysis attributes.
+///
+/// libstdc++'s `std::mutex` / `std::lock_guard` carry no capability
+/// annotations, so `GUARDED_BY` members guarded by a raw `std::mutex`
+/// are invisible to the analysis. Library code uses this wrapper (plus
+/// `MutexLock` below) instead; `ufim_lint`'s raw-mutex rule keeps new
+/// `std::mutex` uses from creeping back in.
+///
+/// Deliberately minimal: no try-lock, no timed lock, no recursion —
+/// nothing in the codebase needs them, and a smaller surface keeps the
+/// annotations trivially faithful.
+class UFIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() UFIM_ACQUIRE() { mu_.lock(); }
+  void Unlock() UFIM_RELEASE() { mu_.unlock(); }
+
+  /// The wrapped mutex, for interop with std::condition_variable via
+  /// MutexLock::native_lock(). Callers must not lock it directly (that
+  /// would bypass the analysis).
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for `Mutex`, visible to the analysis as a scoped
+/// capability (the annotated replacement for std::lock_guard /
+/// std::unique_lock).
+class UFIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) UFIM_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() UFIM_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// For `std::condition_variable::wait*`: the wait atomically releases
+  /// and reacquires the underlying mutex, so from the analysis's view
+  /// the capability is continuously held — which is exactly the
+  /// postcondition a waiter relies on. Guarded state read in the wait
+  /// condition must be re-checked after the wait returns (use a plain
+  /// `while` loop, not the predicate overload: the analysis cannot see
+  /// capability state inside a predicate lambda).
+  std::unique_lock<std::mutex>& native_lock() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace ufim
+
+#endif  // UFIM_COMMON_MUTEX_H_

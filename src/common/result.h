@@ -20,8 +20,12 @@ namespace ufim {
 /// if (!r.ok()) return r.status();
 /// UncertainDatabase db = std::move(r).value();
 /// ```
+///
+/// [[nodiscard]] like `Status`: discarding a `Result` discards both the
+/// value *and* the error — doubly wrong. See status.h for the escape
+/// hatch when dropping one is intentional.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace ufim {
 
@@ -70,7 +71,14 @@ class RunContext {
   /// Returns the context to a fresh, unconstrained state: clears the trip,
   /// the deadline, the memory budget, the fault trigger, and the checkpoint
   /// counter. Lets a caller retry on the same objects after an aborted run.
-  void Reset() const;
+  ///
+  /// Quiescence required (annotated): unlike `Cancel`/`SetDeadlineAfter`,
+  /// which any thread may call against a live run, `Reset` (and the fault
+  /// trigger below) only make sense *between* runs — a worker polling
+  /// mid-run could otherwise observe the cleared-then-rearmed state as a
+  /// spurious pass or double-count checkpoints. Callers claim that
+  /// between-runs window via `AssertQuiescent()`.
+  void Reset() const UFIM_REQUIRES(controller_role_);
 
   // --- data plane ---------------------------------------------------------
 
@@ -112,7 +120,13 @@ class RunContext {
   /// `code`. Arming also switches `CheckPoint()` into counting mode so
   /// `checkpoints()` becomes exact; arming with a huge `nth` is the idiom
   /// for counting a run's checkpoints without faulting it.
-  void ArmFaultAtCheckpoint(std::uint64_t nth, StatusCode code) const;
+  void ArmFaultAtCheckpoint(std::uint64_t nth, StatusCode code) const
+      UFIM_REQUIRES(controller_role_);
+
+  /// Claims (to the thread-safety analysis; no runtime effect) that no
+  /// run is currently polling this context — the precondition of
+  /// `Reset` and `ArmFaultAtCheckpoint`. See Reset's comment.
+  void AssertQuiescent() const UFIM_ASSERT_CAPABILITY(controller_role_) {}
 
   /// Checkpoints observed since construction / `Reset()`. Exact only while
   /// a fault trigger is armed (counting mode); otherwise stays 0.
@@ -141,6 +155,10 @@ class RunContext {
   static Status TrippedStatus(int code);
 
   std::shared_ptr<State> state_;
+
+  /// The "no run is polling; I am reconfiguring between runs" role
+  /// (per-handle; claiming it on one copy does not leak to others).
+  Role controller_role_;
 };
 
 /// Polls `ctx` if non-null, unwinding with `RunAbortedError` when tripped.

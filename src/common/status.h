@@ -40,7 +40,15 @@ bool StatusCodeFromString(std::string_view name, StatusCode* code);
 /// Status s = db.Validate();
 /// if (!s.ok()) return s;  // propagate
 /// ```
-class Status {
+///
+/// The class itself is [[nodiscard]]: any expression that produces a
+/// `Status` and drops it on the floor is a compile error under
+/// -Werror=unused-result (GCC) / the clang equivalent. Silently ignoring
+/// an error is exactly the bug class this convention exists to prevent;
+/// a call site that genuinely cannot fail, or where failure is
+/// acceptable, says so with an explicit cast:
+/// `static_cast<void>(MayFail());`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -168,18 +168,23 @@ class TaskGroupImpl {
   const std::size_t num_slots_;
   /// Handle copy of the attached cancellation token (nullopt = none); a
   /// copy, not a pointer, so late help-token arrivals can never touch a
-  /// dead context.
+  /// dead context. Written once in the TaskGroup constructor, before
+  /// any other thread can see the group; read-only afterwards.
   std::optional<RunContext> ctx_;
   std::vector<std::unique_ptr<TaskDeque>> deques_;  ///< one per slot
   std::atomic<std::size_t> pending_{0};
   std::atomic<std::size_t> next_index_{0};
   std::atomic<std::size_t> helpers_engaged_{0};
 
-  std::mutex mu_;
+  /// Guards the slot table, the overflow list and the error slots —
+  /// the group's coarse-grained shared state (the deques are lock-free
+  /// and carry their own owner-role annotations).
+  Mutex mu_;
   std::condition_variable done_cv_;
-  std::vector<bool> slot_taken_;
-  std::deque<Task*> overflow_;
-  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+  std::vector<bool> slot_taken_ UFIM_GUARDED_BY(mu_);
+  std::deque<Task*> overflow_ UFIM_GUARDED_BY(mu_);
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_
+      UFIM_GUARDED_BY(mu_);
 
   friend class ::ufim::TaskGroup;
 };
@@ -210,21 +215,27 @@ std::size_t TaskGroupImpl::Spawn(std::function<void()> fn) {
   pending_.fetch_add(1, std::memory_order_acq_rel);
   const std::size_t slot = SlotOnThisThread(this);
   if (slot != kNoSlot) {
+    // The participation stack just proved this thread holds `slot`, and
+    // a slot has exactly one holder — so this thread is the deque owner.
+    deques_[slot]->AssertOwner();
     deques_[slot]->Push(task);
   } else {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     overflow_.push_back(task);
   }
   return index;
 }
 
 TaskGroupImpl::Task* TaskGroupImpl::FindWork(std::size_t slot) {
+  // `slot` is the caller's own slot (WaitAll / DrainAsHelper run on the
+  // thread that acquired it), so the caller owns this deque's bottom end.
+  deques_[slot]->AssertOwner();
   if (void* task = deques_[slot]->Pop()) return static_cast<Task*>(task);
   for (std::size_t i = 1; i < num_slots_; ++i) {
     const std::size_t victim = (slot + i) % num_slots_;
     if (void* task = deques_[victim]->Steal()) return static_cast<Task*>(task);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!overflow_.empty()) {
     Task* task = overflow_.front();
     overflow_.pop_front();
@@ -241,14 +252,14 @@ void TaskGroupImpl::RunTask(Task* task) {
     // their own body checkpoints.
     if (!ctx_ || !ctx_->aborted()) task->fn();
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     errors_.emplace_back(task->index, std::current_exception());
   }
   delete task;
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Serialize with the owner's pending check so the notification can
     // never slip between its re-check and its wait.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     done_cv_.notify_all();
   }
 }
@@ -260,13 +271,13 @@ void TaskGroupImpl::WaitAll(std::size_t slot) {
       continue;
     }
     if (pending_.load(std::memory_order_acquire) == 0) return;
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (pending_.load(std::memory_order_acquire) == 0) return;
     if (!overflow_.empty()) continue;
     // Remaining tasks are running on other threads (their completion
     // notifies) or were hidden by a transient steal race (the timeout
     // rescans).
-    done_cv_.wait_for(lock, std::chrono::microseconds(200));
+    done_cv_.wait_for(lock.native_lock(), std::chrono::microseconds(200));
   }
 }
 
@@ -275,7 +286,7 @@ void TaskGroupImpl::DrainAsHelper(std::size_t slot) {
 }
 
 std::exception_ptr TaskGroupImpl::TakeFirstError() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (errors_.empty()) return nullptr;
   auto lowest = std::min_element(
       errors_.begin(), errors_.end(),
@@ -286,7 +297,7 @@ std::exception_ptr TaskGroupImpl::TakeFirstError() {
 }
 
 std::size_t TaskGroupImpl::TryAcquireSlot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Slot 0 is reserved for the owner.
   for (std::size_t s = 1; s < num_slots_; ++s) {
     if (!slot_taken_[s]) {
@@ -298,7 +309,7 @@ std::size_t TaskGroupImpl::TryAcquireSlot() {
 }
 
 void TaskGroupImpl::ReleaseSlot(std::size_t slot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   slot_taken_[slot] = false;
 }
 
@@ -334,7 +345,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -345,7 +356,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> future = task.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(Injected{std::move(task), nullptr});
   }
   cv_.notify_one();
@@ -355,7 +366,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
 void ThreadPool::PostHelpToken(
     std::shared_ptr<internal::TaskGroupImpl> group) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(Injected{{}, std::move(group)});
   }
   cv_.notify_one();
@@ -366,8 +377,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Injected item;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Plain wait loop (not the predicate overload): the thread-safety
+      // analysis checks the guarded reads here, in a scope it can see
+      // holds mu_ — it cannot look inside a predicate lambda.
+      while (!stop_ && queue_.empty()) cv_.wait(lock.native_lock());
       // Drain the queue before honoring stop_ so ~ThreadPool never
       // abandons a future (or a group needing help) someone waits on.
       if (queue_.empty()) return;
@@ -409,7 +423,7 @@ TaskGroup::TaskGroup(std::size_t max_workers, const RunContext* context,
           max_workers == 0 ? HardwareThreads() : max_workers, 1))) {
   if (context != nullptr) impl_->ctx_ = *context;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu_);
+    MutexLock lock(impl_->mu_);
     impl_->slot_taken_[0] = true;  // the owner occupies slot 0 for life
   }
   internal::t_participation.push_back({impl_.get(), 0});

@@ -10,11 +10,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/run_context.h"
+#include "common/thread_annotations.h"
 
 namespace ufim {
 
@@ -30,6 +31,14 @@ namespace internal {
 /// the top (FIFO). The buffer grows geometrically; retired buffers are
 /// kept alive until destruction because a concurrent thief may still be
 /// reading one (its CAS on `top_` then decides who owns the element).
+///
+/// The owner/thief split is machine-checked: `owner_role_` is a pure
+/// role capability (see thread_annotations.h), `Push`/`Pop` require it,
+/// and the slot-routing code in TaskGroupImpl claims it via
+/// `AssertOwner()` exactly where the participation stack proves this
+/// thread holds the slot. Calling `Push`/`Pop` from any path without
+/// that claim fails the `-Wthread-safety` build; `Steal` is
+/// deliberately unannotated — any thread may race for the top end.
 class TaskDeque {
  public:
   TaskDeque();
@@ -39,26 +48,38 @@ class TaskDeque {
   TaskDeque& operator=(const TaskDeque&) = delete;
 
   /// Owner only. Pushes onto the bottom, growing the buffer if full.
-  void Push(void* task);
+  void Push(void* task) UFIM_REQUIRES(owner_role_);
 
   /// Owner only. Pops from the bottom (most recently pushed first);
   /// nullptr when empty.
-  void* Pop();
+  void* Pop() UFIM_REQUIRES(owner_role_);
 
   /// Any thread. Steals from the top (oldest first); nullptr when empty
   /// or when the race for the element was lost (callers just rescan).
   void* Steal();
 
+  /// Claims the owner role to the thread-safety analysis (no runtime
+  /// effect). Callers invoke it at the point where the scheduling
+  /// protocol designates this thread the slot owner — in this codebase,
+  /// where the thread-local participation stack maps the calling thread
+  /// to this deque's slot.
+  void AssertOwner() const UFIM_ASSERT_CAPABILITY(owner_role_) {}
+
  private:
   struct Buffer;
 
-  void Grow(std::int64_t top, std::int64_t bottom);
+  void Grow(std::int64_t top, std::int64_t bottom)
+      UFIM_REQUIRES(owner_role_);
 
   std::atomic<std::int64_t> top_{0};
   std::atomic<std::int64_t> bottom_{0};
   std::atomic<Buffer*> buffer_;
-  /// Superseded buffers, freed only at destruction (owner-only access).
-  std::vector<std::unique_ptr<Buffer>> retired_;
+  /// Superseded buffers, freed only at destruction. Owner-only: guarded
+  /// by the owner role, not a lock (thieves never touch this vector).
+  std::vector<std::unique_ptr<Buffer>> retired_ UFIM_GUARDED_BY(owner_role_);
+
+  /// The "I am the slot owner" capability; see the class comment.
+  Role owner_role_;
 };
 
 class TaskGroupImpl;
@@ -77,6 +98,16 @@ class TaskGroupImpl;
 ///     tokens placed on the injection queue.
 /// Workers therefore sleep on one condition variable exactly as a plain
 /// FIFO pool would; all the lock-free machinery is scoped inside groups.
+///
+/// Thread-safety contract (annotated, not just documented): `mu_`
+/// guards the injection queue and the stop flag — every touch of
+/// `queue_`/`stop_` must hold `mu_`, and the `-Wthread-safety` CI leg
+/// proves it. The sleep protocol is the classic monitor: producers
+/// push under `mu_` then notify `cv_`; workers re-check
+/// `stop_ || !queue_.empty()` in a plain `while` loop under `mu_`
+/// (not the predicate overload — the analysis cannot see into a
+/// predicate lambda). The Chase-Lev deques are *not* guarded by `mu_`;
+/// their ownership split is annotated on TaskDeque itself.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to at least 1).
@@ -116,11 +147,14 @@ class ThreadPool {
 
   struct Injected;
 
+  /// Written by the constructor only; joined by the destructor.
   std::vector<std::thread> workers_;
-  std::deque<Injected> queue_;
-  std::mutex mu_;
+  /// Guards the injection queue and the stop flag (the only pool-wide
+  /// shared state; see the class comment).
+  Mutex mu_;
+  std::deque<Injected> queue_ UFIM_GUARDED_BY(mu_);
   std::condition_variable cv_;
-  bool stop_ = false;
+  bool stop_ UFIM_GUARDED_BY(mu_) = false;
 };
 
 /// A fork-join group of tasks scheduled over the shared pool's

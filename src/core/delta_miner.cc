@@ -19,6 +19,9 @@ class AppendTxnGuard {
  public:
   explicit AppendTxnGuard(StreamingFlatView& view) : view_(view) {}
   ~AppendTxnGuard() {
+    // The guard unwinds on behalf of the writer that created it (inside
+    // MineNext's serialized batch), so the writer role transfers here.
+    view_.AssertSoleWriter();
     if (view_.in_append_txn()) view_.RollbackAppend();
   }
   AppendTxnGuard(const AppendTxnGuard&) = delete;
@@ -40,6 +43,10 @@ DeltaMiner::DeltaMiner(std::unique_ptr<Miner> inner,
       num_threads_(num_threads == 0 ? HardwareThreads() : num_threads) {}
 
 void DeltaMiner::set_run_context(RunContext context) {
+  // Same propagation contract as ShardedMiner::set_run_context: the
+  // delta miner is the inner miner's only driver, so "no MineNext in
+  // flight" (the caller's obligation) implies the inner config phase.
+  inner_->AssertConfigPhase();
   inner_->set_run_context(context);  // copies share the token
   run_context_ = std::move(context);
 }
@@ -56,6 +63,11 @@ Result<MiningResult> DeltaMiner::MineNext(std::span<const Transaction> batch) {
   // Status at this facade (the inner miner guards its own Mine).
   return internal::GuardMine([&]() -> Result<MiningResult> {
     PollRunContext(&run_context_);  // checkpoint: batch entry
+
+    // Writer-role claim: the delta miner owns view_ outright and
+    // processes batches strictly one at a time, so inside MineNext this
+    // thread is the sole writer and no reader holds an older view.
+    view_.AssertSoleWriter();
 
     // Transactional append: any failure before CommitAppend — inner
     // shard-mine error, cancellation, allocation failure — rolls the
@@ -96,6 +108,7 @@ Result<MiningResult> DeltaMiner::MineNext(std::span<const Transaction> batch) {
     const FlatView recount_view = compacted ? view_.View() : full;
     std::vector<Itemset> singles;
     std::vector<Itemset> larger;
+    // ufim-lint: allow(unordered-iteration) order erased by the sorts below
     for (const Itemset& is : pool_) {
       (is.size() == 1 ? singles : larger).push_back(is);
     }

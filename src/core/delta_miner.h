@@ -89,8 +89,14 @@ class DeltaMiner {
   const StreamingFlatView& view() const { return view_; }
 
   /// Forces a compaction between batches — a layout change only, never
-  /// a result change (the differential harness pins this).
-  void Compact() { view_.Compact(); }
+  /// a result change (the differential harness pins this). Callers must
+  /// honor the same between-batches serialization MineNext relies on
+  /// (no MineNext in flight), which is what the writer-role claim
+  /// asserts.
+  void Compact() {
+    view_.AssertSoleWriter();
+    view_.Compact();
+  }
 
   /// Suffix shards mined so far (== MineNext calls with a non-empty
   /// batch).

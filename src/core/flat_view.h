@@ -330,10 +330,10 @@ class FlatView {
   /// global transaction ids). O(1): shares all arrays with this view.
   /// `lo` and `hi` are clamped to [0, num_transactions()] and to each
   /// other (hi < lo yields an empty view at lo).
-  FlatView Slice(std::size_t lo, std::size_t hi) const;
+  [[nodiscard]] FlatView Slice(std::size_t lo, std::size_t hi) const;
 
   /// View over the first `n` transactions: `Slice(0, n)`.
-  FlatView Prefix(std::size_t n) const;
+  [[nodiscard]] FlatView Prefix(std::size_t n) const;
 
   /// True when the view spans the whole database it was built from.
   bool IsFullView() const {

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/run_context.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/flat_view.h"
 #include "core/mining_result.h"
 #include "core/uncertain_database.h"
@@ -154,15 +155,35 @@ class Miner {
   /// `MinerOptions::run_context` automatically; direct constructions keep
   /// a live but unconstrained default. Copies share state, so callers keep
   /// their own handle to `Cancel()` a running mine. Virtual so wrapper
-  /// miners (e.g. ShardedMiner) can propagate the token to their inner
-  /// miner.
-  virtual void set_run_context(RunContext context) {
+  /// miners (ShardedMiner; DeltaMiner wraps without inheriting) can
+  /// propagate the token to their inner miner — overrides must claim the
+  /// inner miner's config phase (`inner->AssertConfigPhase()`) before
+  /// forwarding, which is how the thread-safety analysis checks the
+  /// propagation chain end to end.
+  ///
+  /// Config-phase only (annotated): `Mine` reads `run_context_` without a
+  /// lock, so swapping the token while a mine is running on another
+  /// thread would race. Call sites claim the no-mine-in-flight window via
+  /// `AssertConfigPhase()`.
+  virtual void set_run_context(RunContext context)
+      UFIM_REQUIRES(config_role_) {
     run_context_ = std::move(context);
   }
   const RunContext& run_context() const { return run_context_; }
 
+  /// Claims (to the thread-safety analysis; no runtime effect) that no
+  /// `Mine` call is in flight on this miner — the precondition of
+  /// `set_run_context`. See its comment.
+  void AssertConfigPhase() const UFIM_ASSERT_CAPABILITY(config_role_) {}
+
  protected:
+  // Deliberately not GUARDED_BY(config_role_): `Mine` bodies read the
+  // handle concurrently without the role (reads are safe — the handle is
+  // only swapped during the config phase the setter's REQUIRES pins).
   RunContext run_context_;
+
+  /// The "no mine in flight; I am wiring up this miner" role.
+  Role config_role_;
 };
 
 namespace internal {

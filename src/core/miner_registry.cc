@@ -34,7 +34,11 @@ std::unique_ptr<Miner> MinerRegistry::Create(std::string_view name,
   const MinerEntry* entry = Find(name);
   if (entry == nullptr) return nullptr;
   std::unique_ptr<Miner> miner = entry->make(options);
-  if (miner != nullptr) miner->set_run_context(options.run_context);
+  // Freshly constructed: nothing can be mining on it yet.
+  if (miner != nullptr) {
+    miner->AssertConfigPhase();
+    miner->set_run_context(options.run_context);
+  }
   return miner;
 }
 

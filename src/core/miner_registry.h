@@ -43,10 +43,10 @@ class MinerRegistry {
   bool Register(MinerEntry entry);
 
   /// Looks an algorithm up by canonical name; nullptr when unknown.
-  const MinerEntry* Find(std::string_view name) const;
+  [[nodiscard]] const MinerEntry* Find(std::string_view name) const;
 
   /// Instantiates an algorithm by name; nullptr when unknown.
-  std::unique_ptr<Miner> Create(std::string_view name,
+  [[nodiscard]] std::unique_ptr<Miner> Create(std::string_view name,
                                 const MinerOptions& options = {}) const;
 
   /// All registered names, sorted. `production_only` drops test oracles.

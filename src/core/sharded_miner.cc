@@ -73,6 +73,10 @@ ShardedMiner::ShardedMiner(std::unique_ptr<Miner> inner,
       num_threads_(num_threads == 0 ? HardwareThreads() : num_threads) {}
 
 void ShardedMiner::set_run_context(RunContext context) {
+  // The caller's claim on this wrapper covers the whole wiring step:
+  // while no mine is in flight on the wrapper, none is in flight on the
+  // inner miner either (the wrapper is its only driver).
+  inner_->AssertConfigPhase();
   inner_->set_run_context(context);  // copies share the token
   Miner::set_run_context(std::move(context));
 }

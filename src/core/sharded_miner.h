@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/miner.h"
 
 namespace ufim {
@@ -86,7 +87,10 @@ class ShardedMiner final : public Miner {
 
   /// Propagates the token to the inner miner, so cancellation observed at
   /// the driver's phase boundaries also stops the per-shard mining.
-  void set_run_context(RunContext context) override;
+  /// Config-phase only, like the base: the override claims the inner
+  /// miner's config role before forwarding (see miner.h).
+  void set_run_context(RunContext context) override
+      UFIM_REQUIRES(config_role_);
 
   std::size_t num_shards() const { return num_shards_; }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/math_util.h"
+#include "common/thread_annotations.h"
 #include "core/flat_view.h"
 #include "core/transaction.h"
 #include "core/uncertain_database.h"
@@ -71,6 +72,19 @@ struct CompactionPolicy {
 /// *reads* of one view (parallel miners) are safe, concurrent mutation
 /// is not. This is the classic snapshot-free HTAP trade: the delta makes
 /// appends cheap, the caller serializes writes against reads.
+///
+/// **Single-writer contract (annotated).** At most one thread — the
+/// designated writer — may call `Append` / `Compact` / the
+/// `BeginAppend`/`CommitAppend`/`RollbackAppend` transaction protocol,
+/// and only while no mine is reading a view of this storage (an
+/// `Append` invalidates every outstanding view, including slices a
+/// parallel mine's workers hold). The contract is machine-checked by
+/// the `-Wthread-safety` CI leg: each mutator requires the
+/// `writer_role_` capability, which a caller claims via
+/// `AssertSoleWriter()` exactly where its own serialization argument
+/// holds (e.g. `DeltaMiner::MineNext` claims it because the delta
+/// miner owns its view and runs batches one at a time). A mutation
+/// call path with no claim fails the build.
 class StreamingFlatView {
  public:
   explicit StreamingFlatView(CompactionPolicy policy = {});
@@ -103,13 +117,14 @@ class StreamingFlatView {
   /// a transaction introduces a previously-unseen item. O(batch units)
   /// plus any triggered compaction. Invalidates existing views. Returns
   /// true when the policy compacted.
-  bool Append(std::span<const Transaction> batch);
+  bool Append(std::span<const Transaction> batch)
+      UFIM_REQUIRES(writer_role_);
 
   /// Merges the delta into the contiguous base (O(total units)); no-op
   /// without a delta. Invalidates existing views. Mining results are
   /// unaffected — compaction changes the physical layout only. Must not
   /// be called inside an open append transaction.
-  void Compact();
+  void Compact() UFIM_REQUIRES(writer_role_);
 
   /// Transactional append protocol, used by `DeltaMiner` to make a
   /// failed mine-over-append recoverable. Between `BeginAppend()` and
@@ -124,16 +139,25 @@ class StreamingFlatView {
   /// `CommitAppend()` drops the undo log and runs the deferred
   /// compaction check; like `Append` it returns true when it compacted.
   /// Both close the transaction; both invalidate existing views.
-  void BeginAppend();
-  bool CommitAppend();
-  void RollbackAppend();
+  void BeginAppend() UFIM_REQUIRES(writer_role_);
+  bool CommitAppend() UFIM_REQUIRES(writer_role_);
+  void RollbackAppend() UFIM_REQUIRES(writer_role_);
 
-  /// True between BeginAppend and Commit/RollbackAppend.
-  bool in_append_txn() const { return txn_.has_value(); }
+  /// Claims the writer role to the thread-safety analysis (no runtime
+  /// effect). Call it at the point where the caller's own serialization
+  /// argument makes it the sole writer with no outstanding readers —
+  /// see the single-writer contract in the class comment.
+  void AssertSoleWriter() const UFIM_ASSERT_CAPABILITY(writer_role_) {}
+
+  /// True between BeginAppend and Commit/RollbackAppend. Part of the
+  /// writer protocol (it reads the undo log), so writer-gated too.
+  bool in_append_txn() const UFIM_REQUIRES(writer_role_) {
+    return txn_.has_value();
+  }
 
   /// Full view over everything appended so far. Valid until the next
   /// Append/Compact.
-  FlatView View() const {
+  [[nodiscard]] FlatView View() const {
     return FlatView(storage_, 0, storage_->full_size);
   }
 
@@ -159,12 +183,17 @@ class StreamingFlatView {
 
   /// Records `item`'s pre-append state in the open transaction's undo
   /// log, once per distinct item.
-  void SnapshotForTxn(ItemId item);
+  void SnapshotForTxn(ItemId item) UFIM_REQUIRES(writer_role_);
 
   std::shared_ptr<FlatView::Storage> storage_;
   CompactionPolicy policy_;
   std::size_t compactions_ = 0;
-  std::optional<AppendTxn> txn_;
+  /// Open-transaction undo log; touched only through the writer-gated
+  /// transaction protocol above.
+  std::optional<AppendTxn> txn_ UFIM_GUARDED_BY(writer_role_);
+
+  /// The "I am the one serialized writer" capability (see class comment).
+  Role writer_role_;
 };
 
 }  // namespace ufim

@@ -66,6 +66,7 @@ TEST(RunContextTest, DeadlineTripsWithinThePollWindow) {
 TEST(RunContextTest, DeadlineCheckedEveryPollInCountingMode) {
   RunContext ctx;
   ctx.SetDeadlineAfter(std::chrono::nanoseconds(-1));
+  ctx.AssertQuiescent();  // single-threaded test body: between runs
   ctx.ArmFaultAtCheckpoint(kCountOnly, StatusCode::kInternal);
   EXPECT_EQ(ctx.CheckPoint().code(), StatusCode::kDeadlineExceeded);
 }
@@ -77,6 +78,7 @@ TEST(RunContextTest, MemoryBudgetTripsOnTrackedGrowth) {
   ctx.SetMemoryBudgetBytes(1024);
   // Allocate well past the budget and keep it live across the poll.
   auto ballast = std::make_unique<std::vector<char>>(std::size_t{1} << 20);
+  ctx.AssertQuiescent();  // single-threaded test body: between runs
   ctx.ArmFaultAtCheckpoint(kCountOnly, StatusCode::kInternal);
   EXPECT_EQ(ctx.CheckPoint().code(), StatusCode::kResourceExhausted);
   ASSERT_FALSE(ballast->empty());
@@ -89,6 +91,7 @@ TEST(RunContextTest, MemoryBudgetIsRelativeToTheArmTimeBaseline) {
   auto preexisting = std::make_unique<std::vector<char>>(std::size_t{1} << 20);
   RunContext ctx;
   ctx.SetMemoryBudgetBytes(std::size_t{8} << 20);
+  ctx.AssertQuiescent();  // single-threaded test body: between runs
   ctx.ArmFaultAtCheckpoint(kCountOnly, StatusCode::kInternal);
   EXPECT_TRUE(ctx.CheckPoint().ok());
   ASSERT_FALSE(preexisting->empty());
@@ -96,6 +99,7 @@ TEST(RunContextTest, MemoryBudgetIsRelativeToTheArmTimeBaseline) {
 
 TEST(RunContextTest, ArmedFaultFiresAtTheExactCheckpoint) {
   RunContext ctx;
+  ctx.AssertQuiescent();  // single-threaded test body: between runs
   ctx.ArmFaultAtCheckpoint(3, StatusCode::kCancelled);
   EXPECT_TRUE(ctx.CheckPoint().ok());
   EXPECT_TRUE(ctx.CheckPoint().ok());
@@ -107,6 +111,7 @@ TEST(RunContextTest, ArmedFaultFiresAtTheExactCheckpoint) {
 
 TEST(RunContextTest, CountOnlyArmingCountsWithoutFaulting) {
   RunContext ctx;
+  ctx.AssertQuiescent();  // single-threaded test body: between runs
   ctx.ArmFaultAtCheckpoint(kCountOnly, StatusCode::kCancelled);
   for (int i = 0; i < 17; ++i) EXPECT_TRUE(ctx.CheckPoint().ok());
   EXPECT_EQ(ctx.checkpoints(), 17u);
@@ -114,6 +119,7 @@ TEST(RunContextTest, CountOnlyArmingCountsWithoutFaulting) {
 
 TEST(RunContextTest, ResetRestoresAFreshContext) {
   RunContext ctx;
+  ctx.AssertQuiescent();  // single-threaded test body: between runs
   ctx.ArmFaultAtCheckpoint(1, StatusCode::kDeadlineExceeded);
   EXPECT_FALSE(ctx.CheckPoint().ok());
   ctx.Reset();
@@ -156,6 +162,7 @@ TEST(RunContextTest, ParallelForUnwindsAndThePoolStaysReusable) {
   EXPECT_EQ(ran.load(), 0);
   // Same objects, fresh token: the pool and the loop run normally — the
   // cancelled run left nothing behind.
+  ctx.AssertQuiescent();  // single-threaded test body: between runs
   ctx.Reset();
   ParallelFor(1000, 4, body, &ctx);
   EXPECT_EQ(ran.load(), 1000);

@@ -110,7 +110,9 @@ TEST(FlatViewSliceTest, ShardUnionInvariants) {
     EXPECT_EQ(parts.back().end_tid(), n);
     std::size_t units = 0;
     for (std::size_t s = 0; s < shards; ++s) {
-      if (s > 0) EXPECT_EQ(parts[s].begin_tid(), parts[s - 1].end_tid());
+      if (s > 0) {
+        EXPECT_EQ(parts[s].begin_tid(), parts[s - 1].end_tid());
+      }
       units += parts[s].num_units();
     }
     EXPECT_EQ(units, full.num_units());

@@ -83,6 +83,7 @@ void ExpectMatchesRebuild(const FlatView& view,
 
 TEST(StreamingFlatViewTest, AppendToEmptyView) {
   StreamingFlatView sv;
+  sv.AssertSoleWriter();  // single-threaded test body: sole writer
   EXPECT_EQ(sv.num_transactions(), 0u);
   EXPECT_EQ(sv.num_items(), 0u);
   EXPECT_FALSE(sv.has_delta());
@@ -101,6 +102,7 @@ TEST(StreamingFlatViewTest, UnseenItemsGrowTheUniverse) {
   const std::vector<Transaction> base = {Txn({{0, 0.9}, {1, 0.4}}),
                                          Txn({{1, 0.8}})};
   StreamingFlatView sv{UncertainDatabase{std::vector<Transaction>(base)}};
+  sv.AssertSoleWriter();  // single-threaded test body: sole writer
   EXPECT_EQ(sv.num_items(), 2u);
 
   std::vector<Transaction> all = base;
@@ -149,6 +151,7 @@ TEST(StreamingFlatViewTest, AutomaticCompactionAtEveryRatio) {
     policy.max_delta_ratio = ratio;
     policy.min_delta_units = 4;
     StreamingFlatView sv{policy};
+    sv.AssertSoleWriter();  // single-threaded test body: sole writer
     std::vector<Transaction> all;
     Rng rng(99);
     StreamBatchSpec spec;
@@ -170,10 +173,14 @@ TEST(StreamingFlatViewTest, AutomaticCompactionAtEveryRatio) {
                                         sv.delta_units()))
           << "ratio=" << ratio << " round=" << round;
     }
-    if (ratio == 0.0) EXPECT_GE(sv.compactions(), 7u);
+    if (ratio == 0.0) {
+      EXPECT_GE(sv.compactions(), 7u);
+    }
     // A huge ratio compacts at most once: over the empty starting base
     // any delta exceeds ratio * 0 (the bootstrap fold), never after.
-    if (ratio == 1e9) EXPECT_LE(sv.compactions(), 1u);
+    if (ratio == 1e9) {
+      EXPECT_LE(sv.compactions(), 1u);
+    }
   }
 }
 
@@ -186,6 +193,7 @@ TEST(StreamingFlatViewTest, SliceAcrossTheSeam) {
 
   StreamingFlatView sv{
       UncertainDatabase{std::vector<Transaction>(base_txns)}};
+  sv.AssertSoleWriter();  // single-threaded test body: sole writer
   sv.Append(delta_txns);
   ASSERT_TRUE(sv.has_delta());
 
@@ -259,6 +267,7 @@ TEST(StreamingFlatViewTest, SeamStraddlingJoinBatches) {
   never.min_delta_units = ~std::size_t{0};
   StreamingFlatView sv{UncertainDatabase{std::vector<Transaction>(base_txns)},
                        never};
+  sv.AssertSoleWriter();  // single-threaded test body: sole writer
   sv.Append(delta_txns);
   ASSERT_TRUE(sv.has_delta());
   ASSERT_GT(sv.View().PostingCount(0), FlatView::kJoinBatchTids);
@@ -283,6 +292,7 @@ TEST(StreamingFlatViewTest, MomentCachesConsistentAfterCompaction) {
   StreamBatchSpec spec;
   spec.num_items = 9;
   StreamingFlatView sv;
+  sv.AssertSoleWriter();  // single-threaded test body: sole writer
   std::vector<Transaction> all;
   for (int round = 0; round < 5; ++round) {
     const std::vector<Transaction> batch = MakeStreamBatch(rng, spec, 6);

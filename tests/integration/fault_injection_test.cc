@@ -99,6 +99,7 @@ void CheckSurvivesCancellation(Miner& miner, const RunContext& ctx,
        FaultSchedule(ScheduleSeed(label), total, kFaultsPerCase)) {
     const std::string at = label + " @checkpoint " + std::to_string(nth) +
                            "/" + std::to_string(total);
+    ctx.AssertQuiescent();  // no mine in flight between the sequential runs
     ctx.Reset();
     ctx.ArmFaultAtCheckpoint(nth, StatusCode::kCancelled);
     Result<MiningResult> faulted = miner.Mine(view, task);
@@ -190,6 +191,7 @@ TEST(FaultInjectionTest, ShardedMinerSurvivesCancellationAcrossPhases) {
     const RunContext ctx = options.run_context;
     ShardedMiner miner(MinerRegistry::Global().Create("UApriori", options), 4,
                        threads);
+    miner.AssertConfigPhase();  // freshly constructed, no mine in flight
     miner.set_run_context(ctx);
     CheckSurvivesCancellation(miner, ctx, view, MiningTask(params),
                               "Sharded(UApriori)@" + std::to_string(threads));
@@ -245,6 +247,7 @@ TEST(FaultInjectionTest, DeltaMinerRollsBackOrCommitsButAlwaysRecovers) {
     ASSERT_TRUE(delta.value()->MineNext(b1).ok()) << at;
     const std::size_t txns_before = delta.value()->view().num_transactions();
 
+    ctx.AssertQuiescent();  // no mine in flight between the sequential runs
     ctx.ArmFaultAtCheckpoint(nth, StatusCode::kCancelled);
     Result<MiningResult> faulted = delta.value()->MineNext(b2);
     ASSERT_FALSE(faulted.ok()) << at;

@@ -1,0 +1,14 @@
+// Violating fixture: catches the internal abort unwind outside the
+// GuardMine facade (lint path: src/core/example.cc).
+#include "common/run_context.h"
+
+void MayThrow();
+
+void SwallowsCancellation() {
+  try {
+    MayThrow();
+  } catch (const RunAbortedError& aborted) {
+    // A cancelled run silently "succeeds" here: the token never reaches
+    // the caller as a Status.
+  }
+}

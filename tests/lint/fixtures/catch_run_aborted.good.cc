@@ -1,0 +1,14 @@
+// Conforming fixture: lets RunAbortedError unwind to the GuardMine
+// boundary; only std::bad_alloc is handled locally.
+#include <new>
+
+#include "common/run_context.h"
+
+void MayThrow();
+
+void LetsCancellationUnwind() {
+  try {
+    MayThrow();
+  } catch (const std::bad_alloc&) {
+  }
+}

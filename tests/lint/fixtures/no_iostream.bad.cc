@@ -1,0 +1,5 @@
+// Violating fixture: <iostream> in library code (lint path:
+// src/core/example.cc).
+#include <iostream>
+
+void Report(int n) { std::cout << n << "\n"; }

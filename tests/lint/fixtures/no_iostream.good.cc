@@ -1,0 +1,8 @@
+// Conforming fixture: library code reports through Status, never by
+// printing.
+#include "common/status.h"
+
+ufim::Status Report(int n) {
+  if (n < 0) return ufim::Status::InvalidArgument("n must be >= 0");
+  return ufim::Status::OK();
+}

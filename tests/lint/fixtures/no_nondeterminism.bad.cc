@@ -1,0 +1,9 @@
+// Violating fixture: unseeded randomness and a wall-clock read in
+// library code (lint path: src/core/example.cc).
+#include <cstdlib>
+#include <ctime>
+
+unsigned PickUnseeded() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  return static_cast<unsigned>(std::rand());
+}

@@ -1,0 +1,7 @@
+// Conforming fixture: randomness flows through the seeded Rng, timing
+// through eval/stopwatch — the result is a pure function of the seed.
+#include <cstdint>
+
+#include "testing/random_db.h"
+
+std::uint64_t PickSeeded(ufim::Rng& rng) { return rng.Next(); }

@@ -1,0 +1,8 @@
+// Violating fixture: a raw std::mutex the thread-safety analysis cannot
+// see (lint path: src/core/example.cc).
+#include <mutex>
+
+void Locked() {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+}

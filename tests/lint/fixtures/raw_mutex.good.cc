@@ -1,0 +1,8 @@
+// Conforming fixture: locking through the annotated wrappers, visible
+// to the -Wthread-safety build.
+#include "common/mutex.h"
+
+void Locked() {
+  static ufim::Mutex mu;
+  ufim::MutexLock lock(mu);
+}

@@ -1,0 +1,12 @@
+// Violating fixture: emits straight out of an unordered container, so
+// the output order depends on hash seeding.
+#include <unordered_set>
+
+void EmitValue(int v);
+
+void EmitAll() {
+  std::unordered_set<int> pending = {3, 1, 2};
+  for (int v : pending) {
+    EmitValue(v);
+  }
+}

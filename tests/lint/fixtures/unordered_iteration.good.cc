@@ -1,0 +1,16 @@
+// Conforming fixture: the unordered container is drained into a vector
+// and sorted before anything observes the order.
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+void EmitValue(int v);
+
+void EmitAll() {
+  std::unordered_set<int> pending = {3, 1, 2};
+  std::vector<int> ordered(pending.begin(), pending.end());
+  std::sort(ordered.begin(), ordered.end());
+  for (int v : ordered) {
+    EmitValue(v);
+  }
+}

@@ -32,6 +32,7 @@ inline constexpr std::uint64_t kCountOnly =
 /// trigger never fires). Leaves `ctx` freshly Reset.
 template <typename Fn>
 std::uint64_t CountCheckpoints(const RunContext& ctx, Fn&& work) {
+  ctx.AssertQuiescent();  // caller hands us the context between runs
   ctx.Reset();
   ctx.ArmFaultAtCheckpoint(kCountOnly, StatusCode::kCancelled);
   std::forward<Fn>(work)();

@@ -479,6 +479,20 @@ int MineStream(const Args& args) {
   return 0;
 }
 
+/// Surfaces swallowed stdout write errors: the result listings go out
+/// through printf, whose return values the commands ignore — so before
+/// this check, `mine > out.txt` onto a full disk (or a closed pipe)
+/// truncated the listing and still exited 0. Flush + ferror catches
+/// every buffered failure at once, turning it into a diagnostic and a
+/// non-zero exit. Found by the PR-9 ignored-Status audit.
+int CheckedExit(int code) {
+  if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+    std::fprintf(stderr, "error: writing to stdout failed\n");
+    return code == 0 ? 1 : code;
+  }
+  return code;
+}
+
 int Main(int argc, char** argv) {
   std::string err;
   std::optional<Args> args =
@@ -489,10 +503,10 @@ int Main(int argc, char** argv) {
   }
   if (args->positional.empty()) return Usage();
   const std::string& command = args->positional[0];
-  if (command == "generate") return Generate(*args);
-  if (command == "stats") return Stats(*args);
-  if (command == "mine") return Mine(*args);
-  if (command == "mine-stream") return MineStream(*args);
+  if (command == "generate") return CheckedExit(Generate(*args));
+  if (command == "stats") return CheckedExit(Stats(*args));
+  if (command == "mine") return CheckedExit(Mine(*args));
+  if (command == "mine-stream") return CheckedExit(MineStream(*args));
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return Usage();
 }

@@ -1,0 +1,111 @@
+// ufim_lint — the repo's convention checker. See ufim_lint_lib.h for
+// the rule catalogue and the waiver syntax.
+//
+//   ufim_lint --root <repo> <path>...      # lint files/directories
+//
+// Paths are files or directories (searched recursively for .h/.cc).
+// Rule scoping keys on the path *relative to --root* (default: the
+// current directory), so run it from the repo root or pass --root.
+// Exit: 0 clean, 1 violations, 2 usage or I/O error.
+//
+// CI runs `ufim_lint --root . src tools` (plus a CTest target doing the
+// same), so a violation fails the build with a clickable diagnostic.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ufim_lint_lib.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+/// Repo-relative path with '/' separators — what rule scoping keys on.
+std::string RelativePath(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(file, root, ec);
+  if (ec || rel.empty()) rel = file;
+  return rel.generic_string();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ufim_lint [--root <dir>] <file-or-dir>...\n"
+               "lints .h/.cc files against the ufim conventions "
+               "(see tools/ufim_lint_lib.h)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) return Usage();
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) return Usage();
+
+  std::vector<fs::path> files;
+  for (const fs::path& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (fs::recursive_directory_iterator it(input, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && HasLintableExtension(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      files.push_back(input);
+    } else {
+      std::fprintf(stderr, "ufim_lint: cannot read '%s'\n",
+                   input.string().c_str());
+      return 2;
+    }
+  }
+
+  std::vector<ufim::lint::SourceFile> sources;
+  sources.reserve(files.size());
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "ufim_lint: cannot open '%s'\n",
+                   file.string().c_str());
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    sources.push_back(
+        ufim::lint::SourceFile{RelativePath(file, root), content.str()});
+  }
+
+  const std::vector<ufim::lint::Diagnostic> diagnostics =
+      ufim::lint::Lint(sources);
+  for (const ufim::lint::Diagnostic& d : diagnostics) {
+    std::fprintf(stderr, "%s\n", ufim::lint::FormatDiagnostic(d).c_str());
+  }
+  if (!diagnostics.empty()) {
+    std::fprintf(stderr, "ufim_lint: %zu violation%s in %zu files scanned\n",
+                 diagnostics.size(), diagnostics.size() == 1 ? "" : "s",
+                 sources.size());
+    return 1;
+  }
+  return 0;
+}
