@@ -14,6 +14,11 @@
 //    run. This is the end-to-end amortized cost per appended
 //    transaction that a serving system pays.
 //
+// A final sweep prices StreamingFlatView::Snapshot() — the frozen
+// read handle concurrent miners hold — at growing delta sizes: the
+// base arrays are shared by pointer, so the copy is O(delta +
+// num_items), not O(database).
+//
 // Batch sizes sweep 1x/8x/64x (16, 128, 1024 transactions — i.e. 64,
 // 8, 1 MineNext calls for the same 1024-txn stream), and a separate
 // sweep varies the compaction ratio at a fixed batch size. min_esup is
@@ -150,6 +155,29 @@ void BM_StreamingMineNext(benchmark::State& state) {
   state.counters["itemsets"] = static_cast<double>(frequent);
 }
 
+/// Snapshot cost: freeze a handle (StreamingFlatView::Snapshot — base
+/// pointer shared, delta + moment arrays deep-copied) at a controlled
+/// delta size. `state.range(0)` is the number of appended transactions
+/// left unfolded in the delta; the never-compact policy pins the delta
+/// at exactly that size so the O(delta + num_items) claim is visible
+/// across the sweep.
+void BM_Snapshot(benchmark::State& state) {
+  const std::size_t delta_txns = static_cast<std::size_t>(state.range(0));
+  CompactionPolicy never;
+  never.max_delta_ratio = 1e18;
+  StreamingFlatView sv(Stream().base, never);
+  sv.AssertSoleWriter();  // single-threaded bench: sole writer by construction
+  sv.Append(Batch(0, delta_txns));
+  std::size_t delta_units = sv.num_units();
+  for (auto _ : state) {
+    const StreamingSnapshot snap = sv.Snapshot();
+    benchmark::DoNotOptimize(snap.view().num_units());
+    delta_units = snap.view().num_units();
+  }
+  state.counters["delta_txns"] = static_cast<double>(delta_txns);
+  benchmark::DoNotOptimize(delta_units);
+}
+
 /// End to end, rebuild baseline: accumulate, rebuild the columnar view,
 /// full mine — once per batch.
 void BM_RebuildMine(benchmark::State& state) {
@@ -190,6 +218,11 @@ BENCHMARK(BM_RebuildMine)->Arg(16)->Arg(128)->Arg(1024)
 BENCHMARK(BM_StreamingMineNext)
     ->Args({128, 0})->Args({128, 100})->Args({128, -1})
     ->Unit(benchmark::kMillisecond);
+
+// Snapshot-handle cost at growing delta sizes (base arrays are shared,
+// so this scales with the unfolded delta, not the full database).
+BENCHMARK(BM_Snapshot)->Arg(0)->Arg(16)->Arg(128)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace ufim::bench

@@ -64,63 +64,94 @@ Result<MiningResult> DeltaMiner::MineNext(std::span<const Transaction> batch) {
   return internal::GuardMine([&]() -> Result<MiningResult> {
     PollRunContext(&run_context_);  // checkpoint: batch entry
 
-    // Writer-role claim: the delta miner owns view_ outright and
-    // processes batches strictly one at a time, so inside MineNext this
-    // thread is the sole writer and no reader holds an older view.
-    view_.AssertSoleWriter();
-
-    // Transactional append: any failure before CommitAppend — inner
-    // shard-mine error, cancellation, allocation failure — rolls the
-    // batch back to the pre-append watermark on the way out, so a retry
-    // of the same batch appends it exactly once.
-    view_.BeginAppend();
-    AppendTxnGuard rollback_unless_committed(view_);
-    view_.Append(batch);
-    const FlatView full = view_.View();
-    const std::size_t n_txn = full.num_transactions();
-
     MiningResult result;
-
-    // Phase 1: mine the appended suffix as its own SON shard, at the same
-    // min_esup ratio (the shard threshold is ratio * |shard|, exactly as
-    // ShardedMiner's static shards). The slice spans the base/delta seam
-    // transparently, so this works identically pre- and post-compaction.
-    if (n_txn > mined_upto_) {
-      const FlatView suffix = full.Slice(mined_upto_, n_txn);
-      Result<MiningResult> local = inner_->Mine(suffix, task);
-      UFIM_RETURN_IF_ERROR(local.status());
-      result.counters() += local->counters();
-      for (const FrequentItemset& fi : local->itemsets()) {
-        pool_.insert(fi.itemset);
-      }
-      mined_upto_ = n_txn;
-      ++shards_mined_;
-    }
-    // The shard is mined and the pool updated — commit (running any
-    // deferred compaction) before the recount, so a recount failure
-    // leaves a consistent stream that an empty-batch call re-mines.
-    const bool compacted = view_.CommitAppend();
-
-    // Phase 2: exact recount of the whole candidate pool over the full
-    // view. Canonical candidate order keeps the recount independent of
-    // pool insertion history (and of the unordered_set's iteration
-    // order). Re-take the view: compaction invalidates slices.
-    const FlatView recount_view = compacted ? view_.View() : full;
+    StreamingSnapshot snap;
     std::vector<Itemset> singles;
     std::vector<Itemset> larger;
-    // ufim-lint: allow(unordered-iteration) order erased by the sorts below
-    for (const Itemset& is : pool_) {
-      (is.size() == 1 ? singles : larger).push_back(is);
+    {
+      // Mutation phase, under the write mutex (serialized with any
+      // concurrent explicit Compact). MineNext calls themselves are
+      // caller-serialized; inside this block the thread is the stream's
+      // sole writer, which is exactly the writer-role claim.
+      MutexLock lock(write_mu_);
+      view_.AssertSoleWriter();
+
+      if (batch.empty()) {
+        // Pure recount: no append transaction, no policy-compaction
+        // side effect, no shard/watermark drift — just freeze the
+        // current state for phase 2.
+        snap = view_.Snapshot();
+      } else {
+        // Transactional append: any failure before CommitAppend — inner
+        // shard-mine error, cancellation, allocation failure — rolls
+        // the batch back to the pre-append watermark on the way out, so
+        // a retry of the same batch appends it exactly once.
+        view_.BeginAppend();
+        AppendTxnGuard rollback_unless_committed(view_);
+        view_.Append(batch);
+        // ufim-lint: allow(raw-view) consumed before CommitAppend, under the write mutex
+        const FlatView full = view_.View();
+        const std::size_t n_txn = full.num_transactions();
+
+        // Phase 1: mine the appended suffix as its own SON shard, at
+        // the same min_esup ratio (the shard threshold is ratio *
+        // |shard|, exactly as ShardedMiner's static shards). The slice
+        // spans the base/delta seam transparently, so this works
+        // identically pre- and post-compaction.
+        const FlatView suffix = full.Slice(mined_upto_, n_txn);
+        Result<MiningResult> local = inner_->Mine(suffix, task);
+        UFIM_RETURN_IF_ERROR(local.status());
+        result.counters() += local->counters();
+        const std::uint64_t admit_gen = view_.generation();
+        for (const FrequentItemset& fi : local->itemsets()) {
+          // emplace keeps the first admission's generation on
+          // re-discovery by a later shard.
+          pool_.emplace(fi.itemset, admit_gen);
+        }
+        mined_upto_ = n_txn;
+        ++shards_mined_;
+        // The shard is mined and the pool updated — commit (running any
+        // deferred compaction) before snapshotting, so a recount
+        // failure leaves a consistent stream that an empty-batch call
+        // re-mines, and the snapshot freezes the committed state.
+        view_.CommitAppend();
+        snap = view_.Snapshot();
+      }
+
+      // Canonical candidate order keeps the recount independent of pool
+      // insertion history (and of the unordered_map's iteration order).
+      // ufim-lint: allow(unordered-iteration) order erased by the sorts below
+      for (const auto& [is, admitted] : pool_) {
+        static_cast<void>(admitted);
+        (is.size() == 1 ? singles : larger).push_back(is);
+      }
+      std::sort(singles.begin(), singles.end());
+      std::sort(larger.begin(), larger.end());
     }
-    std::sort(singles.begin(), singles.end());
-    std::sort(larger.begin(), larger.end());
+
+    // Phase 2: exact recount of the whole candidate pool over the
+    // frozen snapshot, outside the write mutex — a concurrent explicit
+    // Compact cannot perturb it (copy-on-compact leaves the snapshot's
+    // storage untouched), and the result is bit-identical either way.
     const double threshold =
-        params_.min_esup * static_cast<double>(n_txn);
-    RecountExpectedCandidates(recount_view, singles, larger, threshold,
+        params_.min_esup * static_cast<double>(snap.watermark());
+    RecountExpectedCandidates(snap.view(), singles, larger, threshold,
                               num_threads_, result, &run_context_);
     result.SortCanonical();
     return result;
   });
+}
+
+std::size_t DeltaMiner::candidates_admitted_since(
+    std::uint64_t generation) const {
+  MutexLock lock(write_mu_);
+  std::size_t n = 0;
+  // ufim-lint: allow(unordered-iteration) order-independent count
+  for (const auto& [is, admitted] : pool_) {
+    static_cast<void>(is);
+    if (admitted >= generation) ++n;
+  }
+  return n;
 }
 
 Result<std::unique_ptr<DeltaMiner>> MakeDeltaMiner(

@@ -2,12 +2,14 @@
 #define UFIM_CORE_DELTA_MINER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_set>
+#include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "core/miner.h"
 #include "core/streaming_flat_view.h"
@@ -63,7 +65,8 @@ class DeltaMiner {
 
   /// Appends `batch` to the stream and returns the exact mining result
   /// over every transaction appended so far. An empty batch re-mines the
-  /// current state (recount only).
+  /// current state (recount only): it opens no append transaction,
+  /// triggers no policy compaction, and moves no shard bookkeeping.
   ///
   /// **Transactional.** The append runs under the view's
   /// BeginAppend/CommitAppend protocol: if the inner shard mine fails
@@ -75,6 +78,13 @@ class DeltaMiner {
   /// shard watermark advance only on a successful shard mine, and the
   /// batch commits before the recount, so a recount-phase failure leaves
   /// a consistent committed stream that an empty-batch retry re-mines.
+  ///
+  /// **Threads.** Calls to MineNext must still be serialized by the
+  /// caller (it is the stream's one writer), but the expensive recount
+  /// phase runs over a `Snapshot()` taken at commit time, outside the
+  /// miner's write mutex — so an explicit `Compact()` from another
+  /// thread may overlap the recount freely without changing a bit of
+  /// the result.
   Result<MiningResult> MineNext(std::span<const Transaction> batch);
 
   /// Attaches the cooperative cancellation / deadline / budget token,
@@ -88,33 +98,55 @@ class DeltaMiner {
   /// bypass the suffix-shard bookkeeping and silently break exactness.
   const StreamingFlatView& view() const { return view_; }
 
-  /// Forces a compaction between batches — a layout change only, never
-  /// a result change (the differential harness pins this). Callers must
-  /// honor the same between-batches serialization MineNext relies on
-  /// (no MineNext in flight), which is what the writer-role claim
-  /// asserts.
+  /// Forces a compaction — a layout change only, never a result change
+  /// (the differential harness pins this). Serialized with MineNext's
+  /// mutation phase by the miner's write mutex, so it may be called
+  /// from another thread even while a MineNext recount is in flight:
+  /// the recount reads a frozen snapshot, and copy-on-compact leaves
+  /// retired storage untouched.
   void Compact() {
+    MutexLock lock(write_mu_);
     view_.AssertSoleWriter();
     view_.Compact();
   }
 
   /// Suffix shards mined so far (== MineNext calls with a non-empty
   /// batch).
-  std::size_t shards_mined() const { return shards_mined_; }
+  std::size_t shards_mined() const {
+    MutexLock lock(write_mu_);
+    return shards_mined_;
+  }
 
   /// Distinct shard-local frequent itemsets accumulated for recounting.
-  std::size_t candidate_pool_size() const { return pool_.size(); }
+  std::size_t candidate_pool_size() const {
+    MutexLock lock(write_mu_);
+    return pool_.size();
+  }
+
+  /// Candidates first admitted to the pool at storage generation >=
+  /// `generation` — per-generation bookkeeping for pool-growth
+  /// diagnostics (a candidate's admission generation never changes;
+  /// re-discovery by a later shard keeps the original).
+  std::size_t candidates_admitted_since(std::uint64_t generation) const;
 
  private:
   std::unique_ptr<Miner> inner_;
   ExpectedSupportParams params_;
   std::string name_;
-  StreamingFlatView view_;
   std::size_t num_threads_;
-  std::size_t mined_upto_ = 0;  ///< transactions covered by mined shards
-  std::size_t shards_mined_ = 0;
   RunContext run_context_;
-  std::unordered_set<Itemset, ItemsetHash> pool_;
+
+  /// Serializes stream mutation + snapshot acquisition (MineNext's
+  /// append/commit phase, explicit Compact) and guards the pool and
+  /// shard bookkeeping. The recount phase deliberately runs outside it.
+  mutable Mutex write_mu_;
+  StreamingFlatView view_;
+  /// Transactions covered by mined suffix shards.
+  std::size_t mined_upto_ UFIM_GUARDED_BY(write_mu_) = 0;
+  std::size_t shards_mined_ UFIM_GUARDED_BY(write_mu_) = 0;
+  /// Candidate -> storage generation at which the pool admitted it.
+  std::unordered_map<Itemset, std::uint64_t, ItemsetHash> pool_
+      UFIM_GUARDED_BY(write_mu_);
 };
 
 /// Builds a `DeltaMiner` around a registry algorithm — the streaming

@@ -15,23 +15,24 @@ void FlatView::BuildStorage(const UncertainDatabase& db, Storage& s) {
 
   // Pass 1: sizes. Horizontal offsets directly; vertical postings counted
   // per item so both CSR arrays are filled without reallocation.
+  Storage::BaseArrays b;
   std::size_t total_units = 0;
-  s.txn_offsets.reserve(db.size() + 1);
-  s.txn_offsets.push_back(0);
+  b.txn_offsets.reserve(db.size() + 1);
+  b.txn_offsets.push_back(0);
   std::vector<std::size_t> item_counts(s.num_items, 0);
   for (const Transaction& t : db) {
     total_units += t.size();
-    s.txn_offsets.push_back(total_units);
+    b.txn_offsets.push_back(total_units);
     for (const ProbItem& u : t) ++item_counts[u.item];
   }
 
-  s.units.reserve(total_units);
-  s.item_offsets.assign(s.num_items + 1, 0);
+  b.units.reserve(total_units);
+  b.item_offsets.assign(s.num_items + 1, 0);
   for (std::size_t i = 0; i < s.num_items; ++i) {
-    s.item_offsets[i + 1] = s.item_offsets[i] + item_counts[i];
+    b.item_offsets[i + 1] = b.item_offsets[i] + item_counts[i];
   }
-  s.posting_tids.resize(total_units);
-  s.posting_probs.resize(total_units);
+  b.posting_tids.resize(total_units);
+  b.posting_probs.resize(total_units);
   s.item_esup.assign(s.num_items, 0.0);
   s.item_sq_sum.assign(s.num_items, 0.0);
   s.item_esup_acc.assign(s.num_items, KahanSum());
@@ -41,14 +42,14 @@ void FlatView::BuildStorage(const UncertainDatabase& db, Storage& s) {
   // accumulators are retained in the storage: a streaming view continues
   // them across appends, which keeps the cached moments bit-identical to
   // a from-scratch rebuild at every point of the stream.
-  std::vector<std::size_t> fill(s.item_offsets.begin(),
-                                s.item_offsets.end() - 1);
+  std::vector<std::size_t> fill(b.item_offsets.begin(),
+                                b.item_offsets.end() - 1);
   for (std::size_t ti = 0; ti < db.size(); ++ti) {
     for (const ProbItem& u : db[ti]) {
-      s.units.push_back(u);
+      b.units.push_back(u);
       const std::size_t pos = fill[u.item]++;
-      s.posting_tids[pos] = static_cast<TransactionId>(ti);
-      s.posting_probs[pos] = u.prob;
+      b.posting_tids[pos] = static_cast<TransactionId>(ti);
+      b.posting_probs[pos] = u.prob;
       s.item_esup_acc[u.item].Add(u.prob);
       s.item_sq_sum[u.item] += u.prob * u.prob;
     }
@@ -56,6 +57,7 @@ void FlatView::BuildStorage(const UncertainDatabase& db, Storage& s) {
   for (std::size_t i = 0; i < s.num_items; ++i) {
     s.item_esup[i] = s.item_esup_acc[i].value();
   }
+  s.base = std::make_shared<const Storage::BaseArrays>(std::move(b));
 
   // Empty delta region (appended to by StreamingFlatView only).
   s.delta_txn_offsets.assign(1, 0);
@@ -66,13 +68,15 @@ FlatView::FlatView(const UncertainDatabase& db) {
   BuildStorage(db, *s);
   begin_ = 0;
   end_ = s->full_size;
+  born_generation_ = 0;  // freshly built storage starts at generation 0
   storage_ = std::move(s);
 }
 
 std::size_t FlatView::UnitsBefore(std::size_t t) const {
+  CheckNotStale();
   const Storage& s = *storage_;
-  if (t <= s.base_size) return s.txn_offsets[t];
-  return s.units.size() + s.delta_txn_offsets[t - s.base_size];
+  if (t <= s.base_size) return s.base->txn_offsets[t];
+  return s.base->units.size() + s.delta_txn_offsets[t - s.base_size];
 }
 
 std::size_t FlatView::num_units() const {
@@ -89,31 +93,33 @@ double FlatView::Probability(TransactionId t, ItemId item) const {
 }
 
 SegmentedPostings FlatView::PostingSegments(ItemId item) const {
+  CheckNotStale();
   const Storage& s = *storage_;
   SegmentedPostings out;
 
   // Base segment: the item's base CSR range, cut to the viewed tids
   // [begin_, min(end_, base_size)).
   if (item < s.base_num_items() && begin_ < s.base_size) {
-    std::size_t lo = s.item_offsets[item];
-    std::size_t hi = s.item_offsets[item + 1];
+    const Storage::BaseArrays& b = *s.base;
+    std::size_t lo = b.item_offsets[item];
+    std::size_t hi = b.item_offsets[item + 1];
     if (begin_ > 0) {
       lo = static_cast<std::size_t>(
-          std::lower_bound(s.posting_tids.begin() + lo,
-                           s.posting_tids.begin() + hi,
+          std::lower_bound(b.posting_tids.begin() + lo,
+                           b.posting_tids.begin() + hi,
                            static_cast<TransactionId>(begin_)) -
-          s.posting_tids.begin());
+          b.posting_tids.begin());
     }
     if (end_ < s.base_size) {
       hi = static_cast<std::size_t>(
-          std::lower_bound(s.posting_tids.begin() + lo,
-                           s.posting_tids.begin() + hi,
+          std::lower_bound(b.posting_tids.begin() + lo,
+                           b.posting_tids.begin() + hi,
                            static_cast<TransactionId>(end_)) -
-          s.posting_tids.begin());
+          b.posting_tids.begin());
     }
     if (hi > lo) {
-      out.seg[out.count++] = PostingSegment{s.posting_tids.data() + lo,
-                                            s.posting_probs.data() + lo,
+      out.seg[out.count++] = PostingSegment{b.posting_tids.data() + lo,
+                                            b.posting_probs.data() + lo,
                                             hi - lo};
     }
   }
@@ -162,6 +168,15 @@ namespace {
 
 }  // namespace
 
+void FlatView::DieOnStaleView() {
+  std::fprintf(stderr,
+               "FlatView: stale view — the backing streaming storage was "
+               "mutated (Append/Compact/RollbackAppend) after this view was "
+               "obtained; re-take View() after mutating, or hold a "
+               "StreamingFlatView::Snapshot() to read across mutations\n");
+  std::abort();
+}
+
 std::span<const TransactionId> FlatView::PostingTids(ItemId item) const {
   const SegmentedPostings p = PostingSegments(item);
   if (p.count == 0) return {};
@@ -199,6 +214,7 @@ void FlatView::AppendPostingProbs(ItemId item,
 }
 
 double FlatView::ItemExpectedSupport(ItemId item) const {
+  CheckNotStale();
   if (item >= storage_->num_items) return 0.0;
   if (IsFullView()) return storage_->item_esup[item];
   // Segments in tid order give the same Add sequence a contiguous
@@ -212,6 +228,7 @@ double FlatView::ItemExpectedSupport(ItemId item) const {
 }
 
 double FlatView::ItemSquaredSum(ItemId item) const {
+  CheckNotStale();
   if (item >= storage_->num_items) return 0.0;
   if (IsFullView()) return storage_->item_sq_sum[item];
   const SegmentedPostings p = PostingSegments(item);
@@ -337,6 +354,9 @@ bool FlatView::BeginJoin(const Itemset& itemset, JoinScratch& s) const {
 }
 
 bool FlatView::NextJoinBatch(JoinScratch& s, JoinBatch& batch) const {
+  // The scratch holds raw pointers into the storage between batches, so
+  // a mutation landing mid-join must trip here, not just at BeginJoin.
+  CheckNotStale();
   if (s.driver_pos_ >= s.driver_len_) return false;
   const std::size_t lo = s.driver_pos_;
   const std::size_t len = std::min(kJoinBatchTids, s.driver_len_ - lo);
@@ -479,10 +499,13 @@ FlatView::RankProjection FlatView::ProjectOntoRanks(
 }
 
 FlatView FlatView::Slice(std::size_t lo, std::size_t hi) const {
+  // Slices inherit the parent's birth generation (slicing a stale view
+  // must not launder it into a fresh-looking one).
+  CheckNotStale();
   const std::size_t n = num_transactions();
   lo = std::min(lo, n);
   hi = std::min(std::max(hi, lo), n);
-  return FlatView(storage_, begin_ + lo, begin_ + hi);
+  return FlatView(storage_, begin_ + lo, begin_ + hi, born_generation_);
 }
 
 FlatView FlatView::Prefix(std::size_t n) const { return Slice(0, n); }

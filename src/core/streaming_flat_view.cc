@@ -51,16 +51,7 @@ bool StreamingFlatView::CommitAppend() {
   assert(txn_.has_value() && "no open append transaction");
   txn_.reset();
   // Deferred policy check, same rule as a bare Append's tail.
-  const FlatView::Storage& s = *storage_;
-  const bool compact =
-      policy_.max_delta_ratio <= 0.0
-          ? has_delta()
-          : policy_.ShouldCompact(s.units.size(), s.delta_units.size());
-  if (compact) {
-    Compact();
-    return true;
-  }
-  return false;
+  return MaybeCompact();
 }
 
 void StreamingFlatView::RollbackAppend() {
@@ -88,6 +79,10 @@ void StreamingFlatView::RollbackAppend() {
   s.delta_units.resize(txn.delta_units);
   s.delta_txn_offsets.resize(txn.delta_txn_offsets);
   s.full_size = txn.full_size;
+  // A rollback is a mutation like any other: views handed out during
+  // the transaction (or before it) must not keep reading, even though
+  // the restored bits happen to match the pre-transaction state.
+  s.generation.fetch_add(1, std::memory_order_relaxed);
   txn_.reset();
 }
 
@@ -120,36 +115,53 @@ bool StreamingFlatView::Append(std::span<const Transaction> batch) {
     s.delta_txn_offsets.push_back(s.delta_units.size());
     ++s.full_size;
   }
+  // Mark the mutation before the policy check so a triggered compaction
+  // advances the generation sequence monotonically (append g -> g+1,
+  // compact retires at g+2 and publishes fresh storage at g+2).
+  if (!batch.empty()) {
+    s.generation.fetch_add(1, std::memory_order_relaxed);
+  }
   // Inside an append transaction the compaction is deferred to
   // CommitAppend: folding uncommitted rows into the base would make them
   // unrecoverable on rollback.
   if (txn_.has_value()) return false;
-  // Ratio <= 0 means "always contiguous": even a unit-less delta (only
-  // empty transactions appended) folds, so the rebuild reference of the
-  // differential harness really is the from-scratch layout.
-  const bool compact =
-      policy_.max_delta_ratio <= 0.0
-          ? has_delta()
-          : policy_.ShouldCompact(s.units.size(), s.delta_units.size());
-  if (compact) {
-    Compact();
-    return true;
+  return MaybeCompact();
+}
+
+bool StreamingFlatView::MaybeCompact() {
+  const FlatView::Storage& s = *storage_;
+  if (!policy_.ShouldCompact(s.base->units.size(), s.delta_units.size(),
+                             delta_transactions())) {
+    return false;
   }
-  return false;
+  Compact();
+  return true;
 }
 
 void StreamingFlatView::Compact() {
   assert(!txn_.has_value() && "cannot compact inside an append transaction");
-  FlatView::Storage& s = *storage_;
+  const FlatView::Storage& s = *storage_;
   if (s.full_size == s.base_size) return;
+
+  // Copy-on-compact: the merged base is built into *fresh* storage and
+  // published by swapping storage_; the retired generation's arrays are
+  // never touched, so snapshot handles that still share them (or hold a
+  // frozen copy of the delta) keep reading valid, immutable data.
+  const FlatView::Storage::BaseArrays& ob = *s.base;
+  FlatView::Storage::BaseArrays merged;
 
   // Horizontal: the delta rows append directly (they already follow the
   // base rows in tid order).
-  const std::size_t base_units = s.units.size();
-  s.units.insert(s.units.end(), s.delta_units.begin(), s.delta_units.end());
-  s.txn_offsets.reserve(s.full_size + 1);
+  const std::size_t base_units = ob.units.size();
+  merged.units.reserve(base_units + s.delta_units.size());
+  merged.units.insert(merged.units.end(), ob.units.begin(), ob.units.end());
+  merged.units.insert(merged.units.end(), s.delta_units.begin(),
+                      s.delta_units.end());
+  merged.txn_offsets.reserve(s.full_size + 1);
+  merged.txn_offsets.insert(merged.txn_offsets.end(), ob.txn_offsets.begin(),
+                            ob.txn_offsets.end());
   for (std::size_t d = 1; d < s.delta_txn_offsets.size(); ++d) {
-    s.txn_offsets.push_back(base_units + s.delta_txn_offsets[d]);
+    merged.txn_offsets.push_back(base_units + s.delta_txn_offsets[d]);
   }
 
   // Vertical: per item, the merged posting list is base postings then
@@ -160,7 +172,7 @@ void StreamingFlatView::Compact() {
   std::vector<std::size_t> offsets(s.num_items + 1, 0);
   for (std::size_t i = 0; i < s.num_items; ++i) {
     const std::size_t base_len =
-        i < base_items ? s.item_offsets[i + 1] - s.item_offsets[i] : 0;
+        i < base_items ? ob.item_offsets[i + 1] - ob.item_offsets[i] : 0;
     offsets[i + 1] = offsets[i] + base_len + s.delta_tids[i].size();
   }
   std::vector<TransactionId> tids(offsets.back());
@@ -168,10 +180,10 @@ void StreamingFlatView::Compact() {
   for (std::size_t i = 0; i < s.num_items; ++i) {
     std::size_t pos = offsets[i];
     if (i < base_items) {
-      const std::size_t lo = s.item_offsets[i];
-      const std::size_t len = s.item_offsets[i + 1] - lo;
-      std::copy_n(s.posting_tids.begin() + lo, len, tids.begin() + pos);
-      std::copy_n(s.posting_probs.begin() + lo, len, probs.begin() + pos);
+      const std::size_t lo = ob.item_offsets[i];
+      const std::size_t len = ob.item_offsets[i + 1] - lo;
+      std::copy_n(ob.posting_tids.begin() + lo, len, tids.begin() + pos);
+      std::copy_n(ob.posting_probs.begin() + lo, len, probs.begin() + pos);
       pos += len;
     }
     std::copy(s.delta_tids[i].begin(), s.delta_tids[i].end(),
@@ -179,20 +191,61 @@ void StreamingFlatView::Compact() {
     std::copy(s.delta_probs[i].begin(), s.delta_probs[i].end(),
               probs.begin() + pos);
   }
-  s.item_offsets = std::move(offsets);
-  s.posting_tids = std::move(tids);
-  s.posting_probs = std::move(probs);
+  merged.item_offsets = std::move(offsets);
+  merged.posting_tids = std::move(tids);
+  merged.posting_probs = std::move(probs);
 
-  // The delta is folded in; reset it. Moments are untouched — the
+  // Fresh storage: merged base, empty delta. Moments carry over — the
   // accumulators describe the logical content, which did not change.
-  s.base_size = s.full_size;
-  s.delta_txn_offsets.assign(1, 0);
-  s.delta_units.clear();
-  for (std::size_t i = 0; i < s.num_items; ++i) {
-    s.delta_tids[i].clear();
-    s.delta_probs[i].clear();
-  }
+  auto fresh = std::make_shared<FlatView::Storage>();
+  fresh->num_items = s.num_items;
+  fresh->full_size = s.full_size;
+  fresh->base_size = s.full_size;
+  fresh->base =
+      std::make_shared<const FlatView::Storage::BaseArrays>(std::move(merged));
+  fresh->generation.store(s.generation.load(std::memory_order_relaxed) + 1,
+                          std::memory_order_relaxed);
+  fresh->delta_txn_offsets.assign(1, 0);
+  fresh->delta_tids.resize(s.num_items);
+  fresh->delta_probs.resize(s.num_items);
+  fresh->item_esup = s.item_esup;
+  fresh->item_sq_sum = s.item_sq_sum;
+  fresh->item_esup_acc = s.item_esup_acc;
+
+  // Retire the old generation (outstanding live views on it become
+  // stale; snapshots hold distinct frozen storage and are unaffected),
+  // then publish the fresh one.
+  storage_->generation.fetch_add(1, std::memory_order_relaxed);
+  storage_ = std::move(fresh);
   ++compactions_;
+}
+
+StreamingSnapshot StreamingFlatView::Snapshot() const {
+  assert(!txn_.has_value() && "cannot snapshot inside an append transaction");
+  const FlatView::Storage& s = *storage_;
+  // Freeze: share the immutable compacted base, deep-copy the delta and
+  // moment arrays. O(delta + num_items), bounded by the compaction
+  // policy — never O(total units).
+  auto frozen = std::make_shared<FlatView::Storage>();
+  frozen->num_items = s.num_items;
+  frozen->full_size = s.full_size;
+  frozen->base_size = s.base_size;
+  frozen->base = s.base;
+  const std::uint64_t gen = s.generation.load(std::memory_order_relaxed);
+  frozen->generation.store(gen, std::memory_order_relaxed);
+  frozen->delta_txn_offsets = s.delta_txn_offsets;
+  frozen->delta_units = s.delta_units;
+  frozen->delta_tids = s.delta_tids;
+  frozen->delta_probs = s.delta_probs;
+  frozen->item_esup = s.item_esup;
+  frozen->item_sq_sum = s.item_sq_sum;
+  frozen->item_esup_acc = s.item_esup_acc;
+
+  StreamingSnapshot snap;
+  snap.generation_ = gen;
+  snap.watermark_ = s.full_size;
+  snap.view_ = FlatView(std::move(frozen), 0, s.full_size, gen);
+  return snap;
 }
 
 }  // namespace ufim

@@ -2,6 +2,7 @@
 #define UFIM_CORE_STREAMING_FLAT_VIEW_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -25,23 +26,65 @@ namespace ufim {
 /// units per base unit (once at least `min_delta_units` have
 /// accumulated, so tiny databases don't thrash).
 struct CompactionPolicy {
-  /// Delta/base unit ratio above which Append compacts. 0 compacts on
-  /// every non-empty append (the "always rebuild" reference point of the
+  /// Delta/base unit ratio above which Append compacts (strictly
+  /// greater triggers). Any value <= 0 — 0 is the idiomatic spelling —
+  /// means "always contiguous": compact on every append that leaves
+  /// anything in the delta (the "always rebuild" reference point of the
   /// differential harness and the streaming bench).
   double max_delta_ratio = 0.25;
   /// Appends never compact before this many delta units accumulate
-  /// (ignored when max_delta_ratio == 0).
+  /// (ignored when max_delta_ratio <= 0: always-contiguous mode
+  /// compacts regardless of the gate).
   std::size_t min_delta_units = 1024;
 
-  /// True when a delta of `delta_units` over a base of `base_units`
-  /// must be compacted.
-  bool ShouldCompact(std::size_t base_units, std::size_t delta_units) const {
-    if (delta_units == 0) return false;
-    if (max_delta_ratio <= 0.0) return true;
-    if (delta_units < min_delta_units) return false;
+  /// True when the stream must compact: `delta_units` probabilistic
+  /// units across `delta_txns` appended transactions over a base of
+  /// `base_units`. In always-contiguous mode (max_delta_ratio <= 0) the
+  /// decision keys on `delta_txns`, not units — a unit-less delta of
+  /// only empty transactions still folds, so the rebuild reference
+  /// really is the from-scratch layout.
+  bool ShouldCompact(std::size_t base_units, std::size_t delta_units,
+                     std::size_t delta_txns) const {
+    if (max_delta_ratio <= 0.0) return delta_txns > 0;
+    if (delta_units == 0 || delta_units < min_delta_units) return false;
     return static_cast<double>(delta_units) >
            max_delta_ratio * static_cast<double>(base_units);
   }
+};
+
+/// A frozen, self-contained snapshot of a `StreamingFlatView` at one
+/// storage generation, produced by `StreamingFlatView::Snapshot()`.
+///
+/// `view()` is a full `FlatView` over the stream's contents as of the
+/// snapshot: it stays valid — and mines bit-identically to mining that
+/// generation quiesced — across every subsequent `Append`/`Compact` on
+/// the source, with no coordination (the handle owns frozen storage
+/// that shares the immutable compacted base and deep-copies only the
+/// delta and moment arrays, so taking one is O(delta + num_items), not
+/// O(total)). Any number of threads may read one handle concurrently;
+/// handles are cheap to copy and keep their storage alive
+/// independently of the source view's lifetime.
+class StreamingSnapshot {
+ public:
+  /// Empty snapshot (an empty stream at generation 0).
+  StreamingSnapshot() = default;
+
+  /// The frozen full view. Free-threaded: never stale, never mutated.
+  const FlatView& view() const { return view_; }
+
+  /// Storage generation the snapshot captured.
+  std::uint64_t generation() const { return generation_; }
+
+  /// Transactions in the stream when the snapshot was taken
+  /// (== view().num_transactions(); the stream's watermark).
+  std::size_t watermark() const { return watermark_; }
+
+ private:
+  friend class StreamingFlatView;
+
+  FlatView view_;
+  std::uint64_t generation_ = 0;
+  std::size_t watermark_ = 0;
 };
 
 /// Incrementally maintained columnar storage: the streaming counterpart
@@ -67,24 +110,33 @@ struct CompactionPolicy {
 /// enforces this across append/compact/mine schedules.
 ///
 /// **View validity.** `View()` (and any slice or copy of it) reads the
-/// live storage: `Append` and `Compact` invalidate all previously
-/// obtained views. Mine-then-append phases must not overlap — concurrent
-/// *reads* of one view (parallel miners) are safe, concurrent mutation
-/// is not. This is the classic snapshot-free HTAP trade: the delta makes
-/// appends cheap, the caller serializes writes against reads.
+/// *live* storage: `Append`, `Compact` and `RollbackAppend` invalidate
+/// every previously obtained live view. That invalidation is no longer
+/// silent — each mutation bumps the storage generation, and in
+/// debug/sanitizer builds a stale view's next accessor aborts with a
+/// clear message (see `FlatView`'s storage-generations section). Code
+/// that must read *across* mutations takes a `Snapshot()` instead: the
+/// returned handle freezes the current contents (sharing the immutable
+/// compacted base, copying only the policy-bounded delta and moment
+/// arrays) and stays valid — and bit-identical in mining behaviour —
+/// through any number of subsequent appends and compactions.
+/// `Compact` cooperates by *copy-on-compact*: it builds the merged base
+/// into fresh storage and publishes that, leaving the retired
+/// generation's arrays untouched for whoever still holds them.
 ///
-/// **Single-writer contract (annotated).** At most one thread — the
-/// designated writer — may call `Append` / `Compact` / the
+/// **Single-writer contract (annotated).** At most one thread at a time
+/// — the serialized writer — may call `Append` / `Compact` / the
 /// `BeginAppend`/`CommitAppend`/`RollbackAppend` transaction protocol,
-/// and only while no mine is reading a view of this storage (an
-/// `Append` invalidates every outstanding view, including slices a
-/// parallel mine's workers hold). The contract is machine-checked by
-/// the `-Wthread-safety` CI leg: each mutator requires the
-/// `writer_role_` capability, which a caller claims via
-/// `AssertSoleWriter()` exactly where its own serialization argument
-/// holds (e.g. `DeltaMiner::MineNext` claims it because the delta
-/// miner owns its view and runs batches one at a time). A mutation
-/// call path with no claim fails the build.
+/// or take a `Snapshot()`. The contract covers *mutators and snapshot
+/// acquisition only*: reading through a `StreamingSnapshot` handle
+/// needs no coordination with the writer at all (the handle's storage
+/// is frozen), which is what lets long-running mines overlap ingestion.
+/// Reading a live `View()` remains valid only until the next mutation.
+/// The contract is machine-checked by the `-Wthread-safety` CI leg:
+/// each mutator requires the `writer_role_` capability, which a caller
+/// claims via `AssertSoleWriter()` exactly where its own serialization
+/// argument holds (e.g. `DeltaMiner` claims it under its write mutex).
+/// A mutation call path with no claim fails the build.
 class StreamingFlatView {
  public:
   explicit StreamingFlatView(CompactionPolicy policy = {});
@@ -97,7 +149,7 @@ class StreamingFlatView {
   std::size_t num_transactions() const { return storage_->full_size; }
   std::size_t num_items() const { return storage_->num_items; }
   std::size_t num_units() const {
-    return storage_->units.size() + storage_->delta_units.size();
+    return storage_->base->units.size() + storage_->delta_units.size();
   }
 
   /// Transactions currently in the delta region.
@@ -109,6 +161,15 @@ class StreamingFlatView {
 
   /// Compactions run so far (automatic + explicit).
   std::size_t compactions() const { return compactions_; }
+
+  /// Current storage generation: bumped by every mutation (Append of a
+  /// non-empty batch, RollbackAppend, Compact — which also advances to
+  /// freshly published storage). Monotonically increasing over the
+  /// stream's life; views and snapshots taken at an older generation
+  /// are stale / frozen respectively.
+  std::uint64_t generation() const {
+    return storage_->generation.load(std::memory_order_relaxed);
+  }
 
   const CompactionPolicy& policy() const { return policy_; }
 
@@ -155,11 +216,24 @@ class StreamingFlatView {
     return txn_.has_value();
   }
 
-  /// Full view over everything appended so far. Valid until the next
-  /// Append/Compact.
+  /// Full *live* view over everything appended so far. Valid until the
+  /// next Append/Compact/RollbackAppend; after that, any accessor on it
+  /// aborts in debug/sanitizer builds (stale-view check). To read
+  /// across mutations, take a Snapshot() instead.
   [[nodiscard]] FlatView View() const {
-    return FlatView(storage_, 0, storage_->full_size);
+    return FlatView(storage_, 0, storage_->full_size,
+                    storage_->generation.load(std::memory_order_relaxed));
   }
+
+  /// Freezes the current contents into a self-contained handle (see
+  /// `StreamingSnapshot`). O(delta + num_items): shares the immutable
+  /// compacted base, deep-copies the delta region and moment arrays.
+  /// Part of the writer protocol — snapshot *acquisition* observes the
+  /// delta mid-construction if it raced a mutator, so it is serialized
+  /// with mutations; the returned handle itself is free-threaded.
+  /// Must not be called inside an open append transaction.
+  [[nodiscard]] StreamingSnapshot Snapshot() const
+      UFIM_REQUIRES(writer_role_);
 
  private:
   /// Undo log for one open append transaction: the scalar watermarks plus
@@ -184,6 +258,12 @@ class StreamingFlatView {
   /// Records `item`'s pre-append state in the open transaction's undo
   /// log, once per distinct item.
   void SnapshotForTxn(ItemId item) UFIM_REQUIRES(writer_role_);
+
+  /// Runs the policy check against the current delta and compacts when
+  /// it says so; returns true when it compacted. The single home of the
+  /// automatic-compaction decision (Append and CommitAppend both defer
+  /// here).
+  bool MaybeCompact() UFIM_REQUIRES(writer_role_);
 
   std::shared_ptr<FlatView::Storage> storage_;
   CompactionPolicy policy_;

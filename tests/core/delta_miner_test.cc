@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -139,6 +141,89 @@ TEST(DeltaMinerTest, EmptyBatchesAndEmptyStream) {
   ASSERT_EQ(r2.value().size(), 1u);
   EXPECT_EQ(r2.value()[0].expected_support, r1.value()[0].expected_support);
   EXPECT_EQ(delta.value()->shards_mined(), 1u);
+}
+
+TEST(DeltaMinerTest, EmptyBatchIsPureRecount) {
+  // A recount-only call must not open/commit an append transaction,
+  // consult the compaction policy, or drift the shard bookkeeping — pin
+  // every observable piece of that. The never-compact policy keeps a
+  // live delta across the call, so an accidental commit-path compaction
+  // would show in compactions()/has_delta().
+  ExpectedSupportParams params;
+  params.min_esup = 0.3;
+  CompactionPolicy never;
+  never.max_delta_ratio = 1e9;
+  never.min_delta_units = ~std::size_t{0};
+  Result<std::unique_ptr<DeltaMiner>> delta =
+      MakeDeltaMiner("UApriori", params, {}, never);
+  ASSERT_TRUE(delta.ok());
+
+  const std::vector<Transaction> batch = {Txn({{0, 0.9}, {1, 0.6}}),
+                                          Txn({{0, 0.8}})};
+  Result<MiningResult> first = delta.value()->MineNext(batch);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(delta.value()->view().has_delta());
+
+  const std::uint64_t generation = delta.value()->view().generation();
+  const std::size_t compactions = delta.value()->view().compactions();
+  const std::size_t transactions = delta.value()->view().num_transactions();
+  const std::size_t shards = delta.value()->shards_mined();
+  const std::size_t pool = delta.value()->candidate_pool_size();
+
+  Result<MiningResult> recount = delta.value()->MineNext({});
+  ASSERT_TRUE(recount.ok());
+  EXPECT_EQ(recount.value().ToString(), first.value().ToString());
+
+  // No mutation of any kind: the storage generation did not move (a
+  // BeginAppend/Commit or Rollback would have bumped it), nothing
+  // compacted, and the shard/pool bookkeeping is untouched.
+  EXPECT_EQ(delta.value()->view().generation(), generation);
+  EXPECT_EQ(delta.value()->view().compactions(), compactions);
+  EXPECT_EQ(delta.value()->view().num_transactions(), transactions);
+  EXPECT_TRUE(delta.value()->view().has_delta());
+  EXPECT_EQ(delta.value()->shards_mined(), shards);
+  EXPECT_EQ(delta.value()->candidate_pool_size(), pool);
+}
+
+TEST(DeltaMinerTest, PoolTracksAdmissionGenerations) {
+  // Same stream as PoolRetainsDilutedCandidatesAcrossBatches; here we
+  // pin the per-generation bookkeeping: each candidate remembers the
+  // storage generation that admitted it, and re-discovery by a later
+  // shard keeps the original.
+  ExpectedSupportParams params;
+  params.min_esup = 0.5;
+  const std::vector<Transaction> b1 = {Txn({{0, 0.9}, {1, 0.9}}),
+                                       Txn({{0, 0.8}, {1, 0.8}})};
+  const std::vector<Transaction> b2 = {Txn({{2, 0.9}}), Txn({{2, 0.8}}),
+                                       Txn({{2, 0.7}}), Txn({{2, 0.9}})};
+  const std::vector<Transaction> b3 = {
+      Txn({{0, 0.95}, {1, 0.95}}), Txn({{0, 0.95}, {1, 0.95}}),
+      Txn({{0, 0.95}, {1, 0.95}}), Txn({{0, 0.95}, {1, 0.95}}),
+      Txn({{0, 0.95}, {1, 0.95}})};
+
+  Result<std::unique_ptr<DeltaMiner>> delta =
+      MakeDeltaMiner("UApriori", params);
+  ASSERT_TRUE(delta.ok());
+
+  ASSERT_TRUE(delta.value()->MineNext(b1).ok());
+  const std::size_t pool_b1 = delta.value()->candidate_pool_size();
+  const std::uint64_t gen_b1 = delta.value()->view().generation();
+  EXPECT_EQ(delta.value()->candidates_admitted_since(0), pool_b1);
+  EXPECT_EQ(delta.value()->candidates_admitted_since(gen_b1 + 1), 0u);
+
+  ASSERT_TRUE(delta.value()->MineNext(b2).ok());
+  const std::size_t pool_b2 = delta.value()->candidate_pool_size();
+  const std::uint64_t gen_b2 = delta.value()->view().generation();
+  ASSERT_GT(pool_b2, pool_b1) << "batch 2 admits {2}";
+  EXPECT_EQ(delta.value()->candidates_admitted_since(gen_b1 + 1),
+            pool_b2 - pool_b1);
+
+  // Batch 3 re-discovers batch 1's candidates; none count as new.
+  ASSERT_TRUE(delta.value()->MineNext(b3).ok());
+  EXPECT_EQ(delta.value()->candidates_admitted_since(gen_b2 + 1),
+            delta.value()->candidate_pool_size() - pool_b2);
+  EXPECT_EQ(delta.value()->candidates_admitted_since(0),
+            delta.value()->candidate_pool_size());
 }
 
 TEST(DeltaMinerTest, RegistryPlumbingRejectsBadInners) {

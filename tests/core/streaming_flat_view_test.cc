@@ -130,19 +130,35 @@ TEST(StreamingFlatViewTest, CompactionPolicyBoundaries) {
   CompactionPolicy policy;
   policy.max_delta_ratio = 0.5;
   policy.min_delta_units = 0;
-  EXPECT_FALSE(policy.ShouldCompact(/*base_units=*/100, /*delta_units=*/0));
-  EXPECT_FALSE(policy.ShouldCompact(100, 50));
-  EXPECT_TRUE(policy.ShouldCompact(100, 51));
+  EXPECT_FALSE(policy.ShouldCompact(/*base_units=*/100, /*delta_units=*/0,
+                                    /*delta_txns=*/0));
+  EXPECT_FALSE(policy.ShouldCompact(100, 50, 10));
+  EXPECT_TRUE(policy.ShouldCompact(100, 51, 10));
 
   // min_delta_units gates small deltas even over a tiny base.
   policy.min_delta_units = 8;
-  EXPECT_FALSE(policy.ShouldCompact(0, 7));
-  EXPECT_TRUE(policy.ShouldCompact(0, 8));
+  EXPECT_FALSE(policy.ShouldCompact(0, 7, 3));
+  EXPECT_TRUE(policy.ShouldCompact(0, 8, 3));
 
-  // Ratio 0 compacts any non-empty delta, regardless of the gate.
+  // With a positive ratio the transaction count is irrelevant: a
+  // unit-less delta (only empty transactions appended) never trips the
+  // unit-ratio trigger.
+  EXPECT_FALSE(policy.ShouldCompact(100, 0, 5));
+
+  // Ratio 0 means always-contiguous: any appended transaction — even a
+  // unit-less one — folds, regardless of the min_delta_units gate.
   policy.max_delta_ratio = 0.0;
-  EXPECT_TRUE(policy.ShouldCompact(100, 1));
-  EXPECT_FALSE(policy.ShouldCompact(100, 0));
+  EXPECT_TRUE(policy.ShouldCompact(100, 1, 1));
+  EXPECT_TRUE(policy.ShouldCompact(100, 0, 2));
+  EXPECT_FALSE(policy.ShouldCompact(100, 0, 0));
+
+  // Any negative ratio is the same always-contiguous mode, not a
+  // third behavior (and ufim_cli rejects negatives before they reach
+  // a policy).
+  policy.max_delta_ratio = -0.75;
+  EXPECT_TRUE(policy.ShouldCompact(100, 1, 1));
+  EXPECT_TRUE(policy.ShouldCompact(100, 0, 2));
+  EXPECT_FALSE(policy.ShouldCompact(100, 0, 0));
 }
 
 TEST(StreamingFlatViewTest, AutomaticCompactionAtEveryRatio) {
@@ -170,7 +186,8 @@ TEST(StreamingFlatViewTest, AutomaticCompactionAtEveryRatio) {
       // The policy invariant itself: a surviving delta never exceeds
       // the trigger.
       EXPECT_FALSE(policy.ShouldCompact(sv.num_units() - sv.delta_units(),
-                                        sv.delta_units()))
+                                        sv.delta_units(),
+                                        sv.delta_transactions()))
           << "ratio=" << ratio << " round=" << round;
     }
     if (ratio == 0.0) {
@@ -286,6 +303,136 @@ TEST(StreamingFlatViewTest, SeamStraddlingJoinBatches) {
         << itemset.ToString();
   }
 }
+
+TEST(StreamingFlatViewTest, GenerationAdvancesOnEveryMutation) {
+  StreamingFlatView sv;
+  sv.AssertSoleWriter();  // single-threaded test body: sole writer
+  EXPECT_EQ(sv.generation(), 0u);
+
+  // An empty append is a no-op: no mutation, no bump.
+  sv.Append({});
+  EXPECT_EQ(sv.generation(), 0u);
+
+  const std::vector<Transaction> batch = {Txn({{0, 0.5}, {1, 0.25}}),
+                                          Txn({{1, 0.75}})};
+  sv.Append(batch);
+  const std::uint64_t after_append = sv.generation();
+  EXPECT_GT(after_append, 0u);
+
+  // Compaction retires the old storage and publishes a strictly newer
+  // generation.
+  sv.Compact();
+  const std::uint64_t after_compact = sv.generation();
+  EXPECT_GT(after_compact, after_append);
+
+  // A no-op compaction (no delta) does not mutate anything.
+  sv.Compact();
+  EXPECT_EQ(sv.generation(), after_compact);
+
+  // A rollback restores the pre-transaction bits but still counts as a
+  // mutation: views handed out inside the transaction must not survive.
+  sv.BeginAppend();
+  sv.Append(batch);
+  const std::uint64_t in_txn = sv.generation();
+  EXPECT_GT(in_txn, after_compact);
+  sv.RollbackAppend();
+  EXPECT_GT(sv.generation(), in_txn);
+  EXPECT_EQ(sv.num_transactions(), batch.size());
+}
+
+TEST(StreamingFlatViewTest, SnapshotSurvivesAppendAndCompact) {
+  Rng rng(321);
+  StreamBatchSpec spec;
+  spec.num_items = 8;
+  StreamingFlatView sv;
+  sv.AssertSoleWriter();  // single-threaded test body: sole writer
+
+  std::vector<Transaction> at_snapshot;
+  for (int round = 0; round < 3; ++round) {
+    sv.Append(MakeStreamBatch(rng, spec, 5));
+  }
+  // Reconstruct the transactions currently in the stream for the
+  // rebuild comparison (MakeStreamBatch is deterministic in rng).
+  {
+    Rng replay(321);
+    for (int round = 0; round < 3; ++round) {
+      const std::vector<Transaction> b = MakeStreamBatch(replay, spec, 5);
+      at_snapshot.insert(at_snapshot.end(), b.begin(), b.end());
+    }
+  }
+
+  const StreamingSnapshot snap = sv.Snapshot();
+  EXPECT_EQ(snap.watermark(), sv.num_transactions());
+  EXPECT_EQ(snap.generation(), sv.generation());
+  ExpectMatchesRebuild(snap.view(), at_snapshot, "snapshot-at-capture");
+
+  // Hammer the source: interleaved appends, explicit compactions, and a
+  // rolled-back transaction. The snapshot must stay bit-identical to a
+  // from-scratch rebuild of the capture-time transactions throughout.
+  for (int round = 0; round < 4; ++round) {
+    sv.Append(MakeStreamBatch(rng, spec, 7));
+    if (round % 2 == 0) sv.Compact();
+    ExpectMatchesRebuild(snap.view(), at_snapshot,
+                         "snapshot-after-round-" + std::to_string(round));
+  }
+  sv.BeginAppend();
+  sv.Append(MakeStreamBatch(rng, spec, 4));
+  sv.RollbackAppend();
+  ExpectMatchesRebuild(snap.view(), at_snapshot, "snapshot-after-rollback");
+
+  // Snapshots are self-contained: one taken from a source that is then
+  // destroyed keeps reading.
+  StreamingSnapshot orphan;
+  {
+    StreamingFlatView tmp;
+    tmp.AssertSoleWriter();
+    tmp.Append(at_snapshot);
+    orphan = tmp.Snapshot();
+  }
+  ExpectMatchesRebuild(orphan.view(), at_snapshot, "orphan-snapshot");
+}
+
+#if UFIM_STALE_VIEW_CHECKS
+
+TEST(StreamingFlatViewDeathTest, StaleViewAfterAppendAborts) {
+  StreamingFlatView sv;
+  sv.AssertSoleWriter();
+  const std::vector<Transaction> seed = {Txn({{0, 0.5}}), Txn({{1, 0.75}})};
+  const std::vector<Transaction> more = {Txn({{0, 0.25}})};
+  sv.Append(seed);
+  const FlatView stale = sv.View();
+  sv.Append(more);
+  EXPECT_DEATH(stale.ItemExpectedSupport(0), "stale view");
+}
+
+TEST(StreamingFlatViewDeathTest, StaleViewAfterCompactAborts) {
+  StreamingFlatView sv;
+  sv.AssertSoleWriter();
+  const std::vector<Transaction> seed = {Txn({{0, 0.5}}), Txn({{1, 0.75}})};
+  sv.Append(seed);
+  const FlatView stale = sv.View();
+  const FlatView stale_slice = stale.Slice(0, 1);
+  sv.Compact();
+  EXPECT_DEATH(stale.TransactionUnits(0), "stale view");
+  // Slices inherit the birth generation: a pre-mutation slice is just
+  // as stale as its parent.
+  EXPECT_DEATH(stale_slice.TransactionUnits(0), "stale view");
+}
+
+TEST(StreamingFlatViewDeathTest, SnapshotViewNeverTrips) {
+  StreamingFlatView sv;
+  sv.AssertSoleWriter();
+  const std::vector<Transaction> seed = {Txn({{0, 0.5}}), Txn({{1, 0.75}})};
+  const std::vector<Transaction> more = {Txn({{0, 0.25}})};
+  sv.Append(seed);
+  const StreamingSnapshot snap = sv.Snapshot();
+  sv.Append(more);
+  sv.Compact();
+  // Frozen storage's generation never moves, so the check passes.
+  EXPECT_EQ(snap.view().ItemExpectedSupport(0), 0.5);
+}
+
+#endif  // UFIM_STALE_VIEW_CHECKS
 
 TEST(StreamingFlatViewTest, MomentCachesConsistentAfterCompaction) {
   Rng rng(555);

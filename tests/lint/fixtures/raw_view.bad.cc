@@ -1,0 +1,9 @@
+// Violating fixture: a raw live View() held with no lifetime argument —
+// the view dies at the stream's next Append/Compact (lint path:
+// src/core/example.cc).
+#include "core/streaming_flat_view.h"
+
+double StaleRead(const ufim::StreamingFlatView& stream) {
+  const ufim::FlatView view = stream.View();
+  return view.ItemExpectedSupport(0);
+}

@@ -1,0 +1,9 @@
+// Conforming fixture: reading through a frozen Snapshot() handle stays
+// valid across any later Append/Compact on the source stream.
+#include "core/streaming_flat_view.h"
+
+double FrozenRead(const ufim::StreamingFlatView& stream) {
+  stream.AssertSoleWriter();
+  const ufim::StreamingSnapshot snap = stream.Snapshot();
+  return snap.view().ItemExpectedSupport(0);
+}

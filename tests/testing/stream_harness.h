@@ -30,6 +30,7 @@ struct StreamScheduleSpec {
   std::size_t max_batch = 8;   ///< batch sizes drawn from [0, max_batch]
   std::size_t item_growth = 2; ///< item-universe growth per op (unseen items)
   double force_compact_prob = 0.25;  ///< explicit Compact() before a mine
+  double snapshot_prob = 0.35;  ///< Snapshot() after a mine, re-checked at end
   double min_esup = 0.2;
   StreamBatchSpec batch;       ///< item/probability regime of the stream
 };
@@ -51,6 +52,12 @@ struct StreamScheduleSpec {
 ///     built from scratch. Itemset sets must match exactly; moments are
 ///     compared to 1e-9 (the plain miner may legally accumulate in a
 ///     different — e.g. probe-sweep — order).
+///  3. **Snapshot immutability (bit-identical):** schedule steps take
+///     `Snapshot()` handles mid-stream and record a baseline mined over
+///     each at capture time; after the whole schedule — every later
+///     append, policy compaction, and forced compaction — each handle is
+///     re-mined and must reproduce its baseline bit for bit (results and
+///     `MiningCounters`), proving mutations never touch frozen storage.
 ///
 /// `final_result`, when given, receives the final streaming result so
 /// callers can additionally pin bit-equality across thread counts.
@@ -64,6 +71,7 @@ inline void RunStreamDifferential(const StreamScheduleSpec& spec,
   // data regardless of how it consumes randomness internally.
   std::vector<std::vector<Transaction>> batches;
   std::vector<bool> force_compact;
+  std::vector<bool> take_snapshot;
   batches.reserve(spec.num_ops);
   for (std::size_t op = 0; op < spec.num_ops; ++op) {
     StreamBatchSpec bs = spec.batch;
@@ -71,6 +79,7 @@ inline void RunStreamDifferential(const StreamScheduleSpec& spec,
     const std::size_t size = rng.UniformInt(0, spec.max_batch);
     batches.push_back(MakeStreamBatch(rng, bs, size));
     force_compact.push_back(rng.Bernoulli(spec.force_compact_prob));
+    take_snapshot.push_back(rng.Bernoulli(spec.snapshot_prob));
   }
 
   // Randomized streaming policy: anything from compact-almost-always to
@@ -99,6 +108,13 @@ inline void RunStreamDifferential(const StreamScheduleSpec& spec,
   EXPECT_TRUE(rebuild.ok()) << rebuild.status().ToString();
   EXPECT_NE(plain, nullptr);
   if (!streaming.ok() || !rebuild.ok() || plain == nullptr) return;
+
+  struct TakenSnapshot {
+    std::size_t op = 0;
+    StreamingSnapshot snap;
+    MiningResult at_capture;
+  };
+  std::vector<TakenSnapshot> snapshots;
 
   UncertainDatabase accumulated;
   for (std::size_t op = 0; op < batches.size(); ++op) {
@@ -150,7 +166,54 @@ inline void RunStreamDifferential(const StreamScheduleSpec& spec,
       EXPECT_NEAR(a.value()[i].variance, reference[i].variance, 1e-9)
           << label << " " << reference[i].itemset.ToString();
     }
+    // Snapshot step: freeze the streaming state and record a bitwise
+    // baseline over the frozen view; checked again after the schedule.
+    if (take_snapshot[op]) {
+      // Single-threaded schedule: this thread is the sole writer, so it
+      // may also acquire snapshots.
+      streaming.value()->view().AssertSoleWriter();
+      TakenSnapshot taken;
+      taken.op = op;
+      taken.snap = streaming.value()->view().Snapshot();
+      Result<MiningResult> at_capture =
+          plain->Mine(taken.snap.view(), MiningTask(params));
+      ASSERT_TRUE(at_capture.ok())
+          << label << ": " << at_capture.status().ToString();
+      taken.at_capture = std::move(at_capture).value();
+      snapshots.push_back(std::move(taken));
+    }
+
     if (final_result != nullptr) *final_result = std::move(a).value();
+  }
+
+  // Every snapshot taken along the way must re-mine bit-identically to
+  // its capture-time baseline, whatever the stream did afterwards.
+  for (const TakenSnapshot& taken : snapshots) {
+    const std::string label = "seed=" + std::to_string(spec.seed) +
+                              " snapshot-op=" + std::to_string(taken.op) +
+                              " threads=" + std::to_string(num_threads);
+    Result<MiningResult> again =
+        plain->Mine(taken.snap.view(), MiningTask(params));
+    ASSERT_TRUE(again.ok()) << label << ": " << again.status().ToString();
+    ASSERT_EQ(again.value().size(), taken.at_capture.size()) << label;
+    for (std::size_t i = 0; i < taken.at_capture.size(); ++i) {
+      EXPECT_EQ(again.value()[i].itemset, taken.at_capture[i].itemset)
+          << label;
+      EXPECT_EQ(again.value()[i].expected_support,
+                taken.at_capture[i].expected_support)
+          << label << " " << taken.at_capture[i].itemset.ToString();
+      EXPECT_EQ(again.value()[i].variance, taken.at_capture[i].variance)
+          << label << " " << taken.at_capture[i].itemset.ToString();
+    }
+    const MiningCounters& cr = again.value().counters();
+    const MiningCounters& cs = taken.at_capture.counters();
+    EXPECT_EQ(cr.candidates_generated, cs.candidates_generated) << label;
+    EXPECT_EQ(cr.candidates_pruned_apriori, cs.candidates_pruned_apriori)
+        << label;
+    EXPECT_EQ(cr.candidates_rejected_bound, cs.candidates_rejected_bound)
+        << label;
+    EXPECT_EQ(cr.exact_tail_evals, cs.exact_tail_evals) << label;
+    EXPECT_EQ(cr.database_scans, cs.database_scans) << label;
   }
 }
 
